@@ -1,0 +1,114 @@
+//! Criterion microbenchmarks of the substrate layers: the from-scratch
+//! complex GEMM (BLASification backend), the multigrid Hartree solver
+//! (global O(N) solver), FFTs, the simulated-MPI collectives, and the
+//! classical force field.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcmesh_comm::{NetworkModel, World};
+use dcmesh_math::fft::{fft, Direction};
+use dcmesh_math::gemm::{gemm, gemm_blocked, gemm_naive, Op};
+use dcmesh_math::multigrid::{MgParams, Multigrid};
+use dcmesh_math::{Complex, Matrix};
+use dcmesh_qxmd::forcefield::{PerovskiteFF, SimBox};
+use dcmesh_qxmd::md::ForceProvider;
+use dcmesh_qxmd::pbtio3::{PbTiO3Cell, Supercell};
+
+fn random_matrix(seed: u64, rows: usize, cols: usize) -> Matrix<f64> {
+    let mut x = seed;
+    Matrix::from_fn(rows, cols, |_, _| {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let r = (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let i = (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        Complex::new(r, i)
+    })
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let n = 96;
+    let a = random_matrix(1, n, n);
+    let b = random_matrix(2, n, n);
+    let mut group = c.benchmark_group("complex_gemm_96");
+    group.sample_size(20);
+    group.bench_function("naive", |bch| {
+        let mut out = Matrix::zeros(n, n);
+        bch.iter(|| gemm_naive(Complex::one(), &a, Op::None, &b, Op::None, Complex::zero(), &mut out));
+    });
+    group.bench_function("blocked", |bch| {
+        let mut out = Matrix::zeros(n, n);
+        bch.iter(|| gemm_blocked(Complex::one(), &a, Op::None, &b, Op::None, Complex::zero(), &mut out));
+    });
+    group.bench_function("parallel", |bch| {
+        let mut out = Matrix::zeros(n, n);
+        bch.iter(|| gemm(Complex::one(), &a, Op::None, &b, Op::None, Complex::zero(), &mut out));
+    });
+    group.finish();
+}
+
+fn bench_multigrid(c: &mut Criterion) {
+    let n = 32;
+    let mg = Multigrid::new(n, n, n, 8.0, 8.0, 8.0, MgParams { max_cycles: 10, ..Default::default() });
+    let mut f = vec![0.0; n * n * n];
+    for (i, v) in f.iter_mut().enumerate() {
+        *v = ((i % 17) as f64 - 8.0) / 8.0;
+    }
+    let mean = f.iter().sum::<f64>() / f.len() as f64;
+    for v in f.iter_mut() {
+        *v -= mean;
+    }
+    c.bench_function("multigrid_poisson_32cubed", |b| {
+        b.iter(|| mg.solve(&f));
+    });
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for n in [64usize, 70] {
+        // 70 = the paper's mesh line length (Bluestein path).
+        let signal: Vec<Complex<f64>> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut work = signal.clone();
+                fft(&mut work, Direction::Forward);
+                work
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_comm_allreduce(c: &mut Criterion) {
+    c.bench_function("simulated_mpi_allreduce_16ranks", |b| {
+        b.iter(|| {
+            World::run(16, NetworkModel::slingshot11(), |r| {
+                let mut v = vec![r.id() as f64; 256];
+                r.allreduce_sum(&mut v);
+                v[0]
+            })
+        });
+    });
+}
+
+fn bench_forcefield(c: &mut Criterion) {
+    let sc = Supercell::build(&PbTiO3Cell::cubic(), [3, 3, 3]);
+    let ff = PerovskiteFF::pbtio3(SimBox { lengths: sc.box_lengths });
+    c.bench_function("perovskite_ff_135_atoms", |b| {
+        let mut atoms = sc.atoms.clone();
+        b.iter(|| {
+            atoms.clear_forces();
+            ff.compute(&mut atoms)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_multigrid,
+    bench_fft,
+    bench_comm_allreduce,
+    bench_forcefield
+);
+criterion_main!(benches);

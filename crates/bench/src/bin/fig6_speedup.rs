@@ -1,0 +1,69 @@
+//! Fig. 6: cumulative speedup of the total DC-MESH LFD code over the
+//! non-BLAS CPU baseline, through the optimization ladder.
+
+use dcmesh_bench::{fmt_s, fmt_x, paper, BenchArgs};
+use dcmesh_core::metrics::Table;
+use dcmesh_lfd::{BuildKind, LfdConfig, LfdEngine};
+
+fn total_time(args: &BenchArgs, build: BuildKind) -> (f64, bool) {
+    let cfg = LfdConfig {
+        mesh: args.mesh(),
+        norb: args.norb(),
+        lumo: (args.norb() * 3 / 4).max(1),
+        dt: 0.04,
+        n_qd: args.n_qd(),
+        block_size: (args.norb() / 2).max(1),
+        build,
+        delta_sci: 0.08,
+        laser: None,
+        seed: 11,
+    };
+    let v_loc = vec![0.0; cfg.mesh.len()];
+    let mut engine = LfdEngine::<f64>::new(cfg, v_loc);
+    let t = engine.run_md_step();
+    (t.total, t.modeled)
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    println!("Fig. 6 reproduction — cumulative speedup over the baseline DC-MESH code");
+    println!("{}\n", args.describe());
+
+    let ladder = [
+        (BuildKind::CpuLoops, "baseline"),
+        (BuildKind::CpuBlas, "+ BLASification (CPU)"),
+        (BuildKind::GpuCublas, "+ GPU offload + cuBLAS"),
+        (BuildKind::GpuCublasPinned, "+ pinned memory / streams"),
+    ];
+    let times: Vec<(f64, bool)> = ladder.iter().map(|(b, _)| total_time(&args, *b)).collect();
+    let t_base = times[0].0;
+
+    let mut table = Table::new(&["Stage", "Total (s)", "Cumulative speedup", "Source"]);
+    for ((_, label), (t, modeled)) in ladder.iter().zip(&times) {
+        table.row(&[
+            label.to_string(),
+            fmt_s(*t),
+            fmt_x(t_base / t),
+            if *modeled { "modeled" } else { "measured" }.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let cpu_blas = t_base / times[1].0;
+    let gpu_over_blas = times[1].0 / times[2].0;
+    let pinned_gain = (times[2].0 - times[3].0) / times[3].0;
+    let total = t_base / times[3].0;
+    println!("decomposition of the ladder (this run vs paper):");
+    println!("  BLAS on CPU:        {} (paper {}x)", fmt_x(cpu_blas), paper::FIG6_CPU_BLAS);
+    println!(
+        "  GPU over CPU BLAS:  {} (paper {}x)",
+        fmt_x(gpu_over_blas),
+        paper::FIG6_GPU_OVER_BLAS
+    );
+    println!(
+        "  pinned-memory gain: {:.1}% (paper {:.1}%)",
+        pinned_gain * 100.0,
+        paper::FIG6_PINNED_GAIN * 100.0
+    );
+    println!("  TOTAL:              {} (paper {}x)", fmt_x(total), paper::FIG6_TOTAL);
+}

@@ -1,0 +1,96 @@
+//! Fig. 7: flux-closure polar structure in PbTiO3 and its laser-induced
+//! switching — the application study of paper §V.
+//!
+//! Builds a strained PbTiO3 slab with a four-quadrant flux-closure vortex,
+//! runs the coupled DC-MESH simulation under a femtosecond pulse, and
+//! reports the polarization vector field (ASCII + CSV) and the
+//! toroidal-moment time series that tracks the topological switching.
+
+use dcmesh_core::{DcMeshConfig, DcMeshSim};
+use dcmesh_lfd::LaserPulse;
+use dcmesh_qxmd::pbtio3::{PbTiO3Cell, Supercell};
+use dcmesh_qxmd::polarization::{LkDynamics, PolarizationField};
+
+fn main() {
+    println!("Fig. 7 reproduction — flux-closure domain and laser-induced switching\n");
+
+    // --- The static flux-closure structure (the Fig. 7 rendering). ---
+    let mut sc = Supercell::build(&PbTiO3Cell::cubic(), [12, 1, 12]);
+    sc.imprint_flux_closure(0.3, 1.0);
+    let field = PolarizationField::from_supercell(&sc, 0);
+    println!("flux-closure polarization field (12x12 cells, x-z plane):\n");
+    println!("{}", field.render_ascii());
+    println!("toroidal moment G_y = {:.4} (a.u.)", field.toroidal_moment());
+    println!("mean |P| = {:.4}, net P = {:?}\n", field.mean_magnitude(), field.mean());
+
+    // CSV artifact for plotting.
+    let csv_path = "fig7_flux_closure_field.csv";
+    std::fs::write(csv_path, field.to_csv()).expect("write CSV");
+    println!("wrote {csv_path} (ix,iz,x,z,px,pz)\n");
+
+    // --- Laser-driven dynamics through the full DC-MESH stack. ---
+    let cfg = DcMeshConfig {
+        supercell_dims: [8, 1, 8],
+        domains_x: 2,
+        domain_mesh_points: 8,
+        norb: 4,
+        lumo: 2,
+        dt_qd: 0.02,
+        n_qd: 40,
+        dt_md: dcmesh_math::phys::femtoseconds_to_au(0.25),
+        build: dcmesh_lfd::BuildKind::GpuCublasPinned,
+        laser: Some(LaserPulse { e0: 1.2, omega: 0.8, duration: 8.0 }),
+        flux_closure_amplitude: Some(0.3),
+        scf_initial_state: false,
+        ehrenfest_feedback: false,
+        seed: 7,
+    };
+    let mut sim = DcMeshSim::new(cfg);
+    println!("running coupled DC-MESH: 12 MD steps x 40 QD steps, fs pulse on a vortex...");
+    println!("step  t(fs)    excited   G_y        <Pz>      hops");
+    for s in 0..12 {
+        let r = sim.md_step();
+        println!(
+            "{:>4}  {:>6.3}  {:>8.4}  {:>9.5}  {:>8.5}  {:>4}",
+            s + 1,
+            r.time_fs,
+            r.excited_population,
+            r.toroidal_moment,
+            r.mean_polarization[1],
+            r.hops
+        );
+    }
+
+    // --- The switching mechanism in isolation (LK + excitation). ---
+    println!("\nswitching mechanism (LK dynamics, paper's light-induced barrier softening):");
+    println!("protocol: relax vortex to equilibrium -> sub-coercive bias pulse -> free relaxation");
+    let n = 8;
+    let p0 = 0.1;
+    let ec = 2.0 * 0.5 * p0 / (3.0 * 3.0f64.sqrt());
+    let make_relaxed = || {
+        let mut s = Supercell::build(&PbTiO3Cell::cubic(), [n, 1, n]);
+        s.imprint_flux_closure(0.3, 1.0);
+        let f = PolarizationField::from_supercell(&s, 0);
+        let mut lk = LkDynamics::new(f, 0.5, p0);
+        lk.run(0.01, 4000, |_| ([0.0, 0.0], 0.0));
+        lk
+    };
+    for (label, n_exc) in [("dark (n_exc = 0)", 0.0), ("excited (n_exc = 0.8)", 0.8)] {
+        let mut lk = make_relaxed();
+        let g0 = lk.field.toroidal_moment();
+        lk.run(0.01, 500, |_| ([0.0, -0.5 * ec], n_exc)); // the "laser window"
+        let g_pulse = lk.field.toroidal_moment();
+        lk.run(0.01, 4000, |_| ([0.0, 0.0], 0.0)); // recovery
+        let g1 = lk.field.toroidal_moment();
+        println!(
+            "  {label:<22} G_y: {g0:+.3} -> {g_pulse:+.3} (pulse) -> {g1:+.3}   vortex {}",
+            if g1.abs() < 0.2 * g0.abs() {
+                "SWITCHED to mono-domain"
+            } else {
+                "recovered (topologically protected)"
+            }
+        );
+    }
+    println!("\nshape check: the same sub-coercive pulse leaves the dark vortex intact but");
+    println!("switches the photo-excited one — the paper's ultralow-power switching pathway.");
+}

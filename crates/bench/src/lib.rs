@@ -1,0 +1,192 @@
+//! # dcmesh-bench
+//!
+//! The benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§IV). One binary per artifact:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table I — `kin_prop()` optimization ladder (Alg. 1/3/4/5, `nowait` ablation) |
+//! | `table2` | Table II — build-variant ladder x SP/DP (electron propagation / nonlocal / total) |
+//! | `fig2_weak_scaling` | Fig. 2 — weak-scaling parallel efficiency to 1,024 ranks |
+//! | `fig3_strong_scaling` | Fig. 3 — strong scaling, 5,120- and 10,240-atom PbTiO3 |
+//! | `fig4_throughput` | Fig. 4 — single-node CPU vs CPU+GPU throughput |
+//! | `fig5_kernels` | Fig. 5 — DP kernel runtimes across builds |
+//! | `fig6_speedup` | Fig. 6 — cumulative speedup ladder (1x -> 644x) |
+//! | `fig7_flux_closure` | Fig. 7 — flux-closure polar topology + laser switching |
+//!
+//! CPU rows are **measured** wall-clock on this machine; GPU rows are
+//! **modeled** by the A100 roofline runtime (clearly labeled). Default
+//! workloads are scaled down so every binary finishes in seconds; pass
+//! `--full` for the paper-size workload (70x70x72 mesh, 64 orbitals,
+//! 1,000 QD steps) and `--scale X` for anything in between.
+
+use dcmesh_grid::Mesh3;
+
+/// Workload scale parsed from the command line.
+#[derive(Copy, Clone, Debug)]
+pub struct BenchArgs {
+    /// Fraction of the paper workload (1.0 = full).
+    pub scale: f64,
+}
+
+impl BenchArgs {
+    /// Parse `--full`, `--scale X`, `--quick` from `std::env::args`.
+    pub fn parse() -> Self {
+        Self::parse_with_default(0.25)
+    }
+
+    /// Parse with a benchmark-specific default scale.
+    pub fn parse_with_default(default_scale: f64) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = default_scale;
+        let mut it = args.iter().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => scale = 1.0,
+                "--quick" => scale = 0.1,
+                "--scale" => {
+                    scale = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale requires a number");
+                }
+                other => panic!("unknown argument: {other} (use --full | --quick | --scale X)"),
+            }
+        }
+        Self { scale }
+    }
+
+    /// The benchmark mesh at this scale (paper: 70 x 70 x 72).
+    pub fn mesh(&self) -> Mesh3 {
+        let d = |n: usize| ((n as f64 * self.scale).round() as usize).max(8);
+        Mesh3::new(d(70), d(70), d(72), 0.42, 0.42, 0.42)
+    }
+
+    /// Orbital count at this scale (paper: 64).
+    pub fn norb(&self) -> usize {
+        ((64.0 * self.scale).round() as usize).max(4)
+    }
+
+    /// QD steps at this scale (paper: 1,000).
+    pub fn n_qd(&self) -> usize {
+        ((1000.0 * self.scale).round() as usize).max(10)
+    }
+
+    /// Human-readable workload description for report headers.
+    pub fn describe(&self) -> String {
+        let m = self.mesh();
+        format!(
+            "workload: {}x{}x{} mesh, {} orbitals, {} QD steps (scale {:.2} of the paper's 70x70x72 / 64 / 1000)",
+            m.nx,
+            m.ny,
+            m.nz,
+            self.norb(),
+            self.n_qd(),
+            self.scale
+        )
+    }
+}
+
+/// Paper reference numbers, quoted verbatim for side-by-side reporting.
+pub mod paper {
+    /// Table I: (implementation, target, runtime seconds, speedup).
+    pub const TABLE1: [(&str, &str, f64, f64); 5] = [
+        ("Algorithm 1", "CPU", 8.655, 1.0),
+        ("Algorithm 3", "CPU", 2.356, 3.67),
+        ("Algorithm 4", "CPU", 0.939, 9.22),
+        ("Algorithm 5", "GPU", 0.026, 338.0),
+        ("Algorithm 5 (disable nowait)", "GPU", 0.029, 298.0),
+    ];
+
+    /// Table II total runtimes (seconds): (build, SP, DP).
+    pub const TABLE2_TOTAL: [(&str, f64, f64); 5] = [
+        ("CPU OpenMP Parallel", 1082.0, 1167.0),
+        ("CPU OpenMP Parallel + BLAS", 38.83, 65.93),
+        ("GPU OpenMP Offload + BLAS", 17.14, 29.23),
+        ("GPU OpenMP Offload + cuBLAS", 1.33, 2.11),
+        ("GPU cuBLAS + Pinned/Streams", 1.06, 1.48),
+    ];
+
+    /// Fig. 2: weak-scaling efficiency at P = 1024 ranks.
+    pub const WEAK_EFF_1024: f64 = 0.9673;
+
+    /// Fig. 3: strong-scaling efficiencies.
+    pub const STRONG_EFF_5120_AT_256: f64 = 0.6634;
+    /// 10,240 atoms on 512 ranks.
+    pub const STRONG_EFF_10240_AT_512: f64 = 0.8083;
+
+    /// Fig. 4: single-node CPU+GPU over CPU-only throughput.
+    pub const FIG4_SPEEDUP: f64 = 19.0;
+
+    /// Fig. 5 speedups (CPU+BLAS -> GPU+cuBLAS+pinned, DP):
+    /// electron propagation, nonlocal propagation, energy calculation.
+    pub const FIG5_SPEEDUPS: [f64; 3] = [45.0, 42.0, 46.0];
+
+    /// Fig. 6 cumulative ladder: BLAS on CPU, GPU offload over that, pinned
+    /// gain, and the total.
+    pub const FIG6_CPU_BLAS: f64 = 25.2;
+    /// GPU over BLASified CPU.
+    pub const FIG6_GPU_OVER_BLAS: f64 = 18.6;
+    /// Pinned-memory extra gain (fraction).
+    pub const FIG6_PINNED_GAIN: f64 = 0.376;
+    /// Total cumulative speedup.
+    pub const FIG6_TOTAL: f64 = 644.0;
+}
+
+/// Format a seconds value with sensible precision.
+pub fn fmt_s(t: f64) -> String {
+    if t >= 100.0 {
+        format!("{t:.0}")
+    } else if t >= 1.0 {
+        format!("{t:.2}")
+    } else {
+        format!("{t:.4}")
+    }
+}
+
+/// Format a speedup.
+pub fn fmt_x(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}x")
+    } else {
+        format!("{x:.2}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_shrinks_workload() {
+        let a = BenchArgs { scale: 0.25 };
+        assert!(a.mesh().len() < 70 * 70 * 72 / 10);
+        assert_eq!(a.norb(), 16);
+        assert_eq!(a.n_qd(), 250);
+    }
+
+    #[test]
+    fn full_scale_matches_paper() {
+        let a = BenchArgs { scale: 1.0 };
+        let m = a.mesh();
+        assert_eq!((m.nx, m.ny, m.nz), (70, 70, 72));
+        assert_eq!(a.norb(), 64);
+        assert_eq!(a.n_qd(), 1000);
+    }
+
+    #[test]
+    fn paper_constants_sane() {
+        assert_eq!(paper::TABLE1.len(), 5);
+        assert!(paper::TABLE1[3].3 > 300.0);
+        assert!(paper::FIG6_TOTAL > 600.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_s(123.4), "123");
+        assert_eq!(fmt_s(8.654), "8.65");
+        assert_eq!(fmt_s(0.026), "0.0260");
+        assert_eq!(fmt_x(338.0), "338x");
+        assert_eq!(fmt_x(3.67), "3.67x");
+    }
+}

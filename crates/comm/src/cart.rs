@@ -1,0 +1,208 @@
+//! Cartesian process topology — `MPI_Cart_create` for the DC domain grid.
+//!
+//! QXMD maps MPI ranks onto the 3D divide-and-conquer domain grid; halo
+//! exchanges go to the six face neighbours with periodic wraparound. This
+//! mirrors the hybrid space-band decomposition the paper's LDC-DFT uses.
+
+/// A periodic 3D Cartesian layout of `dims[0] * dims[1] * dims[2]` ranks.
+#[derive(Clone, Debug)]
+pub struct Cart3d {
+    /// Ranks per axis.
+    pub dims: [usize; 3],
+}
+
+/// The six face-neighbour directions.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Face {
+    /// -x neighbour.
+    XLo,
+    /// +x neighbour.
+    XHi,
+    /// -y neighbour.
+    YLo,
+    /// +y neighbour.
+    YHi,
+    /// -z neighbour.
+    ZLo,
+    /// +z neighbour.
+    ZHi,
+}
+
+impl Face {
+    /// All six faces, paired lo/hi per axis.
+    pub fn all() -> [Face; 6] {
+        [Face::XLo, Face::XHi, Face::YLo, Face::YHi, Face::ZLo, Face::ZHi]
+    }
+
+    /// The opposite face (what the neighbour calls this exchange).
+    pub fn opposite(self) -> Face {
+        match self {
+            Face::XLo => Face::XHi,
+            Face::XHi => Face::XLo,
+            Face::YLo => Face::YHi,
+            Face::YHi => Face::YLo,
+            Face::ZLo => Face::ZHi,
+            Face::ZHi => Face::ZLo,
+        }
+    }
+
+    /// Axis (0..3) and direction (-1 or +1).
+    pub fn axis_dir(self) -> (usize, isize) {
+        match self {
+            Face::XLo => (0, -1),
+            Face::XHi => (0, 1),
+            Face::YLo => (1, -1),
+            Face::YHi => (1, 1),
+            Face::ZLo => (2, -1),
+            Face::ZHi => (2, 1),
+        }
+    }
+}
+
+impl Cart3d {
+    /// New topology; total rank count is the product of `dims`.
+    pub fn new(dims: [usize; 3]) -> Self {
+        assert!(dims.iter().all(|&d| d > 0), "dims must be positive");
+        Self { dims }
+    }
+
+    /// Factor `nranks` into a near-cubic 3D grid (row-major best effort).
+    pub fn balanced(nranks: usize) -> Self {
+        assert!(nranks > 0);
+        let mut best = [nranks, 1, 1];
+        let mut best_surface = usize::MAX;
+        for a in 1..=nranks {
+            if nranks % a != 0 {
+                continue;
+            }
+            let rest = nranks / a;
+            for b in 1..=rest {
+                if rest % b != 0 {
+                    continue;
+                }
+                let c = rest / b;
+                let surface = a * b + b * c + a * c;
+                if surface < best_surface {
+                    best_surface = surface;
+                    best = [a, b, c];
+                }
+            }
+        }
+        Self::new(best)
+    }
+
+    /// Total ranks.
+    pub fn len(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// True if the topology is empty (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rank id of Cartesian coordinates (z fastest, matching the mesh
+    /// index convention).
+    pub fn rank_of(&self, c: [usize; 3]) -> usize {
+        debug_assert!(c[0] < self.dims[0] && c[1] < self.dims[1] && c[2] < self.dims[2]);
+        c[2] + self.dims[2] * (c[1] + self.dims[1] * c[0])
+    }
+
+    /// Cartesian coordinates of a rank id.
+    pub fn coords_of(&self, rank: usize) -> [usize; 3] {
+        debug_assert!(rank < self.len());
+        let z = rank % self.dims[2];
+        let y = (rank / self.dims[2]) % self.dims[1];
+        let x = rank / (self.dims[2] * self.dims[1]);
+        [x, y, z]
+    }
+
+    /// Rank of the periodic neighbour across `face`.
+    pub fn neighbor(&self, rank: usize, face: Face) -> usize {
+        let mut c = self.coords_of(rank);
+        let (ax, dir) = face.axis_dir();
+        let n = self.dims[ax] as isize;
+        c[ax] = ((c[ax] as isize + dir + n) % n) as usize;
+        self.rank_of(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::World;
+    use crate::network::NetworkModel;
+
+    #[test]
+    fn rank_coords_roundtrip() {
+        let cart = Cart3d::new([3, 4, 5]);
+        for r in 0..cart.len() {
+            assert_eq!(cart.rank_of(cart.coords_of(r)), r);
+        }
+        assert_eq!(cart.len(), 60);
+    }
+
+    #[test]
+    fn neighbors_are_mutual() {
+        let cart = Cart3d::new([2, 3, 2]);
+        for r in 0..cart.len() {
+            for face in Face::all() {
+                let n = cart.neighbor(r, face);
+                assert_eq!(cart.neighbor(n, face.opposite()), r, "rank {r} face {face:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_wraparound() {
+        let cart = Cart3d::new([4, 1, 1]);
+        assert_eq!(cart.neighbor(0, Face::XLo), 3);
+        assert_eq!(cart.neighbor(3, Face::XHi), 0);
+        // Singleton axes wrap to self.
+        assert_eq!(cart.neighbor(0, Face::YLo), 0);
+    }
+
+    #[test]
+    fn balanced_factorization_minimizes_surface() {
+        assert_eq!(Cart3d::balanced(8).dims, [2, 2, 2]);
+        assert_eq!(Cart3d::balanced(64).dims, [4, 4, 4]);
+        let c = Cart3d::balanced(12);
+        assert_eq!(c.len(), 12);
+        // Near-cubic: no dimension more than 4x another.
+        let mx = *c.dims.iter().max().unwrap();
+        let mn = *c.dims.iter().min().unwrap();
+        assert!(mx <= 4 * mn, "unbalanced {:?}", c.dims);
+    }
+
+    #[test]
+    fn halo_exchange_over_the_topology() {
+        // Each rank sends its id to all six neighbours and checks what
+        // arrives — the DC halo pattern over the simulated fabric.
+        let cart = Cart3d::new([2, 2, 2]);
+        let n = cart.len();
+        let cart2 = cart.clone();
+        let out = World::run(n, NetworkModel::slingshot11(), move |rank| {
+            let me = rank.id();
+            for (f, face) in Face::all().iter().enumerate() {
+                let to = cart2.neighbor(me, *face);
+                rank.send(to, f as u64, &[me as f64]);
+            }
+            let mut got = Vec::new();
+            for (f, face) in Face::all().iter().enumerate() {
+                // The message arriving across `face` was sent by the
+                // neighbour using the opposite face's tag.
+                let from = cart2.neighbor(me, *face);
+                let tag = Face::all().iter().position(|x| *x == face.opposite()).unwrap();
+                let _ = f;
+                let v = rank.recv(from, tag as u64);
+                got.push(v[0] as usize);
+            }
+            got
+        });
+        for (me, got) in out.iter().enumerate() {
+            for (f, face) in Face::all().iter().enumerate() {
+                assert_eq!(got[f], cart.neighbor(me, *face), "rank {me} face {face:?}");
+            }
+        }
+    }
+}

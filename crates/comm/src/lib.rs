@@ -1,0 +1,26 @@
+//! # dcmesh-comm
+//!
+//! A message-passing substrate standing in for MPI on ALCF Polaris.
+//!
+//! The paper runs DC-MESH on up to 1,024 MPI ranks over a Slingshot-11
+//! dragonfly fabric. This crate substitutes (DESIGN.md):
+//!
+//! * [`comm::World`] — ranks as OS threads with selective point-to-point
+//!   receive, barriers, reductions, broadcasts and gathers (the collective
+//!   set QXMD's global-local SCF actually uses), and
+//! * [`network::NetworkModel`] — an analytic latency/bandwidth model of the
+//!   Slingshot dragonfly (tree collectives cost `ceil(log2 P)` rounds),
+//!   driving per-rank **simulated clocks** so scaling experiments measure
+//!   real computation but model communication at full machine scale.
+//!
+//! Every collective synchronizes the participants' simulated clocks exactly
+//! the way a real bulk-synchronous code would: the operation completes at
+//! `max(entry clocks) + modeled collective time`.
+
+pub mod cart;
+pub mod comm;
+pub mod network;
+
+pub use cart::{Cart3d, Face};
+pub use comm::{Rank, World};
+pub use network::NetworkModel;

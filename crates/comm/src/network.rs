@@ -1,0 +1,134 @@
+//! Analytic network model of the Polaris Slingshot-11 dragonfly fabric.
+//!
+//! Paper §IV: "Polaris uses Slingshot 11 with a node interconnect bandwidth
+//! of 200 GB/s" on "high radix 64-port switches arranged in dragonfly
+//! topology". Four ranks share a node (one per GPU), so the per-rank share
+//! of the injection bandwidth is ~50 GB/s. Collectives are modeled as
+//! binomial trees: `ceil(log2 P)` rounds of (latency + bytes/bandwidth) —
+//! exactly the `beta * log P` term in the paper's parallel-efficiency
+//! analysis (§IV-A).
+
+/// Latency/bandwidth description of the interconnect.
+#[derive(Clone, Debug)]
+pub struct NetworkModel {
+    /// One-way small-message latency, seconds.
+    pub latency: f64,
+    /// Per-rank injection bandwidth, bytes/second.
+    pub bandwidth: f64,
+    /// Ranks per node (on-node messages use shared memory, modeled faster).
+    pub ranks_per_node: usize,
+    /// On-node bandwidth (NVLink/shared memory), bytes/second.
+    pub on_node_bandwidth: f64,
+}
+
+impl NetworkModel {
+    /// Polaris Slingshot-11: ~2 us MPI latency, 200 GB/s per node shared by
+    /// 4 ranks, 600 GB/s NVLink on-node.
+    pub fn slingshot11() -> Self {
+        Self {
+            latency: 2.0e-6,
+            bandwidth: 50.0e9,
+            ranks_per_node: 4,
+            on_node_bandwidth: 600.0e9,
+        }
+    }
+
+    /// An ideal zero-cost network (for efficiency-model ablations).
+    pub fn ideal() -> Self {
+        Self { latency: 0.0, bandwidth: f64::INFINITY, ranks_per_node: 4, on_node_bandwidth: f64::INFINITY }
+    }
+
+    /// Point-to-point time for `bytes` between `src` and `dst` ranks.
+    pub fn p2p_time(&self, bytes: usize, src: usize, dst: usize) -> f64 {
+        if src == dst {
+            return 0.0;
+        }
+        let same_node = src / self.ranks_per_node == dst / self.ranks_per_node;
+        let bw = if same_node { self.on_node_bandwidth } else { self.bandwidth };
+        if bw.is_infinite() {
+            self.latency
+        } else {
+            self.latency + bytes as f64 / bw
+        }
+    }
+
+    /// Binomial-tree collective time over `p` ranks for a payload of
+    /// `bytes` (allreduce, broadcast, barrier with bytes = 0).
+    pub fn tree_collective_time(&self, bytes: usize, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let rounds = (p as f64).log2().ceil();
+        let per_round = if self.bandwidth.is_infinite() {
+            self.latency
+        } else {
+            self.latency + bytes as f64 / self.bandwidth
+        };
+        rounds * per_round
+    }
+
+    /// Gather/scatter time: root receives (p-1) messages, pipelined; modeled
+    /// as latency * log2(p) + total bytes / bandwidth.
+    pub fn gather_time(&self, bytes_per_rank: usize, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let total = bytes_per_rank.saturating_mul(p - 1);
+        let bw_term = if self.bandwidth.is_infinite() { 0.0 } else { total as f64 / self.bandwidth };
+        self.latency * (p as f64).log2().ceil() + bw_term
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_messages_are_free() {
+        let n = NetworkModel::slingshot11();
+        assert_eq!(n.p2p_time(1 << 20, 3, 3), 0.0);
+    }
+
+    #[test]
+    fn on_node_faster_than_off_node() {
+        let n = NetworkModel::slingshot11();
+        let on = n.p2p_time(1 << 24, 0, 1); // ranks 0,1 share node 0
+        let off = n.p2p_time(1 << 24, 0, 5); // rank 5 is node 1
+        assert!(on < off, "on={on} off={off}");
+    }
+
+    #[test]
+    fn collective_time_grows_logarithmically() {
+        let n = NetworkModel::slingshot11();
+        let t4 = n.tree_collective_time(1024, 4);
+        let t16 = n.tree_collective_time(1024, 16);
+        let t256 = n.tree_collective_time(1024, 256);
+        // log2: 2, 4, 8 rounds.
+        assert!((t16 / t4 - 2.0).abs() < 1e-9);
+        assert!((t256 / t4 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_rank_collectives_free() {
+        let n = NetworkModel::slingshot11();
+        assert_eq!(n.tree_collective_time(1 << 20, 1), 0.0);
+        assert_eq!(n.gather_time(1 << 20, 1), 0.0);
+    }
+
+    #[test]
+    fn ideal_network_latency_free() {
+        let n = NetworkModel::ideal();
+        assert_eq!(n.tree_collective_time(1 << 30, 1024), 0.0);
+        assert_eq!(n.p2p_time(1 << 30, 0, 999), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_bytes() {
+        let n = NetworkModel::slingshot11();
+        let small = n.tree_collective_time(0, 64);
+        let big = n.tree_collective_time(1 << 30, 64);
+        assert!(big > small);
+        // 6 rounds x 1 GiB / 50 GB/s ~ 0.129 s dominates latency.
+        assert!(big > 0.1 && big < 0.2, "big={big}");
+    }
+}

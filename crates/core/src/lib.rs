@@ -1,0 +1,26 @@
+//! # dcmesh-core
+//!
+//! The DC-MESH orchestrator: couples the QXMD subprogram (atoms, CPU) to
+//! the LFD subprogram (electrons, device) across divide-and-conquer
+//! domains, exactly in the structure of paper Fig. 1(b):
+//!
+//! * [`simulation`] — [`simulation::DcMeshSim`]: per-domain LFD engines fed
+//!   by a shared Maxwell field, occupation-only shadow handshake, FSSH
+//!   occupation updates, classical/NN MD for the atoms, and the
+//!   Landau–Khalatnikov polarization response used by the Fig. 7
+//!   application.
+//! * [`scaling`] — the weak/strong scaling drivers behind Figs. 2-3: real
+//!   per-rank computation at laptop granularity combined with modeled
+//!   communication on the simulated Slingshot fabric, plus the analytic
+//!   parallel-efficiency models of §IV-A.
+//! * [`metrics`] — the paper's figures of merit: speed = atoms x steps /
+//!   second, isogranular speedup, weak/strong parallel efficiency, and
+//!   single-node throughput (Fig. 4).
+
+pub mod metrics;
+pub mod scaling;
+pub mod simulation;
+
+pub use metrics::{parallel_efficiency_strong, parallel_efficiency_weak, Speed};
+pub use scaling::{AnalyticEfficiency, ScalingConfig, ScalingPoint};
+pub use simulation::{DcMeshConfig, DcMeshSim, StepReport};

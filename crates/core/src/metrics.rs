@@ -1,0 +1,159 @@
+//! Figures of merit used in the paper's evaluation (§IV).
+
+/// The paper's speed definition: "the product of the total number of atoms
+/// and the number of MD simulation steps executed per second".
+#[derive(Copy, Clone, Debug)]
+pub struct Speed {
+    /// Atoms in the system.
+    pub atoms: usize,
+    /// MD steps completed.
+    pub md_steps: usize,
+    /// Wall-clock (or simulated) seconds consumed.
+    pub seconds: f64,
+}
+
+impl Speed {
+    /// atoms * steps / second.
+    pub fn value(&self) -> f64 {
+        assert!(self.seconds > 0.0, "elapsed time must be positive");
+        (self.atoms * self.md_steps) as f64 / self.seconds
+    }
+}
+
+/// Weak-scaling (isogranular) parallel efficiency: speedup of `speed_p`
+/// over the reference `speed_ref` divided by the rank ratio `p / p_ref`.
+pub fn parallel_efficiency_weak(speed_ref: Speed, p_ref: usize, speed_p: Speed, p: usize) -> f64 {
+    assert!(p >= p_ref && p_ref > 0);
+    let isogranular_speedup = speed_p.value() / speed_ref.value();
+    isogranular_speedup / (p as f64 / p_ref as f64)
+}
+
+/// Strong-scaling parallel efficiency: `t(P_min) / t(P_max)` divided by
+/// `P_max / P_min` (constant total problem).
+pub fn parallel_efficiency_strong(t_min_ranks: f64, p_min: usize, t_max_ranks: f64, p_max: usize) -> f64 {
+    assert!(p_max >= p_min && p_min > 0);
+    assert!(t_min_ranks > 0.0 && t_max_ranks > 0.0);
+    let speedup = t_min_ranks / t_max_ranks;
+    speedup / (p_max as f64 / p_min as f64)
+}
+
+/// Single-node throughput (Fig. 4): ranks completing a fixed problem per
+/// unit time, `P / t_completion`.
+pub fn throughput(ranks: usize, t_completion: f64) -> f64 {
+    assert!(t_completion > 0.0);
+    ranks as f64 / t_completion
+}
+
+/// Simple fixed-width table formatter for the benchmark binaries.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with column alignment.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for c in 0..ncol {
+                line.push_str(&format!(" {:<width$} |", cells[c], width = widths[c]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_definition() {
+        let s = Speed { atoms: 40, md_steps: 10, seconds: 4.0 };
+        assert_eq!(s.value(), 100.0);
+    }
+
+    #[test]
+    fn perfect_weak_scaling_gives_unit_efficiency() {
+        // Double the ranks, double the atoms, same time.
+        let s4 = Speed { atoms: 160, md_steps: 1, seconds: 10.0 };
+        let s8 = Speed { atoms: 320, md_steps: 1, seconds: 10.0 };
+        let eff = parallel_efficiency_weak(s4, 4, s8, 8);
+        assert!((eff - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slower_large_run_lowers_weak_efficiency() {
+        let s4 = Speed { atoms: 160, md_steps: 1, seconds: 10.0 };
+        let s8 = Speed { atoms: 320, md_steps: 1, seconds: 10.5 };
+        let eff = parallel_efficiency_weak(s4, 4, s8, 8);
+        assert!(eff < 1.0 && eff > 0.9);
+    }
+
+    #[test]
+    fn perfect_strong_scaling() {
+        // 4x ranks, 4x faster.
+        let eff = parallel_efficiency_strong(100.0, 64, 25.0, 256);
+        assert!((eff - 1.0).abs() < 1e-12);
+        // 4x ranks, only 2.65x faster ~ 66%.
+        let eff2 = parallel_efficiency_strong(100.0, 64, 37.7, 256);
+        assert!((eff2 - 0.6631).abs() < 1e-3);
+    }
+
+    #[test]
+    fn throughput_scales_with_ranks() {
+        assert_eq!(throughput(4, 2.0), 2.0);
+        assert!(throughput(8, 2.0) > throughput(4, 2.0));
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["Implementation", "Runtime (s)", "Speedup"]);
+        t.row(&["Algorithm 1".into(), "8.655".into(), "1".into()]);
+        t.row(&["Algorithm 5".into(), "0.026".into(), "338".into()]);
+        let s = t.render();
+        assert!(s.contains("Algorithm 1"));
+        assert_eq!(s.lines().count(), 4);
+        // All lines same width.
+        let widths: Vec<usize> = s.lines().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+}

@@ -1,0 +1,192 @@
+//! RAII device-resident containers — the `OMPallocator` of paper Alg. 6.
+//!
+//! The paper wraps `std::vector` allocation in a custom allocator whose
+//! `allocate` issues `#pragma omp target enter data map(alloc: ...)` and
+//! whose `deallocate` issues `exit data map(delete: ...)`, making large
+//! wavefunction arrays persistently GPU-resident with zero use-site noise.
+//! [`DeviceVec`] is the Rust equivalent: construction maps, `Drop` unmaps,
+//! and explicit `update_to_device`/`update_to_host` calls model the only
+//! transfers shadow dynamics allows (occupation-number-sized, §II).
+
+use crate::perf::TransferKind;
+use crate::stream::{Device, StreamId};
+use std::ops::{Deref, DerefMut};
+
+/// A vector whose storage is mirrored on a [`Device`] for its whole
+/// lifetime. The host copy is the `Vec<T>` inside; the device copy is
+/// represented by residency accounting plus explicit update transfers.
+///
+/// ```
+/// use dcmesh_device::{Device, DeviceVec};
+/// let device = Device::a100();
+/// {
+///     let psi: DeviceVec<f64> = DeviceVec::new(&device, 1024);
+///     assert_eq!(device.stats().resident_bytes, 8 * 1024);
+///     psi.update_to_device();
+/// } // drop unmaps, like OMPallocator's deallocate
+/// assert_eq!(device.stats().resident_bytes, 0);
+/// ```
+#[derive(Debug)]
+pub struct DeviceVec<T> {
+    host: Vec<T>,
+    device: Device,
+    stream: StreamId,
+    transfer_kind: TransferKind,
+}
+
+impl<T: Copy + Default> DeviceVec<T> {
+    /// Allocate `len` default elements, mapped onto `device`
+    /// (`enter data map(alloc)`).
+    pub fn new(device: &Device, len: usize) -> Self {
+        Self::from_vec(device, vec![T::default(); len])
+    }
+
+    /// Adopt an existing host vector and map it (`enter data map(alloc)`).
+    pub fn from_vec(device: &Device, host: Vec<T>) -> Self {
+        let bytes = (host.len() * std::mem::size_of::<T>()) as u64;
+        device.enter_data(bytes);
+        Self {
+            host,
+            device: device.clone(),
+            stream: StreamId(0),
+            transfer_kind: TransferKind::Pageable,
+        }
+    }
+
+    /// Use pinned host memory for subsequent updates (§III-E optimization).
+    pub fn pinned(mut self) -> Self {
+        self.transfer_kind = TransferKind::Pinned;
+        self
+    }
+
+    /// Route updates through a specific stream.
+    pub fn on_stream(mut self, stream: StreamId) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Size of the mapped region in bytes.
+    pub fn bytes(&self) -> u64 {
+        (self.host.len() * std::mem::size_of::<T>()) as u64
+    }
+
+    /// `omp target update to(...)`: push the host copy to the device.
+    pub fn update_to_device(&self) {
+        self.device.transfer_h2d(self.stream, self.bytes(), self.transfer_kind);
+    }
+
+    /// `omp target update from(...)`: pull the device copy to the host.
+    pub fn update_to_host(&self) {
+        self.device.transfer_d2h(self.stream, self.bytes(), self.transfer_kind);
+    }
+
+    /// Push only a prefix of `n` elements (e.g. the occupation-number
+    /// handshake, which is tiny compared to the wavefunctions).
+    pub fn update_prefix_to_device(&self, n: usize) {
+        let bytes = (n.min(self.host.len()) * std::mem::size_of::<T>()) as u64;
+        self.device.transfer_h2d(self.stream, bytes, self.transfer_kind);
+    }
+
+    /// Pull only a prefix of `n` elements from the device.
+    pub fn update_prefix_to_host(&self, n: usize) {
+        let bytes = (n.min(self.host.len()) * std::mem::size_of::<T>()) as u64;
+        self.device.transfer_d2h(self.stream, bytes, self.transfer_kind);
+    }
+
+    /// The device this vector is mapped on.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+}
+
+impl<T> Deref for DeviceVec<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.host
+    }
+}
+
+impl<T> DerefMut for DeviceVec<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.host
+    }
+}
+
+impl<T> Drop for DeviceVec<T> {
+    fn drop(&mut self) {
+        let bytes = (self.host.len() * std::mem::size_of::<T>()) as u64;
+        self.device.exit_data(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raii_map_unmap() {
+        let d = Device::a100();
+        {
+            let v: DeviceVec<f64> = DeviceVec::new(&d, 128);
+            assert_eq!(v.bytes(), 1024);
+            assert_eq!(d.stats().resident_bytes, 1024);
+            assert_eq!(d.stats().maps, 1);
+        }
+        assert_eq!(d.stats().resident_bytes, 0);
+        assert_eq!(d.stats().unmaps, 1);
+    }
+
+    #[test]
+    fn nested_lifetimes_stack_correctly() {
+        let d = Device::a100();
+        let a: DeviceVec<u8> = DeviceVec::new(&d, 100);
+        {
+            let _b: DeviceVec<u8> = DeviceVec::new(&d, 50);
+            assert_eq!(d.stats().resident_bytes, 150);
+        }
+        assert_eq!(d.stats().resident_bytes, 100);
+        drop(a);
+        assert_eq!(d.stats().resident_bytes, 0);
+        assert_eq!(d.stats().peak_resident_bytes, 150);
+    }
+
+    #[test]
+    fn update_transfers_are_accounted() {
+        let d = Device::a100();
+        let v: DeviceVec<f32> = DeviceVec::new(&d, 256);
+        v.update_to_device();
+        v.update_to_host();
+        let s = d.stats();
+        assert_eq!(s.h2d_bytes, 1024);
+        assert_eq!(s.d2h_bytes, 1024);
+    }
+
+    #[test]
+    fn prefix_updates_move_fewer_bytes() {
+        // The shadow-dynamics handshake: only occupations move, not psi.
+        let d = Device::a100();
+        let psi: DeviceVec<f64> = DeviceVec::new(&d, 1_000_000);
+        psi.update_prefix_to_device(64); // 64 occupation numbers
+        assert_eq!(d.stats().h2d_bytes, 64 * 8);
+        assert!(d.stats().h2d_bytes < psi.bytes() / 1000);
+    }
+
+    #[test]
+    fn pinned_updates_do_not_block_host() {
+        let d = Device::a100();
+        let v: DeviceVec<f64> = DeviceVec::new(&d, 1 << 20);
+        let v = v.pinned();
+        v.update_to_device();
+        assert_eq!(d.host_clock(), 0.0); // async pinned copy
+        assert!(d.synchronize() > 0.0);
+    }
+
+    #[test]
+    fn host_access_via_deref() {
+        let d = Device::a100();
+        let mut v: DeviceVec<f64> = DeviceVec::new(&d, 4);
+        v[2] = 3.5;
+        assert_eq!(v[2], 3.5);
+        assert_eq!(v.len(), 4);
+    }
+}

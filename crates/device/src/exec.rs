@@ -1,0 +1,141 @@
+//! Hierarchical execution: `teams distribute` + `parallel for simd`.
+//!
+//! Paper §III-C offloads the stencil with a two-level hierarchy: coarse
+//! parallelism over (y-z plane x orbital-block) via `teams distribute
+//! collapse(3)` and fine parallelism over orbitals via `parallel for simd`.
+//! Here teams map to rayon tasks (each owning a disjoint chunk of the
+//! output — data-race freedom by construction) and the inner level maps to
+//! a plain vectorizable loop, which is exactly what `simd` asks of the
+//! compiler.
+
+use rayon::prelude::*;
+
+/// `#pragma omp target teams distribute`: run `body(team_index)` for every
+/// index in `0..num_teams`, in parallel.
+pub fn teams_distribute<F>(num_teams: usize, body: F)
+where
+    F: Fn(usize) + Sync + Send,
+{
+    (0..num_teams).into_par_iter().for_each(|t| body(t));
+}
+
+/// `teams distribute` over mutable chunks: splits `data` into `num_teams`
+/// nearly equal contiguous chunks and hands each (team_index, chunk) to
+/// `body`. Chunk boundaries are computed the same way OpenMP distributes
+/// iterations: `ceil(len / num_teams)` per team.
+pub fn teams_distribute_mut<T, F>(data: &mut [T], num_teams: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync + Send,
+{
+    if data.is_empty() || num_teams == 0 {
+        return;
+    }
+    let chunk = data.len().div_ceil(num_teams);
+    data.par_chunks_mut(chunk).enumerate().for_each(|(t, c)| body(t, c));
+}
+
+/// `#pragma omp parallel for simd` inside a team: a plain sequential loop
+/// the compiler can vectorize. Kept as a named function so kernels written
+/// against the hierarchy read like the paper's Algorithm 5.
+#[inline(always)]
+pub fn parallel_for<F>(range: std::ops::Range<usize>, mut body: F)
+where
+    F: FnMut(usize),
+{
+    for i in range {
+        body(i);
+    }
+}
+
+/// 3-way collapsed team index decoding, mirroring
+/// `teams distribute collapse(3)` over loops of extent `(n0, n1, n2)`.
+#[inline(always)]
+pub fn decollapse3(t: usize, n1: usize, n2: usize) -> (usize, usize, usize) {
+    let i2 = t % n2;
+    let i1 = (t / n2) % n1;
+    let i0 = t / (n1 * n2);
+    (i0, i1, i2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn teams_cover_all_indices_once() {
+        let n = 1000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        teams_distribute(n, |t| {
+            hits[t].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunked_teams_partition_exactly() {
+        let mut data = vec![0u64; 1003]; // non-divisible length
+        teams_distribute_mut(&mut data, 16, |t, chunk| {
+            for x in chunk.iter_mut() {
+                *x = t as u64 + 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x > 0));
+        // Chunks are contiguous and ordered.
+        let mut last_team = 0;
+        for &x in &data {
+            assert!(x >= last_team, "chunks out of order");
+            last_team = x;
+        }
+    }
+
+    #[test]
+    fn chunked_teams_handle_edge_cases() {
+        let mut empty: Vec<u8> = vec![];
+        teams_distribute_mut(&mut empty, 4, |_, _| panic!("no teams on empty data"));
+        let mut tiny = vec![0u8; 2];
+        teams_distribute_mut(&mut tiny, 8, |_, c| {
+            for x in c.iter_mut() {
+                *x = 1;
+            }
+        });
+        assert_eq!(tiny, vec![1, 1]);
+    }
+
+    #[test]
+    fn parallel_for_is_sequentially_consistent() {
+        let mut acc = 0usize;
+        parallel_for(0..10, |i| acc += i);
+        assert_eq!(acc, 45);
+    }
+
+    #[test]
+    fn decollapse_roundtrip() {
+        let (n0, n1, n2) = (3, 5, 7);
+        let mut seen = vec![false; n0 * n1 * n2];
+        for t in 0..n0 * n1 * n2 {
+            let (i0, i1, i2) = decollapse3(t, n1, n2);
+            assert!(i0 < n0 && i1 < n1 && i2 < n2);
+            let flat = i2 + n2 * (i1 + n1 * i0);
+            assert_eq!(flat, t);
+            seen[flat] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn teams_parallelism_produces_same_result_as_serial() {
+        let n = 64 * 64;
+        let mut parallel_out = vec![0.0f64; n];
+        teams_distribute_mut(&mut parallel_out, 32, |t, chunk| {
+            let chunk_len = n.div_ceil(32);
+            let base = t * chunk_len;
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = ((base + i) as f64).sin();
+            }
+        });
+        let serial_out: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        assert_eq!(parallel_out, serial_out);
+    }
+}

@@ -1,0 +1,251 @@
+//! Divide-and-conquer spatial decomposition (paper Fig. 1a).
+//!
+//! The global cell `Omega` is divided into non-overlapping *core* domains
+//! `Omega_alpha`; each domain's local mesh is extended by a buffer layer so
+//! that local Kohn–Sham problems see a smoothly embedded environment. The
+//! buffer implements the "lean divide-and-conquer (LDC)" density-adaptive
+//! boundary: local solutions are trusted only in the core, and global fields
+//! (density, potential) are stitched from cores alone.
+
+use crate::mesh::Mesh3;
+
+/// One DC domain: a core block of the global mesh plus a buffer halo.
+#[derive(Clone, Debug)]
+pub struct Domain {
+    /// Domain id (also its MPI-rank analog in the comm layer).
+    pub id: usize,
+    /// Core offset in global mesh points.
+    pub offset: [usize; 3],
+    /// Core extent in global mesh points.
+    pub core: [usize; 3],
+    /// Buffer width in mesh points on each side.
+    pub buffer: usize,
+    /// The local mesh (core + 2*buffer per axis), with physical origin
+    /// matching its position in the global cell.
+    pub mesh: Mesh3,
+}
+
+impl Domain {
+    /// Physical center of the domain core — the `X(alpha)` at which the
+    /// Maxwell vector potential is sampled (paper Eq. (2)).
+    pub fn center(&self) -> [f64; 3] {
+        [
+            self.mesh.origin[0] + (self.buffer as f64 + 0.5 * (self.core[0] as f64 - 1.0)) * self.mesh.dx,
+            self.mesh.origin[1] + (self.buffer as f64 + 0.5 * (self.core[1] as f64 - 1.0)) * self.mesh.dy,
+            self.mesh.origin[2] + (self.buffer as f64 + 0.5 * (self.core[2] as f64 - 1.0)) * self.mesh.dz,
+        ]
+    }
+
+    /// Local-mesh index range of the core along axis `ax`.
+    pub fn core_range(&self, ax: usize) -> std::ops::Range<usize> {
+        self.buffer..self.buffer + self.core[ax]
+    }
+
+    /// True if local point (li, lj, lk) is inside the core (not buffer).
+    #[inline]
+    pub fn in_core(&self, li: usize, lj: usize, lk: usize) -> bool {
+        self.core_range(0).contains(&li)
+            && self.core_range(1).contains(&lj)
+            && self.core_range(2).contains(&lk)
+    }
+}
+
+/// The full decomposition of a global mesh into a `px x py x pz` grid of
+/// domains.
+#[derive(Clone, Debug)]
+pub struct DcDecomposition {
+    /// Global mesh being decomposed.
+    pub global: Mesh3,
+    /// Domain counts per axis.
+    pub parts: [usize; 3],
+    /// All domains, ordered x-slowest (id = k + pz*(j + py*i) reversed to
+    /// match mesh index convention: id = dk + pz*(dj + py*di)).
+    pub domains: Vec<Domain>,
+}
+
+impl DcDecomposition {
+    /// Decompose `global` into `px x py x pz` domains with the given buffer
+    /// width. Global dimensions must divide evenly (the paper's workloads
+    /// are built that way: unit-cell-aligned domains).
+    pub fn new(global: Mesh3, parts: [usize; 3], buffer: usize) -> Self {
+        let (px, py, pz) = (parts[0], parts[1], parts[2]);
+        assert!(px > 0 && py > 0 && pz > 0, "domain counts must be positive");
+        assert_eq!(global.nx % px, 0, "nx must divide into px domains");
+        assert_eq!(global.ny % py, 0, "ny must divide into py domains");
+        assert_eq!(global.nz % pz, 0, "nz must divide into pz domains");
+        let core = [global.nx / px, global.ny / py, global.nz / pz];
+        assert!(
+            buffer < core[0] && buffer < core[1] && buffer < core[2],
+            "buffer must be thinner than the core"
+        );
+        let mut domains = Vec::with_capacity(px * py * pz);
+        for di in 0..px {
+            for dj in 0..py {
+                for dk in 0..pz {
+                    let id = dk + pz * (dj + py * di);
+                    let offset = [di * core[0], dj * core[1], dk * core[2]];
+                    let mut mesh = Mesh3::new(
+                        core[0] + 2 * buffer,
+                        core[1] + 2 * buffer,
+                        core[2] + 2 * buffer,
+                        global.dx,
+                        global.dy,
+                        global.dz,
+                    );
+                    mesh.origin = [
+                        global.origin[0] + (offset[0] as f64 - buffer as f64) * global.dx,
+                        global.origin[1] + (offset[1] as f64 - buffer as f64) * global.dy,
+                        global.origin[2] + (offset[2] as f64 - buffer as f64) * global.dz,
+                    ];
+                    domains.push(Domain { id, offset, core, buffer, mesh });
+                }
+            }
+        }
+        Self { global, parts, domains }
+    }
+
+    /// Number of domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True if there are no domains (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Map a local mesh point of `dom` to the global linear index, wrapping
+    /// periodically (buffers of edge domains reach across the cell).
+    #[inline]
+    pub fn local_to_global(&self, dom: &Domain, li: usize, lj: usize, lk: usize) -> usize {
+        let g = &self.global;
+        let wrap = |p: isize, n: usize| -> usize {
+            let n = n as isize;
+            (((p % n) + n) % n) as usize
+        };
+        let gi = wrap(dom.offset[0] as isize + li as isize - dom.buffer as isize, g.nx);
+        let gj = wrap(dom.offset[1] as isize + lj as isize - dom.buffer as isize, g.ny);
+        let gk = wrap(dom.offset[2] as isize + lk as isize - dom.buffer as isize, g.nz);
+        g.idx(gi, gj, gk)
+    }
+
+    /// Scatter a global scalar field into a domain-local field (core+buffer).
+    pub fn scatter_field(&self, dom: &Domain, global_field: &[f64]) -> Vec<f64> {
+        assert_eq!(global_field.len(), self.global.len());
+        let m = &dom.mesh;
+        let mut local = vec![0.0; m.len()];
+        for li in 0..m.nx {
+            for lj in 0..m.ny {
+                for lk in 0..m.nz {
+                    local[m.idx(li, lj, lk)] = global_field[self.local_to_global(dom, li, lj, lk)];
+                }
+            }
+        }
+        local
+    }
+
+    /// Accumulate a domain-local field's *core* values into the global field
+    /// (the recombine step: cores tile the cell exactly once).
+    pub fn gather_core(&self, dom: &Domain, local_field: &[f64], global_field: &mut [f64]) {
+        assert_eq!(local_field.len(), dom.mesh.len());
+        assert_eq!(global_field.len(), self.global.len());
+        let m = &dom.mesh;
+        for li in dom.core_range(0) {
+            for lj in dom.core_range(1) {
+                for lk in dom.core_range(2) {
+                    global_field[self.local_to_global(dom, li, lj, lk)] +=
+                        local_field[m.idx(li, lj, lk)];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decomp() -> DcDecomposition {
+        let global = Mesh3::new(12, 12, 8, 0.5, 0.5, 0.5);
+        DcDecomposition::new(global, [2, 2, 2], 1)
+    }
+
+    #[test]
+    fn domain_count_and_ids() {
+        let d = decomp();
+        assert_eq!(d.len(), 8);
+        for (n, dom) in d.domains.iter().enumerate() {
+            assert_eq!(dom.id, n);
+        }
+    }
+
+    #[test]
+    fn local_mesh_includes_buffer() {
+        let d = decomp();
+        let dom = &d.domains[0];
+        assert_eq!(dom.core, [6, 6, 4]);
+        assert_eq!((dom.mesh.nx, dom.mesh.ny, dom.mesh.nz), (8, 8, 6));
+    }
+
+    #[test]
+    fn cores_tile_global_exactly_once() {
+        let d = decomp();
+        let mut counter = vec![0.0; d.global.len()];
+        for dom in &d.domains {
+            let ones = vec![1.0; dom.mesh.len()];
+            d.gather_core(dom, &ones, &mut counter);
+        }
+        assert!(counter.iter().all(|&c| (c - 1.0).abs() < 1e-15));
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip_preserves_field() {
+        let d = decomp();
+        let field: Vec<f64> = (0..d.global.len()).map(|i| (i as f64).sin()).collect();
+        let mut rebuilt = vec![0.0; d.global.len()];
+        for dom in &d.domains {
+            let local = d.scatter_field(dom, &field);
+            d.gather_core(dom, &local, &mut rebuilt);
+        }
+        for (a, b) in field.iter().zip(&rebuilt) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn buffer_wraps_periodically() {
+        let d = decomp();
+        let dom = &d.domains[0]; // offset (0,0,0); buffer reaches to gi = -1
+        let gidx = d.local_to_global(dom, 0, 1, 1);
+        // li=0 with buffer 1 -> gi = -1 -> wraps to nx-1 = 11
+        let (gi, _, _) = d.global.coords(gidx);
+        assert_eq!(gi, 11);
+    }
+
+    #[test]
+    fn domain_centers_span_cell() {
+        let d = decomp();
+        let c0 = d.domains[0].center();
+        let clast = d.domains[7].center();
+        assert!(c0[0] < clast[0] && c0[1] < clast[1] && c0[2] < clast[2]);
+        // First domain core spans global x in [0, 6) points -> center 2.5*dx = 1.25.
+        assert!((c0[0] - 1.25).abs() < 1e-12, "c0 = {:?}", c0);
+    }
+
+    #[test]
+    fn in_core_classification() {
+        let d = decomp();
+        let dom = &d.domains[0];
+        assert!(!dom.in_core(0, 3, 3)); // buffer layer
+        assert!(dom.in_core(1, 1, 1));
+        assert!(dom.in_core(6, 6, 4));
+        assert!(!dom.in_core(7, 3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn uneven_decomposition_rejected() {
+        let global = Mesh3::new(10, 12, 8, 0.5, 0.5, 0.5);
+        DcDecomposition::new(global, [3, 2, 2], 1);
+    }
+}

@@ -1,0 +1,424 @@
+//! Wavefunction storage: AoS (orbital-major) vs SoA (grid-major) layouts.
+//!
+//! Paper §III-A: "We also change the data layout of the wave function `psi`
+//! such that the wave function at each grid point stores the value for all
+//! orbitals, thereby making it a structure of arrays (SoA) over the original
+//! arrays of structures (AoS)." Both layouts are first-class here because the
+//! benchmark harness measures the transition (Algorithm 1 -> Algorithm 3).
+
+use dcmesh_math::{linalg, Complex, Matrix, Real};
+
+use crate::mesh::Mesh3;
+
+/// Which memory layout a kernel operates on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Layout {
+    /// `psi[n][i][j][k]`: each orbital is a contiguous 3D field.
+    Aos,
+    /// `psi[i][j][k][n]`: each grid point stores all orbitals contiguously.
+    Soa,
+}
+
+/// Orbital-major wavefunction set: orbital `n` occupies the contiguous slice
+/// `[n * ngrid, (n+1) * ngrid)`, with mesh points in z-fastest order.
+///
+/// This is simultaneously the column-major `Ngrid x Norb` matrix `Psi` of
+/// paper Eq. (9), so BLASified kernels view it as a [`Matrix`] at zero cost.
+#[derive(Clone, Debug)]
+pub struct WfAos<R> {
+    mesh: Mesh3,
+    norb: usize,
+    data: Vec<Complex<R>>,
+}
+
+/// Grid-major wavefunction set: grid point `ijk` stores all `Norb` orbital
+/// amplitudes contiguously — the SoA layout of Algorithms 2-5.
+#[derive(Clone, Debug)]
+pub struct WfSoa<R> {
+    mesh: Mesh3,
+    norb: usize,
+    data: Vec<Complex<R>>,
+}
+
+impl<R: Real> WfAos<R> {
+    /// Zero-initialized set of `norb` orbitals on `mesh`.
+    pub fn zeros(mesh: Mesh3, norb: usize) -> Self {
+        let len = mesh.len() * norb;
+        Self { mesh, norb, data: vec![Complex::zero(); len] }
+    }
+
+    /// Mesh this set lives on.
+    pub fn mesh(&self) -> &Mesh3 {
+        &self.mesh
+    }
+
+    /// Number of orbitals.
+    pub fn norb(&self) -> usize {
+        self.norb
+    }
+
+    /// Raw storage (orbital-major).
+    pub fn data(&self) -> &[Complex<R>] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    pub fn data_mut(&mut self) -> &mut [Complex<R>] {
+        &mut self.data
+    }
+
+    /// Linear index of orbital `n`, grid point `(i, j, k)`.
+    #[inline(always)]
+    pub fn index(&self, n: usize, i: usize, j: usize, k: usize) -> usize {
+        n * self.mesh.len() + self.mesh.idx(i, j, k)
+    }
+
+    /// Contiguous slice of orbital `n`.
+    #[inline]
+    pub fn orbital(&self, n: usize) -> &[Complex<R>] {
+        let g = self.mesh.len();
+        &self.data[n * g..(n + 1) * g]
+    }
+
+    /// Mutable contiguous slice of orbital `n`.
+    #[inline]
+    pub fn orbital_mut(&mut self, n: usize) -> &mut [Complex<R>] {
+        let g = self.mesh.len();
+        &mut self.data[n * g..(n + 1) * g]
+    }
+
+    /// Fill with deterministic pseudo-random amplitudes (Gaussian-enveloped
+    /// plane waves per orbital) and orthonormalize. Used for benchmark
+    /// workload generation; seeds give reproducible streams.
+    pub fn randomize(&mut self, seed: u64) {
+        let (nx, ny, nz) = (self.mesh.nx, self.mesh.ny, self.mesh.nz);
+        let center = [nx as f64 / 2.0, ny as f64 / 2.0, nz as f64 / 2.0];
+        let sigma2 = (nx.min(ny).min(nz) as f64 / 3.0).powi(2);
+        for n in 0..self.norb {
+            // Distinct wave vector per orbital, perturbed by the seed.
+            let s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(n as u64);
+            let kx = 2.0 * std::f64::consts::PI * ((s % 7) as f64 + 1.0) / nx as f64;
+            let ky = 2.0 * std::f64::consts::PI * (((s / 7) % 5) as f64 + 1.0) / ny as f64;
+            let kz = 2.0 * std::f64::consts::PI * (((s / 35) % 3) as f64 + 1.0) / nz as f64;
+            let g = self.mesh.len();
+            let mesh = self.mesh.clone();
+            let orb = &mut self.data[n * g..(n + 1) * g];
+            for i in 0..nx {
+                for j in 0..ny {
+                    for k in 0..nz {
+                        let r2 = (i as f64 - center[0]).powi(2)
+                            + (j as f64 - center[1]).powi(2)
+                            + (k as f64 - center[2]).powi(2);
+                        let env = (-r2 / (2.0 * sigma2)).exp();
+                        let phase = kx * i as f64 + ky * j as f64 + kz * k as f64
+                            + (n as f64) * 0.37;
+                        orb[mesh.idx(i, j, k)] = Complex::from_polar(
+                            R::from_f64(env),
+                            R::from_f64(phase),
+                        );
+                    }
+                }
+            }
+        }
+        self.orthonormalize();
+    }
+
+    /// L2 norm (including the volume element) of orbital `n`.
+    pub fn orbital_norm(&self, n: usize) -> R {
+        let dv = R::from_f64(self.mesh.dv());
+        (linalg::norm(self.orbital(n)).powi(2) * dv).sqrt()
+    }
+
+    /// Normalize every orbital to unit L2 norm.
+    pub fn normalize_orbitals(&mut self) {
+        for n in 0..self.norb {
+            let nv = self.orbital_norm(n);
+            if nv > R::ZERO {
+                linalg::scal(R::ONE / nv, self.orbital_mut(n));
+            }
+        }
+    }
+
+    /// Orthonormalize all orbitals with modified Gram–Schmidt
+    /// (volume-element-weighted inner product).
+    pub fn orthonormalize(&mut self) {
+        let g = self.mesh.len();
+        let dv = self.mesh.dv();
+        let mut m = Matrix::from_vec(g, self.norb, std::mem::take(&mut self.data));
+        linalg::gram_schmidt(&mut m, R::from_f64(1e-12));
+        self.data = take_matrix_data(m);
+        // Gram–Schmidt normalized with dv = 1; rescale to physical norm.
+        let scale = R::from_f64(1.0 / dv.sqrt());
+        for z in &mut self.data {
+            *z = z.scale(scale);
+        }
+    }
+
+    /// View as the `Ngrid x Norb` matrix `Psi` of Eq. (9) (clones data).
+    pub fn to_matrix(&self) -> Matrix<R> {
+        Matrix::from_vec(self.mesh.len(), self.norb, self.data.clone())
+    }
+
+    /// Rebuild from a matrix produced by [`WfAos::to_matrix`].
+    pub fn from_matrix(mesh: Mesh3, m: Matrix<R>) -> Self {
+        assert_eq!(m.rows(), mesh.len());
+        let norb = m.cols();
+        Self { mesh, norb, data: take_matrix_data(m) }
+    }
+
+    /// Electron number density `rho(r) = sum_n f_n |psi_n(r)|^2`.
+    pub fn density(&self, occupations: &[R]) -> Vec<R> {
+        assert_eq!(occupations.len(), self.norb);
+        let g = self.mesh.len();
+        let mut rho = vec![R::ZERO; g];
+        for n in 0..self.norb {
+            let f = occupations[n];
+            if f == R::ZERO {
+                continue;
+            }
+            for (r, z) in rho.iter_mut().zip(self.orbital(n)) {
+                *r += z.norm_sqr() * f;
+            }
+        }
+        rho
+    }
+
+    /// Total electron count `integral rho dV` for given occupations.
+    pub fn electron_count(&self, occupations: &[R]) -> R {
+        let dv = R::from_f64(self.mesh.dv());
+        self.density(occupations).iter().copied().sum::<R>() * dv
+    }
+
+    /// Convert to the SoA layout.
+    pub fn to_soa(&self) -> WfSoa<R> {
+        let g = self.mesh.len();
+        let mut out = WfSoa::zeros(self.mesh.clone(), self.norb);
+        for n in 0..self.norb {
+            let orb = self.orbital(n);
+            for ijk in 0..g {
+                out.data[ijk * self.norb + n] = orb[ijk];
+            }
+        }
+        out
+    }
+
+    /// Overlap matrix `S = Psi^dagger Psi * dv` between two sets.
+    pub fn overlap(&self, other: &WfAos<R>) -> Matrix<R> {
+        assert_eq!(self.mesh.len(), other.mesh.len());
+        let a = self.to_matrix();
+        let b = other.to_matrix();
+        let mut s = Matrix::zeros(self.norb, other.norb);
+        dcmesh_math::gemm::gemm(
+            Complex::from_real(R::from_f64(self.mesh.dv())),
+            &a,
+            dcmesh_math::Op::ConjTrans,
+            &b,
+            dcmesh_math::Op::None,
+            Complex::zero(),
+            &mut s,
+        );
+        s
+    }
+
+    /// Cast to another precision (for the SP/DP comparison harness).
+    pub fn cast<R2: Real>(&self) -> WfAos<R2> {
+        WfAos {
+            mesh: self.mesh.clone(),
+            norb: self.norb,
+            data: self.data.iter().map(|z| z.cast()).collect(),
+        }
+    }
+
+    /// Maximum absolute amplitude difference against another set.
+    pub fn max_abs_diff(&self, other: &WfAos<R>) -> R {
+        assert_eq!(self.data.len(), other.data.len());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(R::ZERO, R::max)
+    }
+}
+
+impl<R: Real> WfSoa<R> {
+    /// Zero-initialized set of `norb` orbitals on `mesh` in SoA layout.
+    pub fn zeros(mesh: Mesh3, norb: usize) -> Self {
+        let len = mesh.len() * norb;
+        Self { mesh, norb, data: vec![Complex::zero(); len] }
+    }
+
+    /// Mesh this set lives on.
+    pub fn mesh(&self) -> &Mesh3 {
+        &self.mesh
+    }
+
+    /// Number of orbitals.
+    pub fn norb(&self) -> usize {
+        self.norb
+    }
+
+    /// Raw storage (grid-major, orbital fastest).
+    pub fn data(&self) -> &[Complex<R>] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    pub fn data_mut(&mut self) -> &mut [Complex<R>] {
+        &mut self.data
+    }
+
+    /// Linear index of grid point `(i, j, k)`, orbital `n`.
+    #[inline(always)]
+    pub fn index(&self, i: usize, j: usize, k: usize, n: usize) -> usize {
+        self.mesh.idx(i, j, k) * self.norb + n
+    }
+
+    /// All orbital amplitudes at one grid point, contiguous.
+    #[inline]
+    pub fn point(&self, i: usize, j: usize, k: usize) -> &[Complex<R>] {
+        let base = self.mesh.idx(i, j, k) * self.norb;
+        &self.data[base..base + self.norb]
+    }
+
+    /// Mutable orbital amplitudes at one grid point.
+    #[inline]
+    pub fn point_mut(&mut self, i: usize, j: usize, k: usize) -> &mut [Complex<R>] {
+        let base = self.mesh.idx(i, j, k) * self.norb;
+        &mut self.data[base..base + self.norb]
+    }
+
+    /// Convert to the AoS layout.
+    pub fn to_aos(&self) -> WfAos<R> {
+        let g = self.mesh.len();
+        let mut out = WfAos::zeros(self.mesh.clone(), self.norb);
+        for n in 0..self.norb {
+            let go = n * g;
+            for ijk in 0..g {
+                out.data[go + ijk] = self.data[ijk * self.norb + n];
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute amplitude difference against another SoA set.
+    pub fn max_abs_diff(&self, other: &WfSoa<R>) -> R {
+        assert_eq!(self.data.len(), other.data.len());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(R::ZERO, R::max)
+    }
+}
+
+/// Extract the data vector from a Matrix (helper; Matrix has no public
+/// into_vec to keep its invariants, so we copy through the slice).
+fn take_matrix_data<R: Real>(m: Matrix<R>) -> Vec<Complex<R>> {
+    m.data().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcmesh_math::C64;
+
+    fn small_set() -> WfAos<f64> {
+        let mesh = Mesh3::new(4, 3, 5, 0.5, 0.5, 0.5);
+        let mut wf = WfAos::zeros(mesh, 3);
+        wf.randomize(7);
+        wf
+    }
+
+    #[test]
+    fn layout_roundtrip_aos_soa() {
+        let wf = small_set();
+        let back = wf.to_soa().to_aos();
+        assert!(wf.max_abs_diff(&back) < 1e-15);
+    }
+
+    #[test]
+    fn soa_point_is_orbital_contiguous() {
+        let wf = small_set();
+        let soa = wf.to_soa();
+        let p = soa.point(1, 2, 3);
+        assert_eq!(p.len(), 3);
+        for n in 0..3 {
+            assert_eq!(p[n], wf.orbital(n)[wf.mesh().idx(1, 2, 3)]);
+        }
+    }
+
+    #[test]
+    fn orthonormalization() {
+        let wf = small_set();
+        let s = wf.overlap(&wf);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { C64::one() } else { C64::zero() };
+                assert!((s[(i, j)] - want).abs() < 1e-10, "({i},{j}) {}", s[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn density_is_nonnegative_and_integrates_to_electron_count() {
+        let wf = small_set();
+        let occ = vec![2.0, 2.0, 0.0];
+        let rho = wf.density(&occ);
+        assert!(rho.iter().all(|&r| r >= 0.0));
+        let count = wf.electron_count(&occ);
+        assert!((count - 4.0).abs() < 1e-10, "count {count}");
+    }
+
+    #[test]
+    fn zero_occupation_gives_zero_density() {
+        let wf = small_set();
+        let rho = wf.density(&[0.0, 0.0, 0.0]);
+        assert!(rho.iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn matrix_view_roundtrip() {
+        let wf = small_set();
+        let m = wf.to_matrix();
+        assert_eq!(m.rows(), wf.mesh().len());
+        assert_eq!(m.cols(), 3);
+        let back = WfAos::from_matrix(wf.mesh().clone(), m);
+        assert!(wf.max_abs_diff(&back) < 1e-15);
+    }
+
+    #[test]
+    fn orbital_norm_after_normalize() {
+        let mut wf = small_set();
+        wf.orbital_mut(1)[0] = C64::new(10.0, -3.0); // perturb
+        wf.normalize_orbitals();
+        for n in 0..3 {
+            assert!((wf.orbital_norm(n) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn precision_cast_roundtrip_error_small() {
+        let wf = small_set();
+        let sp: WfAos<f32> = wf.cast();
+        let back: WfAos<f64> = sp.cast();
+        assert!(wf.max_abs_diff(&back) < 1e-6);
+    }
+
+    #[test]
+    fn randomize_is_deterministic() {
+        let mesh = Mesh3::cubic(6, 0.4);
+        let mut a = WfAos::<f64>::zeros(mesh.clone(), 2);
+        let mut b = WfAos::<f64>::zeros(mesh, 2);
+        a.randomize(42);
+        b.randomize(42);
+        assert!(a.max_abs_diff(&b) == 0.0);
+    }
+
+    #[test]
+    fn index_functions_agree_with_slices() {
+        let wf = small_set();
+        let soa = wf.to_soa();
+        assert_eq!(wf.data()[wf.index(2, 1, 0, 3)], wf.orbital(2)[wf.mesh().idx(1, 0, 3)]);
+        assert_eq!(soa.data()[soa.index(1, 0, 3, 2)], soa.point(1, 0, 3)[2]);
+    }
+}

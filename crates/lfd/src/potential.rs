@@ -1,0 +1,198 @@
+//! `pot_prop()` — the point-local phase propagator `exp(-i dt v_loc(r, t))`.
+//!
+//! In the shadow-dynamics refactoring (paper Eq. (5)) the local Hamiltonian
+//! `h_loc` collects the local pseudopotential, Hartree, local XC and the
+//! light coupling; its propagator is a pure per-point phase, embarrassingly
+//! parallel and perfectly suited to the device (it is part of the "electron
+//! propagation" timing of Table II together with the kinetic kernel).
+//!
+//! Light coupling: within a DC domain the vector potential is sampled at the
+//! domain center `X(alpha)` (Eq. (2)); we apply the corresponding
+//! length-gauge dipole term `E(t) . (r - r_c)` with `E = -(1/c) dA/dt`
+//! (DESIGN.md substitution table).
+
+use dcmesh_device::{teams_distribute_mut, Device, KernelWork, LaunchPolicy, Precision, StreamId};
+use dcmesh_grid::{Mesh3, WfSoa};
+use dcmesh_math::{Complex, Real};
+
+/// Precomputed per-point propagator phases for one local potential snapshot.
+#[derive(Clone, Debug)]
+pub struct PotentialPropagator<R> {
+    mesh: Mesh3,
+    /// `exp(-i dt v_loc(r))` per mesh point.
+    phases: Vec<Complex<R>>,
+    dt: R,
+}
+
+impl<R: Real> PotentialPropagator<R> {
+    /// Build phases for a static local potential `v_loc` (Hartree units)
+    /// and time step `dt`.
+    pub fn new(mesh: Mesh3, v_loc: &[f64], dt: R) -> Self {
+        assert_eq!(v_loc.len(), mesh.len());
+        let phases = v_loc
+            .iter()
+            .map(|&v| Complex::cis(-dt * R::from_f64(v)))
+            .collect();
+        Self { mesh, phases, dt }
+    }
+
+    /// Rebuild phases adding a uniform electric field `e_field` (length
+    /// gauge, dipole about the mesh center): `v(r) = v_loc(r) + E . (r-rc)`.
+    pub fn with_field(mesh: Mesh3, v_loc: &[f64], e_field: [f64; 3], dt: R) -> Self {
+        assert_eq!(v_loc.len(), mesh.len());
+        let rc = mesh.center();
+        let mut phases = Vec::with_capacity(mesh.len());
+        for (i, j, k) in mesh.iter_points() {
+            let p = mesh.position(i, j, k);
+            let dip = e_field[0] * (p[0] - rc[0])
+                + e_field[1] * (p[1] - rc[1])
+                + e_field[2] * (p[2] - rc[2]);
+            let v = v_loc[mesh.idx(i, j, k)] + dip;
+            phases.push(Complex::cis(-dt * R::from_f64(v)));
+        }
+        Self { mesh, phases, dt }
+    }
+
+    /// The time step the phases encode.
+    pub fn dt(&self) -> R {
+        self.dt
+    }
+
+    /// The mesh.
+    pub fn mesh(&self) -> &Mesh3 {
+        &self.mesh
+    }
+
+    /// Apply the phase to every orbital at every point (SoA layout), with
+    /// teams parallelism over x-slabs; optionally launched on `device`.
+    pub fn apply(&self, psi: &mut WfSoa<R>, device: Option<(&Device, LaunchPolicy)>) {
+        assert_eq!(psi.mesh().len(), self.mesh.len(), "mesh mismatch");
+        let norb = psi.norb();
+        let work = self.work(norb);
+        let phases = &self.phases;
+        let nx = self.mesh.nx;
+        let data = psi.data_mut();
+        let mut run = || {
+            teams_distribute_mut(data, nx, |team, chunk| {
+                let points_per_slab = chunk.len() / norb;
+                let base_point = team * points_per_slab;
+                for (pt, amps) in chunk.chunks_exact_mut(norb).enumerate() {
+                    let ph = phases[base_point + pt];
+                    for a in amps {
+                        *a = *a * ph;
+                    }
+                }
+            });
+        };
+        match device {
+            Some((dev, policy)) => {
+                dev.launch(StreamId(0), policy, work, run);
+            }
+            None => run(),
+        }
+    }
+
+    /// Roofline work of one application.
+    fn work(&self, norb: usize) -> KernelWork {
+        let elems = (self.mesh.len() * norb) as u64;
+        let csize = 2 * std::mem::size_of::<R>() as u64;
+        let precision = if std::mem::size_of::<R>() == 4 { Precision::Sp } else { Precision::Dp };
+        KernelWork {
+            bytes: 2 * elems * csize + self.mesh.len() as u64 * csize,
+            flops: 6 * elems,
+            precision: Some(precision),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcmesh_grid::WfAos;
+
+    fn test_soa(mesh: &Mesh3, norb: usize) -> WfSoa<f64> {
+        let mut wf = WfAos::zeros(mesh.clone(), norb);
+        wf.randomize(21);
+        wf.to_soa()
+    }
+
+    #[test]
+    fn phase_preserves_norm_exactly() {
+        let mesh = Mesh3::cubic(8, 0.5);
+        let v: Vec<f64> = (0..mesh.len()).map(|i| (i as f64 * 0.01).sin() * 3.0).collect();
+        let prop = PotentialPropagator::new(mesh.clone(), &v, 0.05);
+        let mut wf = test_soa(&mesh, 3);
+        let aos0 = wf.to_aos();
+        for _ in 0..50 {
+            prop.apply(&mut wf, None);
+        }
+        let aos = wf.to_aos();
+        for n in 0..3 {
+            assert!((aos.orbital_norm(n) - aos0.orbital_norm(n)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn density_unchanged_by_local_phase() {
+        // |psi|^2 is invariant under a local phase — pot_prop alone cannot
+        // move charge.
+        let mesh = Mesh3::cubic(6, 0.5);
+        let v: Vec<f64> = (0..mesh.len()).map(|i| i as f64 * 0.02).collect();
+        let prop = PotentialPropagator::new(mesh.clone(), &v, 0.1);
+        let mut wf = test_soa(&mesh, 2);
+        let rho0 = wf.to_aos().density(&[2.0, 2.0]);
+        prop.apply(&mut wf, None);
+        let rho1 = wf.to_aos().density(&[2.0, 2.0]);
+        for (a, b) in rho0.iter().zip(&rho1) {
+            assert!((a - b).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn constant_potential_is_global_phase() {
+        let mesh = Mesh3::cubic(5, 0.4);
+        let v = vec![2.0; mesh.len()];
+        let dt = 0.07;
+        let prop = PotentialPropagator::new(mesh.clone(), &v, dt);
+        let mut wf = test_soa(&mesh, 1);
+        let before = wf.data().to_vec();
+        prop.apply(&mut wf, None);
+        let expect = Complex::cis(-dt * 2.0);
+        for (a, b) in wf.data().iter().zip(&before) {
+            assert!((*a - *b * expect).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn field_tilts_phase_linearly() {
+        let mesh = Mesh3::new(9, 3, 3, 0.5, 0.5, 0.5);
+        let v = vec![0.0; mesh.len()];
+        let e = [0.2, 0.0, 0.0];
+        let dt = 0.1;
+        let prop = PotentialPropagator::with_field(mesh.clone(), &v, e, dt);
+        let mut wf = WfAos::<f64>::zeros(mesh.clone(), 1);
+        for z in wf.orbital_mut(0) {
+            *z = Complex::one();
+        }
+        let mut soa = wf.to_soa();
+        prop.apply(&mut soa, None);
+        let out = soa.to_aos();
+        // Phase difference between neighbouring x points = -dt * E_x * dx.
+        let p0 = out.orbital(0)[mesh.idx(3, 1, 1)].arg();
+        let p1 = out.orbital(0)[mesh.idx(4, 1, 1)].arg();
+        let want = -dt * e[0] * mesh.dx;
+        assert!(((p1 - p0) - want).abs() < 1e-12, "{} vs {want}", p1 - p0);
+    }
+
+    #[test]
+    fn device_launch_counts_kernel() {
+        let mesh = Mesh3::cubic(6, 0.5);
+        let v = vec![1.0; mesh.len()];
+        let prop = PotentialPropagator::new(mesh.clone(), &v, 0.02);
+        let mut wf = test_soa(&mesh, 2);
+        let dev = Device::a100();
+        prop.apply(&mut wf, Some((&dev, LaunchPolicy::Sync)));
+        assert_eq!(dev.stats().kernels_launched, 1);
+        assert!(dev.host_clock() > 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Auxiliary damped wave equation for the scalar potential `phi_alpha`.
+//!
+//! Paper Eq. (2) footnote: "We solve Maxwell's equation for A and an
+//! auxiliary partial differential equation [27, 28] for phi". Following the
+//! Car–Parrinello-style dynamics of those references, the scalar potential
+//! is evolved with a damped wave equation whose fixed point is the Poisson
+//! equation:
+//!
+//! ```text
+//! d2phi/dt2 = cs^2 (lap phi + 4 pi rho) - gamma dphi/dt
+//! ```
+//!
+//! This keeps the potential update local (a stencil per step — GPU
+//! friendly) instead of requiring a global solve inside the QD loop, which
+//! is exactly why the paper's LFD kernel stays data-parallel.
+
+use dcmesh_grid::Mesh3;
+
+/// Damped-wave scalar-potential integrator on a domain mesh (periodic).
+#[derive(Clone, Debug)]
+pub struct ScalarPotential {
+    mesh: Mesh3,
+    phi: Vec<f64>,
+    phi_prev: Vec<f64>,
+    /// Wave speed (a.u.); sets how fast phi relaxes to the Poisson solution.
+    pub cs: f64,
+    /// Damping rate (a.u.).
+    pub gamma: f64,
+    /// Time step (a.u.).
+    pub dt: f64,
+}
+
+impl ScalarPotential {
+    /// Create a quiescent potential. Stability requires
+    /// `cs * dt < min(dx,dy,dz) / sqrt(3)`.
+    pub fn new(mesh: Mesh3, cs: f64, gamma: f64, dt: f64) -> Self {
+        let hmin = mesh.dx.min(mesh.dy).min(mesh.dz);
+        assert!(
+            cs * dt < hmin / 3f64.sqrt(),
+            "scalar-potential CFL violated: cs dt = {} vs {}",
+            cs * dt,
+            hmin / 3f64.sqrt()
+        );
+        let n = mesh.len();
+        Self { mesh, phi: vec![0.0; n], phi_prev: vec![0.0; n], cs, gamma, dt }
+    }
+
+    /// Current potential field.
+    pub fn phi(&self) -> &[f64] {
+        &self.phi
+    }
+
+    /// One damped leapfrog step driven by the charge density `rho`
+    /// (mean-removed internally for periodic compatibility).
+    pub fn step(&mut self, rho: &[f64]) {
+        let m = &self.mesh;
+        assert_eq!(rho.len(), m.len());
+        let rho_mean = rho.iter().sum::<f64>() / rho.len() as f64;
+        let (dt, cs2) = (self.dt, self.cs * self.cs);
+        let damp = self.gamma * dt * 0.5;
+        let cx = cs2 * dt * dt / (m.dx * m.dx);
+        let cy = cs2 * dt * dt / (m.dy * m.dy);
+        let cz = cs2 * dt * dt / (m.dz * m.dz);
+        let mut next = vec![0.0; m.len()];
+        let wrap = |p: isize, n: usize| -> usize {
+            let n = n as isize;
+            (((p % n) + n) % n) as usize
+        };
+        for i in 0..m.nx {
+            let im = wrap(i as isize - 1, m.nx);
+            let ip = wrap(i as isize + 1, m.nx);
+            for j in 0..m.ny {
+                let jm = wrap(j as isize - 1, m.ny);
+                let jp = wrap(j as isize + 1, m.ny);
+                for k in 0..m.nz {
+                    let km = wrap(k as isize - 1, m.nz);
+                    let kp = wrap(k as isize + 1, m.nz);
+                    let c = m.idx(i, j, k);
+                    let lap = cx * (self.phi[m.idx(im, j, k)] + self.phi[m.idx(ip, j, k)] - 2.0 * self.phi[c])
+                        + cy * (self.phi[m.idx(i, jm, k)] + self.phi[m.idx(i, jp, k)] - 2.0 * self.phi[c])
+                        + cz * (self.phi[m.idx(i, j, km)] + self.phi[m.idx(i, j, kp)] - 2.0 * self.phi[c]);
+                    let src = cs2 * dt * dt * 4.0 * std::f64::consts::PI * (rho[c] - rho_mean);
+                    // Damped Verlet update.
+                    next[c] = ((2.0 * self.phi[c] - (1.0 - damp) * self.phi_prev[c]) + lap + src)
+                        / (1.0 + damp);
+                }
+            }
+        }
+        self.phi_prev = std::mem::take(&mut self.phi);
+        self.phi = next;
+    }
+
+    /// Relax toward the static Poisson solution by stepping with a fixed
+    /// density until the increment stalls; returns the number of steps.
+    pub fn relax(&mut self, rho: &[f64], max_steps: usize, tol: f64) -> usize {
+        for s in 0..max_steps {
+            let before = self.phi.clone();
+            self.step(rho);
+            let delta: f64 = self
+                .phi
+                .iter()
+                .zip(&before)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            if delta < tol {
+                return s + 1;
+            }
+        }
+        max_steps
+    }
+
+    /// Residual of the Poisson equation `-lap phi - 4 pi rho` (mean-free).
+    pub fn poisson_residual(&self, rho: &[f64]) -> f64 {
+        let m = &self.mesh;
+        let rho_mean = rho.iter().sum::<f64>() / rho.len() as f64;
+        let wrap = |p: isize, n: usize| -> usize {
+            let n = n as isize;
+            (((p % n) + n) % n) as usize
+        };
+        let mut acc = 0.0;
+        for i in 0..m.nx {
+            for j in 0..m.ny {
+                for k in 0..m.nz {
+                    let c = m.idx(i, j, k);
+                    let lap = (self.phi[m.idx(wrap(i as isize - 1, m.nx), j, k)]
+                        + self.phi[m.idx(wrap(i as isize + 1, m.nx), j, k)]
+                        - 2.0 * self.phi[c])
+                        / (m.dx * m.dx)
+                        + (self.phi[m.idx(i, wrap(j as isize - 1, m.ny), k)]
+                            + self.phi[m.idx(i, wrap(j as isize + 1, m.ny), k)]
+                            - 2.0 * self.phi[c])
+                            / (m.dy * m.dy)
+                        + (self.phi[m.idx(i, j, wrap(k as isize - 1, m.nz))]
+                            + self.phi[m.idx(i, j, wrap(k as isize + 1, m.nz))]
+                            - 2.0 * self.phi[c])
+                            / (m.dz * m.dz);
+                    let r = -lap - 4.0 * std::f64::consts::PI * (rho[c] - rho_mean);
+                    acc += r * r;
+                }
+            }
+        }
+        acc.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cosine_rho(mesh: &Mesh3) -> Vec<f64> {
+        let l = mesh.lengths();
+        let mut rho = vec![0.0; mesh.len()];
+        for (i, j, k) in mesh.iter_points() {
+            let p = mesh.position(i, j, k);
+            rho[mesh.idx(i, j, k)] = (2.0 * std::f64::consts::PI * p[0] / l[0]).cos();
+        }
+        rho
+    }
+
+    #[test]
+    fn relaxes_to_poisson_solution() {
+        let mesh = Mesh3::cubic(12, 0.5);
+        let rho = cosine_rho(&mesh);
+        let mut sp = ScalarPotential::new(mesh.clone(), 0.5, 1.2, 0.4);
+        let r0 = sp.poisson_residual(&rho);
+        sp.relax(&rho, 4000, 1e-10);
+        let r1 = sp.poisson_residual(&rho);
+        assert!(r1 < r0 * 1e-3, "residual {r0} -> {r1}");
+    }
+
+    #[test]
+    fn matches_multigrid_fixed_point() {
+        let mesh = Mesh3::cubic(8, 0.5);
+        let rho = cosine_rho(&mesh);
+        let mut sp = ScalarPotential::new(mesh.clone(), 0.4, 1.0, 0.4);
+        sp.relax(&rho, 6000, 1e-12);
+        let l = mesh.lengths();
+        let mg = dcmesh_math::multigrid::Multigrid::new(
+            mesh.nx,
+            mesh.ny,
+            mesh.nz,
+            l[0],
+            l[1],
+            l[2],
+            dcmesh_math::multigrid::MgParams::default(),
+        );
+        let f: Vec<f64> = rho.iter().map(|&r| 4.0 * std::f64::consts::PI * r).collect();
+        let want = mg.solve(&f).phi;
+        // Compare mean-free fields.
+        let mean_sp = sp.phi().iter().sum::<f64>() / sp.phi().len() as f64;
+        let mut max_diff = 0.0f64;
+        let mut max_ref = 0.0f64;
+        for (a, b) in sp.phi().iter().zip(&want) {
+            max_diff = max_diff.max(((a - mean_sp) - b).abs());
+            max_ref = max_ref.max(b.abs());
+        }
+        assert!(max_diff / max_ref < 0.02, "rel diff {}", max_diff / max_ref);
+    }
+
+    #[test]
+    fn zero_density_stays_quiescent() {
+        let mesh = Mesh3::cubic(6, 0.5);
+        let mut sp = ScalarPotential::new(mesh.clone(), 0.5, 1.0, 0.3);
+        let rho = vec![0.0; mesh.len()];
+        for _ in 0..20 {
+            sp.step(&rho);
+        }
+        assert!(sp.phi().iter().all(|&p| p.abs() < 1e-15));
+    }
+
+    #[test]
+    fn uniform_density_is_compatibility_null() {
+        // A uniform rho has no mean-free part: phi must stay zero.
+        let mesh = Mesh3::cubic(6, 0.5);
+        let mut sp = ScalarPotential::new(mesh.clone(), 0.5, 1.0, 0.3);
+        let rho = vec![3.7; mesh.len()];
+        for _ in 0..20 {
+            sp.step(&rho);
+        }
+        assert!(sp.phi().iter().all(|&p| p.abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "CFL")]
+    fn cfl_violation_panics() {
+        ScalarPotential::new(Mesh3::cubic(6, 0.2), 2.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,776 @@
+//! Dense complex matrices and a from-scratch level-3 BLAS (GEMM).
+//!
+//! Paper §III-D rewrites the nonlocal correction (Eq. (7)) as the matrix
+//! product `Psi(t) = c * Psi(0) * Psi(0)^dagger * Psi(t)` (Eq. (9)) and maps it
+//! to BLAS level-3 calls. This module supplies that BLAS:
+//!
+//! * [`gemm_naive`] — reference triple loop (the pre-BLAS "CPU OpenMP
+//!   Parallel" build of Table II uses the loop formulation).
+//! * [`gemm_blocked`] — cache-blocked sequential GEMM (the "BLAS" build).
+//! * [`gemm`] — blocked + rayon-parallel over column panels (the production
+//!   path; the device executor layers the cuBLAS roofline model on top).
+//!
+//! Matrices are column-major like BLAS, so a wavefunction matrix `Psi` with
+//! `Ngrid` rows (grid points) and `Norb` columns (orbitals) stores each
+//! orbital contiguously.
+
+use crate::complex::Complex;
+use crate::real::Real;
+use rayon::prelude::*;
+
+/// Transpose operation applied to a GEMM operand, mirroring BLAS `op(A)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Use the matrix as stored.
+    None,
+    /// Use the transpose.
+    Trans,
+    /// Use the conjugate transpose (Hermitian adjoint) — `Psi^dagger` in Eq. (9).
+    ConjTrans,
+}
+
+/// Column-major dense complex matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix<R> {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex<R>>,
+}
+
+impl<R: Real> Matrix<R> {
+    /// Zero-filled `rows x cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![Complex::zero(); rows * cols] }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::one();
+        }
+        m
+    }
+
+    /// Build from a column-major data vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex<R>>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must be rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Build from a function of (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex<R>) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for c in 0..cols {
+            for r in 0..rows {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw column-major storage.
+    #[inline(always)]
+    pub fn data(&self) -> &[Complex<R>] {
+        &self.data
+    }
+
+    /// Mutable raw column-major storage.
+    #[inline(always)]
+    pub fn data_mut(&mut self) -> &mut [Complex<R>] {
+        &mut self.data
+    }
+
+    /// Borrow one column as a slice (contiguous in column-major layout).
+    #[inline(always)]
+    pub fn col(&self, c: usize) -> &[Complex<R>] {
+        &self.data[c * self.rows..(c + 1) * self.rows]
+    }
+
+    /// Mutably borrow one column.
+    #[inline(always)]
+    pub fn col_mut(&mut self, c: usize) -> &mut [Complex<R>] {
+        &mut self.data[c * self.rows..(c + 1) * self.rows]
+    }
+
+    /// Hermitian adjoint (conjugate transpose) as a new matrix.
+    pub fn adjoint(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self[(c, r)].conj())
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> R {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<R>().sqrt()
+    }
+
+    /// Maximum absolute entry difference against another matrix.
+    pub fn max_abs_diff(&self, other: &Self) -> R {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(R::ZERO, R::max)
+    }
+
+    /// Cast every entry to another precision.
+    pub fn cast<R2: Real>(&self) -> Matrix<R2> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.cast()).collect(),
+        }
+    }
+
+    /// Dimensions of `op(self)`.
+    fn op_dims(&self, op: Op) -> (usize, usize) {
+        match op {
+            Op::None => (self.rows, self.cols),
+            Op::Trans | Op::ConjTrans => (self.cols, self.rows),
+        }
+    }
+
+    /// Element of `op(self)` at (r, c).
+    #[inline(always)]
+    fn op_at(&self, op: Op, r: usize, c: usize) -> Complex<R> {
+        match op {
+            Op::None => self[(r, c)],
+            Op::Trans => self[(c, r)],
+            Op::ConjTrans => self[(c, r)].conj(),
+        }
+    }
+}
+
+impl<R: Real> std::ops::Index<(usize, usize)> for Matrix<R> {
+    type Output = Complex<R>;
+    #[inline(always)]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex<R> {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[c * self.rows + r]
+    }
+}
+
+impl<R: Real> std::ops::IndexMut<(usize, usize)> for Matrix<R> {
+    #[inline(always)]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex<R> {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[c * self.rows + r]
+    }
+}
+
+/// Check GEMM operand shapes; returns (m, n, k).
+fn gemm_dims<R: Real>(
+    a: &Matrix<R>,
+    op_a: Op,
+    b: &Matrix<R>,
+    op_b: Op,
+    c: &Matrix<R>,
+) -> (usize, usize, usize) {
+    let (m, ka) = a.op_dims(op_a);
+    let (kb, n) = b.op_dims(op_b);
+    assert_eq!(ka, kb, "GEMM inner dimensions must agree");
+    assert_eq!(c.rows(), m, "GEMM output rows mismatch");
+    assert_eq!(c.cols(), n, "GEMM output cols mismatch");
+    (m, n, ka)
+}
+
+/// Reference GEMM: `C = alpha * op(A) * op(B) + beta * C`, naive triple loop.
+///
+/// This is the semantics oracle for the optimized paths and the stand-in for
+/// the paper's pre-BLAS loop nest.
+pub fn gemm_naive<R: Real>(
+    alpha: Complex<R>,
+    a: &Matrix<R>,
+    op_a: Op,
+    b: &Matrix<R>,
+    op_b: Op,
+    beta: Complex<R>,
+    c: &mut Matrix<R>,
+) {
+    let (m, n, k) = gemm_dims(a, op_a, b, op_b, c);
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = Complex::zero();
+            for p in 0..k {
+                acc += a.op_at(op_a, i, p) * b.op_at(op_b, p, j);
+            }
+            c[(i, j)] = alpha * acc + beta * c[(i, j)];
+        }
+    }
+}
+
+/// Cache-block edge in rows/cols. 64 complex<f64> = 1 KiB per panel column,
+/// sized so an MC x KC A-panel plus a KC x NC B-panel stay L2-resident.
+const BLOCK: usize = 64;
+
+/// Pack `op(A)` block rows [i0,i1) x cols [p0,p1) into a row-major scratch.
+fn pack_a<R: Real>(
+    a: &Matrix<R>,
+    op_a: Op,
+    i0: usize,
+    i1: usize,
+    p0: usize,
+    p1: usize,
+    buf: &mut Vec<Complex<R>>,
+) {
+    buf.clear();
+    for i in i0..i1 {
+        for p in p0..p1 {
+            buf.push(a.op_at(op_a, i, p));
+        }
+    }
+}
+
+/// Single-threaded blocked GEMM: `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// Blocks over (i, j, p) with an explicitly packed A-panel so the inner
+/// kernel streams contiguous memory — the same data-reuse idea as the
+/// loop-interchange/tiling optimizations of paper §III-A/B, applied to GEMM.
+pub fn gemm_blocked<R: Real>(
+    alpha: Complex<R>,
+    a: &Matrix<R>,
+    op_a: Op,
+    b: &Matrix<R>,
+    op_b: Op,
+    beta: Complex<R>,
+    c: &mut Matrix<R>,
+) {
+    let (m, n, k) = gemm_dims(a, op_a, b, op_b, c);
+    // beta-scale once up front.
+    if beta != Complex::one() {
+        for z in c.data_mut() {
+            *z = *z * beta;
+        }
+    }
+    let mut apack: Vec<Complex<R>> = Vec::with_capacity(BLOCK * BLOCK);
+    let mut bcol: Vec<Complex<R>> = vec![Complex::zero(); BLOCK];
+    for p0 in (0..k).step_by(BLOCK) {
+        let p1 = (p0 + BLOCK).min(k);
+        for i0 in (0..m).step_by(BLOCK) {
+            let i1 = (i0 + BLOCK).min(m);
+            pack_a(a, op_a, i0, i1, p0, p1, &mut apack);
+            let kw = p1 - p0;
+            for j in 0..n {
+                // Gather op(B) column segment once per (p-block, j).
+                for (idx, p) in (p0..p1).enumerate() {
+                    bcol[idx] = b.op_at(op_b, p, j);
+                }
+                let cc = &mut c.data_mut()[j * m..(j + 1) * m];
+                for (row, i) in (i0..i1).enumerate() {
+                    let ar = &apack[row * kw..(row + 1) * kw];
+                    let mut acc = Complex::zero();
+                    for (av, bv) in ar.iter().zip(&bcol[..kw]) {
+                        acc += *av * *bv;
+                    }
+                    cc[i] += alpha * acc;
+                }
+            }
+        }
+    }
+}
+
+/// Unrolled conjugated dot product of two contiguous columns — the optimal
+/// kernel for `A^H B` with both operands stored column-major (the overlap
+/// GEMM `Psi0^H Psi(t)` of the nonlocal correction).
+#[inline]
+fn dotc_unrolled<R: Real>(a: &[Complex<R>], b: &[Complex<R>]) -> Complex<R> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc0 = Complex::zero();
+    let mut acc1 = Complex::zero();
+    let mut acc2 = Complex::zero();
+    let mut acc3 = Complex::zero();
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        acc0 += ca[0].conj() * cb[0];
+        acc1 += ca[1].conj() * cb[1];
+        acc2 += ca[2].conj() * cb[2];
+        acc3 += ca[3].conj() * cb[3];
+    }
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        acc0 += x.conj() * *y;
+    }
+    acc0 + acc1 + acc2 + acc3
+}
+
+/// `y += alpha * x` over contiguous columns — the optimal kernel for the
+/// thin-k rank-update GEMM `Psi(t) += c Psi0_u O`.
+#[inline]
+fn axpy_unrolled<R: Real>(alpha: Complex<R>, x: &[Complex<R>], y: &mut [Complex<R>]) {
+    debug_assert_eq!(x.len(), y.len());
+    let mut xc = x.chunks_exact(4);
+    let mut yc = y.chunks_exact_mut(4);
+    for (cx, cy) in (&mut xc).zip(&mut yc) {
+        cy[0] += alpha * cx[0];
+        cy[1] += alpha * cx[1];
+        cy[2] += alpha * cx[2];
+        cy[3] += alpha * cx[3];
+    }
+    for (xi, yi) in xc.remainder().iter().zip(yc.into_remainder()) {
+        *yi += alpha * *xi;
+    }
+}
+
+/// `A^H B` fast path on raw column-major slices: every entry of C is a
+/// conjugated dot of two contiguous columns.
+#[allow(clippy::too_many_arguments)]
+fn gemm_adjoint_fast<R: Real>(
+    alpha: Complex<R>,
+    a: &[Complex<R>],
+    ar: usize,
+    b: &[Complex<R>],
+    br: usize,
+    beta: Complex<R>,
+    c: &mut [Complex<R>],
+    (m, _n): (usize, usize),
+) {
+    debug_assert_eq!(ar, br);
+    let k = ar;
+    c.par_chunks_mut(m).enumerate().for_each(|(j, ccol)| {
+        let bcol = &b[j * k..(j + 1) * k];
+        for (i, cv) in ccol.iter_mut().enumerate() {
+            let acol = &a[i * k..(i + 1) * k];
+            *cv = alpha * dotc_unrolled(acol, bcol) + beta * *cv;
+        }
+    });
+}
+
+/// `C += alpha A B` fast path for small inner dimension: column j of C
+/// accumulates k contiguous axpys.
+#[allow(clippy::too_many_arguments)]
+fn gemm_thin_k_fast<R: Real>(
+    alpha: Complex<R>,
+    a: &[Complex<R>],
+    m: usize,
+    b: &[Complex<R>],
+    k: usize,
+    beta: Complex<R>,
+    c: &mut [Complex<R>],
+    _n: usize,
+) {
+    c.par_chunks_mut(m).enumerate().for_each(|(j, ccol)| {
+        if beta != Complex::one() {
+            for z in ccol.iter_mut() {
+                *z = *z * beta;
+            }
+        }
+        for p in 0..k {
+            let coeff = alpha * b[j * k + p];
+            axpy_unrolled(coeff, &a[p * m..(p + 1) * m], ccol);
+        }
+    });
+}
+
+/// Production GEMM: blocked kernel parallelized over column panels with rayon.
+///
+/// Column panels of `C` are independent, so each rayon task owns a disjoint
+/// slice of the output — data-race freedom by construction, per the
+/// hpc-parallel guides. Two BLAS-2-flavored fast paths cover the shapes the
+/// nonlocal correction produces (`A^H B` with contiguous columns, and
+/// `C += A B` with a thin inner dimension).
+pub fn gemm<R: Real>(
+    alpha: Complex<R>,
+    a: &Matrix<R>,
+    op_a: Op,
+    b: &Matrix<R>,
+    op_b: Op,
+    beta: Complex<R>,
+    c: &mut Matrix<R>,
+) {
+    let (m, n, k) = gemm_dims(a, op_a, b, op_b, c);
+    if op_a == Op::ConjTrans && op_b == Op::None {
+        return gemm_adjoint_fast(alpha, a.data(), a.rows(), b.data(), b.rows(), beta, c.data_mut(), (m, n));
+    }
+    if op_a == Op::None && op_b == Op::None && k <= 64 && k < m {
+        return gemm_thin_k_fast(alpha, a.data(), m, b.data(), k, beta, c.data_mut(), n);
+    }
+    if m * n * k < 32 * 32 * 32 {
+        // Small problems: parallel dispatch overhead dominates.
+        return gemm_blocked(alpha, a, op_a, b, op_b, beta, c);
+    }
+    let rows = m;
+    c.data_mut()
+        .par_chunks_mut(rows * BLOCK.max(1))
+        .enumerate()
+        .for_each(|(panel, cpanel)| {
+            let j0 = panel * BLOCK;
+            let ncols = cpanel.len() / rows;
+            if beta != Complex::one() {
+                for z in cpanel.iter_mut() {
+                    *z = *z * beta;
+                }
+            }
+            let mut apack: Vec<Complex<R>> = Vec::with_capacity(BLOCK * BLOCK);
+            let mut bcol: Vec<Complex<R>> = vec![Complex::zero(); BLOCK];
+            for p0 in (0..k).step_by(BLOCK) {
+                let p1 = (p0 + BLOCK).min(k);
+                let kw = p1 - p0;
+                for i0 in (0..m).step_by(BLOCK) {
+                    let i1 = (i0 + BLOCK).min(m);
+                    pack_a(a, op_a, i0, i1, p0, p1, &mut apack);
+                    for jj in 0..ncols {
+                        let j = j0 + jj;
+                        for (idx, p) in (p0..p1).enumerate() {
+                            bcol[idx] = b.op_at(op_b, p, j);
+                        }
+                        let cc = &mut cpanel[jj * rows..(jj + 1) * rows];
+                        for (row, i) in (i0..i1).enumerate() {
+                            let ar = &apack[row * kw..(row + 1) * kw];
+                            let mut acc = Complex::zero();
+                            for (av, bv) in ar.iter().zip(&bcol[..kw]) {
+                                acc += *av * *bv;
+                            }
+                            cc[i] += alpha * acc;
+                        }
+                    }
+                }
+            }
+        });
+}
+
+/// Slice-based GEMM over raw column-major storage:
+/// `C = alpha * op(A) * op(B) + beta * C` where each operand is a
+/// `(data, rows, cols)` triple describing its *stored* shape.
+///
+/// This is the zero-copy entry point for SoA-resident wavefunction data
+/// (the flat SoA array *is* a `Norb x Ngrid` column-major matrix), so the
+/// BLASified nonlocal correction never copies the state.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_colmajor<R: Real>(
+    alpha: Complex<R>,
+    a: &[Complex<R>],
+    (ar, ac): (usize, usize),
+    op_a: Op,
+    b: &[Complex<R>],
+    (br, bc): (usize, usize),
+    op_b: Op,
+    beta: Complex<R>,
+    c: &mut [Complex<R>],
+    (cr, cc): (usize, usize),
+) {
+    assert_eq!(a.len(), ar * ac, "A storage size mismatch");
+    assert_eq!(b.len(), br * bc, "B storage size mismatch");
+    assert_eq!(c.len(), cr * cc, "C storage size mismatch");
+    let (m, k) = match op_a {
+        Op::None => (ar, ac),
+        _ => (ac, ar),
+    };
+    let (kb, n) = match op_b {
+        Op::None => (br, bc),
+        _ => (bc, br),
+    };
+    assert_eq!(k, kb, "GEMM inner dimensions must agree");
+    assert_eq!((cr, cc), (m, n), "GEMM output shape mismatch");
+    let a_at = |r: usize, col: usize| -> Complex<R> {
+        match op_a {
+            Op::None => a[col * ar + r],
+            Op::Trans => a[r * ar + col],
+            Op::ConjTrans => a[r * ar + col].conj(),
+        }
+    };
+    let b_at = |r: usize, col: usize| -> Complex<R> {
+        match op_b {
+            Op::None => b[col * br + r],
+            Op::Trans => b[r * br + col],
+            Op::ConjTrans => b[r * br + col].conj(),
+        }
+    };
+    // Fast path: `C = alpha A B^H + beta C` with a small output and a long
+    // contraction dimension (the SoA overlap GEMM `T T0^H`). Both operand
+    // columns are contiguous per contraction index, so the kernel is an
+    // outer-product accumulation streaming A and B exactly once, with a
+    // k-chunk tree reduction for parallelism.
+    if op_a == Op::None && op_b == Op::ConjTrans && m * n <= 16384 && k >= 256 {
+        let chunk = k.div_ceil(rayon::current_num_threads().max(1)).max(256);
+        let partials: Vec<Vec<Complex<R>>> = (0..k)
+            .step_by(chunk)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|p0| {
+                let p1 = (p0 + chunk).min(k);
+                let mut part = vec![Complex::zero(); m * n];
+                for p in p0..p1 {
+                    let acol = &a[p * ar..p * ar + m];
+                    let bcol = &b[p * br..p * br + n];
+                    for (j, bv) in bcol.iter().enumerate() {
+                        axpy_unrolled(bv.conj(), acol, &mut part[j * m..(j + 1) * m]);
+                    }
+                }
+                part
+            })
+            .collect();
+        for (i, cv) in c.iter_mut().enumerate() {
+            let mut acc = Complex::zero();
+            for part in &partials {
+                acc += part[i];
+            }
+            *cv = alpha * acc + beta * *cv;
+        }
+        return;
+    }
+    // Fast path: thin inner dimension (`C += A B`, the SoA rank update):
+    // per output column, k contiguous axpys.
+    if op_a == Op::None && op_b == Op::None && k <= 64 && k < m.max(n) {
+        c.par_chunks_mut(m).enumerate().for_each(|(j, ccol)| {
+            if beta != Complex::one() {
+                for z in ccol.iter_mut() {
+                    *z = *z * beta;
+                }
+            }
+            for p in 0..k {
+                let coeff = alpha * b[j * br + p];
+                axpy_unrolled(coeff, &a[p * ar..p * ar + m], ccol);
+            }
+        });
+        return;
+    }
+    // Parallelize over column panels of C (disjoint output).
+    c.par_chunks_mut(m * BLOCK.max(1)).enumerate().for_each(|(panel, cpanel)| {
+        let j0 = panel * BLOCK;
+        let ncols = cpanel.len() / m;
+        if beta != Complex::one() {
+            for z in cpanel.iter_mut() {
+                *z = *z * beta;
+            }
+        }
+        let mut apack: Vec<Complex<R>> = Vec::with_capacity(BLOCK * BLOCK);
+        let mut bcol: Vec<Complex<R>> = vec![Complex::zero(); BLOCK];
+        for p0 in (0..k).step_by(BLOCK) {
+            let p1 = (p0 + BLOCK).min(k);
+            let kw = p1 - p0;
+            for i0 in (0..m).step_by(BLOCK) {
+                let i1 = (i0 + BLOCK).min(m);
+                apack.clear();
+                for i in i0..i1 {
+                    for p in p0..p1 {
+                        apack.push(a_at(i, p));
+                    }
+                }
+                for jj in 0..ncols {
+                    let j = j0 + jj;
+                    for (idx, p) in (p0..p1).enumerate() {
+                        bcol[idx] = b_at(p, j);
+                    }
+                    let ccol = &mut cpanel[jj * m..(jj + 1) * m];
+                    for (row, i) in (i0..i1).enumerate() {
+                        let arow = &apack[row * kw..(row + 1) * kw];
+                        let mut acc = Complex::zero();
+                        for (av, bv) in arow.iter().zip(&bcol[..kw]) {
+                            acc += *av * *bv;
+                        }
+                        ccol[i] += alpha * acc;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Matrix-vector product `y = op(A) x` (level-2 helper for small solvers).
+pub fn gemv<R: Real>(a: &Matrix<R>, op_a: Op, x: &[Complex<R>]) -> Vec<Complex<R>> {
+    let (m, k) = a.op_dims(op_a);
+    assert_eq!(x.len(), k, "gemv dimension mismatch");
+    let mut y = vec![Complex::zero(); m];
+    for (i, yi) in y.iter_mut().enumerate() {
+        let mut acc = Complex::zero();
+        for (p, xp) in x.iter().enumerate() {
+            acc += a.op_at(op_a, i, p) * *xp;
+        }
+        *yi = acc;
+    }
+    y
+}
+
+/// Count of complex fused-multiply-adds a GEMM performs: `m * n * k`.
+///
+/// One complex FMA = 8 real flops; the device roofline model consumes this.
+pub fn gemm_cfmas(m: usize, n: usize, k: usize) -> u64 {
+    (m as u64) * (n as u64) * (k as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::C64;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix<f64> {
+        Matrix::from_fn(rows, cols, |_, _| {
+            C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        })
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_matrix(&mut rng, 5, 5);
+        let id = Matrix::identity(5);
+        let mut c = Matrix::zeros(5, 5);
+        gemm_naive(C64::one(), &a, Op::None, &id, Op::None, C64::zero(), &mut c);
+        assert!(a.max_abs_diff(&c) < 1e-14);
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(m, n, k) in &[(3, 4, 5), (17, 9, 33), (64, 64, 64), (70, 3, 129)] {
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let mut c1 = random_matrix(&mut rng, m, n);
+            let mut c2 = c1.clone();
+            let alpha = C64::new(0.7, -0.3);
+            let beta = C64::new(-0.2, 0.4);
+            gemm_naive(alpha, &a, Op::None, &b, Op::None, beta, &mut c1);
+            gemm_blocked(alpha, &a, Op::None, &b, Op::None, beta, &mut c2);
+            assert!(c1.max_abs_diff(&c2) < 1e-11, "({m},{n},{k})");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_naive_all_ops() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ops = [Op::None, Op::Trans, Op::ConjTrans];
+        for &op_a in &ops {
+            for &op_b in &ops {
+                let (m, n, k) = (33, 41, 29);
+                let a = match op_a {
+                    Op::None => random_matrix(&mut rng, m, k),
+                    _ => random_matrix(&mut rng, k, m),
+                };
+                let b = match op_b {
+                    Op::None => random_matrix(&mut rng, k, n),
+                    _ => random_matrix(&mut rng, n, k),
+                };
+                let mut c1 = random_matrix(&mut rng, m, n);
+                let mut c2 = c1.clone();
+                let alpha = C64::new(1.1, 0.2);
+                gemm_naive(alpha, &a, op_a, &b, op_b, C64::one(), &mut c1);
+                gemm(alpha, &a, op_a, &b, op_b, C64::one(), &mut c2);
+                assert!(c1.max_abs_diff(&c2) < 1e-11, "{op_a:?} {op_b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_large_matches_blocked() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (m, n, k) = (150, 70, 90);
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let mut c1 = Matrix::zeros(m, n);
+        let mut c2 = Matrix::zeros(m, n);
+        gemm_blocked(C64::one(), &a, Op::None, &b, Op::None, C64::zero(), &mut c1);
+        gemm(C64::one(), &a, Op::None, &b, Op::None, C64::zero(), &mut c2);
+        assert!(c1.max_abs_diff(&c2) < 1e-11);
+    }
+
+    #[test]
+    fn adjoint_involution() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random_matrix(&mut rng, 7, 4);
+        assert!(a.adjoint().adjoint().max_abs_diff(&a) < 1e-15);
+    }
+
+    #[test]
+    fn projection_matrix_is_hermitian_idempotent() {
+        // P = Q Q^dagger with Q orthonormal columns must satisfy P^2 = P —
+        // the structure of the nonlocal-correction projector of Eq. (7).
+        let n = 16;
+        let mut q = Matrix::zeros(n, 3);
+        // Three orthonormal columns from unit basis vectors.
+        q[(0, 0)] = C64::one();
+        q[(5, 1)] = C64::one();
+        q[(9, 2)] = C64::new(0.0, 1.0); // i * e_9, still unit norm
+        let mut p = Matrix::zeros(n, n);
+        gemm_naive(C64::one(), &q, Op::None, &q, Op::ConjTrans, C64::zero(), &mut p);
+        let mut p2 = Matrix::zeros(n, n);
+        gemm_naive(C64::one(), &p, Op::None, &p, Op::None, C64::zero(), &mut p2);
+        assert!(p.max_abs_diff(&p2) < 1e-13);
+        assert!(p.adjoint().max_abs_diff(&p) < 1e-13);
+    }
+
+    #[test]
+    fn gemv_matches_gemm() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = random_matrix(&mut rng, 9, 5);
+        let x: Vec<C64> = (0..5)
+            .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let xm = Matrix::from_vec(5, 1, x.clone());
+        let mut ym = Matrix::zeros(9, 1);
+        gemm_naive(C64::one(), &a, Op::None, &xm, Op::None, C64::zero(), &mut ym);
+        let y = gemv(&a, Op::None, &x);
+        for i in 0..9 {
+            assert!((y[i] - ym[(i, 0)]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn flop_count() {
+        assert_eq!(gemm_cfmas(10, 20, 30), 6000);
+    }
+
+    #[test]
+    fn colmajor_slice_gemm_matches_matrix_gemm() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let ops = [Op::None, Op::Trans, Op::ConjTrans];
+        for &(m, n, k) in &[(21usize, 13usize, 37usize), (4, 3, 4096)] {
+            for &op_a in &ops {
+                for &op_b in &ops {
+                    let a = match op_a {
+                        Op::None => random_matrix(&mut rng, m, k),
+                        _ => random_matrix(&mut rng, k, m),
+                    };
+                    let b = match op_b {
+                        Op::None => random_matrix(&mut rng, k, n),
+                        _ => random_matrix(&mut rng, n, k),
+                    };
+                    let mut c1 = random_matrix(&mut rng, m, n);
+                    let mut c2 = c1.data().to_vec();
+                    let alpha = C64::new(0.3, -0.9);
+                    let beta = C64::new(1.0, 0.25);
+                    gemm_naive(alpha, &a, op_a, &b, op_b, beta, &mut c1);
+                    gemm_colmajor(
+                        alpha,
+                        a.data(),
+                        (a.rows(), a.cols()),
+                        op_a,
+                        b.data(),
+                        (b.rows(), b.cols()),
+                        op_b,
+                        beta,
+                        &mut c2,
+                        (m, n),
+                    );
+                    let tol = 1e-11 * (k as f64).sqrt();
+                    for (i, want) in c1.data().iter().enumerate() {
+                        assert!((c2[i] - *want).abs() < tol, "{op_a:?} {op_b:?} i={i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a: Matrix<f64> = Matrix::zeros(3, 4);
+        let b: Matrix<f64> = Matrix::zeros(5, 2);
+        let mut c: Matrix<f64> = Matrix::zeros(3, 2);
+        gemm_naive(C64::one(), &a, Op::None, &b, Op::None, C64::zero(), &mut c);
+    }
+}

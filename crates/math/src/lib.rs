@@ -1,0 +1,38 @@
+//! # dcmesh-math
+//!
+//! Numerical kernels underpinning the DC-MESH reproduction:
+//!
+//! * [`Real`] — a float abstraction (`f32`/`f64`) so every physics kernel can
+//!   be instantiated in single or double precision, reproducing the SP/DP
+//!   comparison of Table II of the paper.
+//! * [`Complex`] — a minimal complex-number type (the paper propagates
+//!   complex-valued Kohn–Sham wavefunctions).
+//! * [`gemm`] — a from-scratch blocked, rayon-parallel complex GEMM standing
+//!   in for AOCL-BLAS / cuBLAS in the "BLASification" of the nonlocal
+//!   correction (paper §III-D).
+//! * [`fft`] — radix-2 + Bluestein FFTs used by reference spectral solvers.
+//! * [`multigrid`] — the O(N) multigrid Poisson solver used for the global
+//!   Hartree potential (paper §II, "globally scalable" solver).
+//! * [`tridiag`] — tridiagonal operators and the even/odd 2×2 block splitting
+//!   at the heart of the space-splitting kinetic propagator (ref. [28]).
+//! * [`linalg`] — vector kernels, Gram–Schmidt, and a complex Hermitian
+//!   Jacobi eigensolver for Rayleigh–Ritz subspace diagonalization.
+//! * [`phys`] — Hartree atomic-unit constants and conversions.
+
+pub mod complex;
+pub mod fft;
+pub mod gemm;
+pub mod linalg;
+pub mod multigrid;
+pub mod phys;
+pub mod real;
+pub mod tridiag;
+
+pub use complex::Complex;
+pub use gemm::{Matrix, Op};
+pub use real::Real;
+
+/// Convenience alias: complex number over `f64`.
+pub type C64 = Complex<f64>;
+/// Convenience alias: complex number over `f32`.
+pub type C32 = Complex<f32>;

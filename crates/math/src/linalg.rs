@@ -1,0 +1,366 @@
+//! Vector kernels, Gram–Schmidt orthonormalization, and a complex Hermitian
+//! Jacobi eigensolver.
+//!
+//! These back the QXMD substrate's Rayleigh–Ritz subspace diagonalization
+//! (local Kohn–Sham solves per DC domain) and the HOMO/LUMO eigenvalue
+//! extraction feeding the scissor shift of paper Eq. (8).
+
+use crate::complex::Complex;
+use crate::gemm::Matrix;
+use crate::real::Real;
+
+/// Conjugated dot product `sum_i conj(a_i) b_i` — the wavefunction inner
+/// product `<a|b>` of paper Eq. (7).
+#[inline]
+pub fn dotc<R: Real>(a: &[Complex<R>], b: &[Complex<R>]) -> Complex<R> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = Complex::zero();
+    for (x, y) in a.iter().zip(b) {
+        acc += x.conj() * *y;
+    }
+    acc
+}
+
+/// Euclidean norm `sqrt(<a|a>)`.
+#[inline]
+pub fn norm<R: Real>(a: &[Complex<R>]) -> R {
+    a.iter().map(|z| z.norm_sqr()).sum::<R>().sqrt()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy<R: Real>(alpha: Complex<R>, x: &[Complex<R>], y: &mut [Complex<R>]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (xi, yi) in x.iter().zip(y.iter_mut()) {
+        *yi += alpha * *xi;
+    }
+}
+
+/// `x *= alpha` for a real scalar.
+#[inline]
+pub fn scal<R: Real>(alpha: R, x: &mut [Complex<R>]) {
+    for xi in x.iter_mut() {
+        *xi = xi.scale(alpha);
+    }
+}
+
+/// Normalize `x` to unit norm; returns the original norm.
+pub fn normalize<R: Real>(x: &mut [Complex<R>]) -> R {
+    let n = norm(x);
+    if n > R::ZERO {
+        scal(R::ONE / n, x);
+    }
+    n
+}
+
+/// Modified Gram–Schmidt on the columns of `m`, in place.
+///
+/// Columns that collapse below `tol` (linear dependence) are replaced with
+/// zero and reported in the returned list of dropped indices.
+pub fn gram_schmidt<R: Real>(m: &mut Matrix<R>, tol: R) -> Vec<usize> {
+    let cols = m.cols();
+    let rows = m.rows();
+    let mut dropped = Vec::new();
+    for c in 0..cols {
+        // Subtract projections on previous columns (two passes of MGS for
+        // re-orthogonalization robustness).
+        for _ in 0..2 {
+            for p in 0..c {
+                // Split borrow: copy the previous column head pointer via raw
+                // index math on the data slice.
+                let (left, right) = m.data_mut().split_at_mut(c * rows);
+                let prev = &left[p * rows..(p + 1) * rows];
+                let cur = &mut right[..rows];
+                let proj = dotc(prev, cur);
+                for (pv, cv) in prev.iter().zip(cur.iter_mut()) {
+                    *cv -= proj * *pv;
+                }
+            }
+        }
+        let cur = m.col_mut(c);
+        let n = norm(cur);
+        if n < tol {
+            for z in cur.iter_mut() {
+                *z = Complex::zero();
+            }
+            dropped.push(c);
+        } else {
+            scal(R::ONE / n, cur);
+        }
+    }
+    dropped
+}
+
+/// Result of a Hermitian eigendecomposition.
+#[derive(Clone, Debug)]
+pub struct Eigh<R> {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<R>,
+    /// Eigenvectors as the columns of a unitary matrix, matching `values`.
+    pub vectors: Matrix<R>,
+}
+
+/// Cyclic complex Jacobi eigensolver for a Hermitian matrix.
+///
+/// Small dense problems only (subspace dimension = number of orbitals per DC
+/// domain, at most a few hundred); O(n^3) per sweep with quadratic
+/// convergence once nearly diagonal.
+pub fn eigh<R: Real>(a: &Matrix<R>) -> Eigh<R> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "eigh requires a square matrix");
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let tol = R::EPSILON.sqrt() * R::EPSILON.sqrt(); // eps^1 for off-norm ratio
+    let max_sweeps = 60;
+    for _ in 0..max_sweeps {
+        let off = off_diagonal_norm(&m);
+        let dia = diagonal_norm(&m).max(R::EPSILON);
+        if off / dia < tol {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                jacobi_rotate(&mut m, &mut v, p, q);
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(i, i)].re.partial_cmp(&m[(j, j)].re).unwrap());
+    let values: Vec<R> = order.iter().map(|&i| m[(i, i)].re).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (newc, &oldc) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, newc)] = v[(r, oldc)];
+        }
+    }
+    Eigh { values, vectors }
+}
+
+fn off_diagonal_norm<R: Real>(m: &Matrix<R>) -> R {
+    let n = m.rows();
+    let mut acc = R::ZERO;
+    for p in 0..n {
+        for q in 0..n {
+            if p != q {
+                acc += m[(p, q)].norm_sqr();
+            }
+        }
+    }
+    acc.sqrt()
+}
+
+fn diagonal_norm<R: Real>(m: &Matrix<R>) -> R {
+    let n = m.rows();
+    (0..n).map(|i| m[(i, i)].norm_sqr()).sum::<R>().sqrt()
+}
+
+/// One complex Jacobi rotation annihilating `m[(p, q)]`, accumulating the
+/// rotation into `v`.
+fn jacobi_rotate<R: Real>(m: &mut Matrix<R>, v: &mut Matrix<R>, p: usize, q: usize) {
+    let apq = m[(p, q)];
+    let mag = apq.abs();
+    if mag <= R::EPSILON {
+        return;
+    }
+    let phase = apq.scale(R::ONE / mag); // e^{i phi}
+    let app = m[(p, p)].re;
+    let aqq = m[(q, q)].re;
+    let tau = (aqq - app) / (R::TWO * mag);
+    let t = {
+        let denom = tau.abs() + (R::ONE + tau * tau).sqrt();
+        let tt = R::ONE / denom;
+        if tau < R::ZERO {
+            -tt
+        } else {
+            tt
+        }
+    };
+    let c = R::ONE / (R::ONE + t * t).sqrt();
+    let s = t * c;
+    let n = m.rows();
+    // Rotation columns: |p'> = c|p> - s e^{-i phi} |q>, |q'> = s e^{i phi}|p> + c|q>.
+    let upp = Complex::from_real(c);
+    let upq = phase.scale(s);
+    let uqp = -(phase.conj().scale(s));
+    let uqq = Complex::from_real(c);
+    // A <- U^dagger A U: first A <- A U (columns), then A <- U^dagger A (rows).
+    for r in 0..n {
+        let arp = m[(r, p)];
+        let arq = m[(r, q)];
+        m[(r, p)] = arp * upp + arq * uqp;
+        m[(r, q)] = arp * upq + arq * uqq;
+    }
+    for cidx in 0..n {
+        let apc = m[(p, cidx)];
+        let aqc = m[(q, cidx)];
+        m[(p, cidx)] = upp.conj() * apc + uqp.conj() * aqc;
+        m[(q, cidx)] = upq.conj() * apc + uqq.conj() * aqc;
+    }
+    // Clean the annihilated pair against roundoff drift.
+    let hermitized = (m[(p, q)] + m[(q, p)].conj()).scale(R::HALF);
+    m[(p, q)] = hermitized;
+    m[(q, p)] = hermitized.conj();
+    // V <- V U.
+    for r in 0..n {
+        let vrp = v[(r, p)];
+        let vrq = v[(r, q)];
+        v[(r, p)] = vrp * upp + vrq * uqp;
+        v[(r, q)] = vrp * upq + vrq * uqq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm_naive, Op};
+    use crate::C64;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_hermitian(rng: &mut StdRng, n: usize) -> Matrix<f64> {
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = C64::from_real(rng.gen_range(-2.0..2.0));
+            for j in i + 1..n {
+                let z = C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+                a[(i, j)] = z;
+                a[(j, i)] = z.conj();
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn dotc_conjugate_symmetry() {
+        let a = vec![C64::new(1.0, 2.0), C64::new(-0.5, 0.3)];
+        let b = vec![C64::new(0.7, -0.2), C64::new(1.1, 0.9)];
+        let ab = dotc(&a, &b);
+        let ba = dotc(&b, &a);
+        assert!((ab - ba.conj()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_gives_unit_norm() {
+        let mut v = vec![C64::new(3.0, 0.0), C64::new(0.0, 4.0)];
+        let n0 = normalize(&mut v);
+        assert!((n0 - 5.0).abs() < 1e-15);
+        assert!((norm(&v) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gram_schmidt_orthonormalizes() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let (rows, cols) = (20, 6);
+        let mut m = Matrix::from_fn(rows, cols, |_, _| {
+            C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        let dropped = gram_schmidt(&mut m, 1e-12);
+        assert!(dropped.is_empty());
+        for i in 0..cols {
+            for j in 0..cols {
+                let d = dotc(m.col(i), m.col(j));
+                let want = if i == j { C64::one() } else { C64::zero() };
+                assert!((d - want).abs() < 1e-12, "({i},{j}) -> {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn gram_schmidt_drops_dependent_column() {
+        let rows = 8;
+        let mut m = Matrix::zeros(rows, 3);
+        for r in 0..rows {
+            m[(r, 0)] = C64::from_real(1.0);
+            m[(r, 1)] = C64::from_real(2.0); // parallel to column 0
+            m[(r, 2)] = C64::from_real(r as f64);
+        }
+        let dropped = gram_schmidt(&mut m, 1e-10);
+        assert_eq!(dropped, vec![1]);
+    }
+
+    #[test]
+    fn eigh_diagonal_matrix() {
+        let mut a: Matrix<f64> = Matrix::zeros(3, 3);
+        a[(0, 0)] = C64::from_real(3.0);
+        a[(1, 1)] = C64::from_real(-1.0);
+        a[(2, 2)] = C64::from_real(2.0);
+        let e = eigh(&a);
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigh_known_2x2() {
+        // [[0, i], [-i, 0]] = sigma_y: eigenvalues +-1.
+        let mut a: Matrix<f64> = Matrix::zeros(2, 2);
+        a[(0, 1)] = C64::i();
+        a[(1, 0)] = -C64::i();
+        let e = eigh(&a);
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigh_reconstructs_matrix() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [2usize, 5, 10, 24] {
+            let a = random_hermitian(&mut rng, n);
+            let e = eigh(&a);
+            // A V = V Lambda
+            let mut av = Matrix::zeros(n, n);
+            gemm_naive(C64::one(), &a, Op::None, &e.vectors, Op::None, C64::zero(), &mut av);
+            let mut vl = e.vectors.clone();
+            for c in 0..n {
+                for r in 0..n {
+                    vl[(r, c)] = vl[(r, c)].scale(e.values[c]);
+                }
+            }
+            assert!(av.max_abs_diff(&vl) < 1e-9, "n={n} diff={}", av.max_abs_diff(&vl));
+        }
+    }
+
+    #[test]
+    fn eigh_vectors_unitary() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let n = 12;
+        let a = random_hermitian(&mut rng, n);
+        let e = eigh(&a);
+        let mut vtv = Matrix::zeros(n, n);
+        gemm_naive(
+            C64::one(),
+            &e.vectors,
+            Op::ConjTrans,
+            &e.vectors,
+            Op::None,
+            C64::zero(),
+            &mut vtv,
+        );
+        assert!(vtv.max_abs_diff(&Matrix::identity(n)) < 1e-10);
+    }
+
+    #[test]
+    fn eigh_eigenvalues_sorted_and_real_trace_preserved() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let n = 9;
+        let a = random_hermitian(&mut rng, n);
+        let tr: f64 = (0..n).map(|i| a[(i, i)].re).sum();
+        let e = eigh(&a);
+        for w in e.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - tr).abs() < 1e-9);
+    }
+
+    #[test]
+    fn axpy_and_scal() {
+        let x = vec![C64::one(), C64::i()];
+        let mut y = vec![C64::zero(), C64::one()];
+        axpy(C64::new(2.0, 0.0), &x, &mut y);
+        assert_eq!(y[0], C64::new(2.0, 0.0));
+        assert_eq!(y[1], C64::new(1.0, 2.0));
+        scal(0.5, &mut y);
+        assert_eq!(y[0], C64::new(1.0, 0.0));
+    }
+}

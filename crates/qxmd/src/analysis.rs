@@ -1,0 +1,208 @@
+//! Trajectory analysis: radial distribution, mean-squared displacement,
+//! and velocity autocorrelation — the standard observables QXMD studies
+//! report (the paper's application analyses structural response to the
+//! laser through exactly these quantities).
+
+use crate::forcefield::SimBox;
+use dcmesh_tddft::AtomSet;
+
+/// Radial distribution function g(r) between two species (or all pairs
+/// when `species` is `None`), periodic minimum-image convention.
+pub fn radial_distribution(
+    atoms: &AtomSet,
+    sim_box: &SimBox,
+    species: Option<(usize, usize)>,
+    r_max: f64,
+    bins: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    assert!(bins > 0 && r_max > 0.0);
+    let dr = r_max / bins as f64;
+    let mut hist = vec![0.0f64; bins];
+    let n = atoms.len();
+    let mut count_i = 0usize;
+    let mut count_j = 0usize;
+    for a in &atoms.atoms {
+        match species {
+            Some((si, sj)) => {
+                if a.species == si {
+                    count_i += 1;
+                }
+                if a.species == sj {
+                    count_j += 1;
+                }
+            }
+            None => {
+                count_i += 1;
+                count_j += 1;
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if let Some((si, sj)) = species {
+                if atoms.atoms[i].species != si || atoms.atoms[j].species != sj {
+                    continue;
+                }
+            }
+            let d = sim_box.min_image(atoms.atoms[i].pos, atoms.atoms[j].pos);
+            let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+            if r < r_max {
+                hist[(r / dr) as usize] += 1.0;
+            }
+        }
+    }
+    let volume = sim_box.lengths[0] * sim_box.lengths[1] * sim_box.lengths[2];
+    let density_j = count_j as f64 / volume;
+    let mut r_centers = Vec::with_capacity(bins);
+    let mut g = Vec::with_capacity(bins);
+    for b in 0..bins {
+        let r_lo = b as f64 * dr;
+        let r_hi = r_lo + dr;
+        let shell = 4.0 / 3.0 * std::f64::consts::PI * (r_hi.powi(3) - r_lo.powi(3));
+        let ideal = count_i as f64 * density_j * shell;
+        r_centers.push(r_lo + 0.5 * dr);
+        g.push(if ideal > 0.0 { hist[b] / ideal } else { 0.0 });
+    }
+    (r_centers, g)
+}
+
+/// Mean-squared displacement of a trajectory of position snapshots
+/// (unwrapped coordinates expected): `MSD(k) = <|r(t_k) - r(t_0)|^2>`.
+pub fn mean_squared_displacement(snapshots: &[Vec<[f64; 3]>]) -> Vec<f64> {
+    assert!(!snapshots.is_empty());
+    let n = snapshots[0].len();
+    snapshots
+        .iter()
+        .map(|snap| {
+            assert_eq!(snap.len(), n, "atom count changed mid-trajectory");
+            snap.iter()
+                .zip(&snapshots[0])
+                .map(|(r, r0)| {
+                    (r[0] - r0[0]).powi(2) + (r[1] - r0[1]).powi(2) + (r[2] - r0[2]).powi(2)
+                })
+                .sum::<f64>()
+                / n as f64
+        })
+        .collect()
+}
+
+/// Normalized velocity autocorrelation `C(k) = <v(0).v(t_k)> / <v(0).v(0)>`.
+pub fn velocity_autocorrelation(snapshots: &[Vec<[f64; 3]>]) -> Vec<f64> {
+    assert!(!snapshots.is_empty());
+    let n = snapshots[0].len();
+    let dot0: f64 = snapshots[0]
+        .iter()
+        .map(|v| v[0] * v[0] + v[1] * v[1] + v[2] * v[2])
+        .sum::<f64>()
+        / n as f64;
+    snapshots
+        .iter()
+        .map(|snap| {
+            let c: f64 = snap
+                .iter()
+                .zip(&snapshots[0])
+                .map(|(v, v0)| v[0] * v0[0] + v[1] * v0[1] + v[2] * v0[2])
+                .sum::<f64>()
+                / n as f64;
+            if dot0 > 0.0 {
+                c / dot0
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pbtio3::{PbTiO3Cell, Supercell};
+
+    #[test]
+    fn rdf_of_perfect_crystal_peaks_at_bond_length() {
+        let sc = Supercell::build(&PbTiO3Cell::cubic(), [3, 3, 3]);
+        let sim_box = SimBox { lengths: sc.box_lengths };
+        // Ti-O first shell: a/2 = 3.7517 Bohr.
+        let (r, g) = radial_distribution(&sc.atoms, &sim_box, Some((1, 2)), 6.0, 60);
+        let (mut peak_r, mut peak_g) = (0.0, 0.0);
+        for (ri, gi) in r.iter().zip(&g) {
+            if *gi > peak_g {
+                peak_g = *gi;
+                peak_r = *ri;
+            }
+        }
+        let bond = PbTiO3Cell::cubic().a[0] / 2.0;
+        assert!((peak_r - bond).abs() < 0.15, "Ti-O peak at {peak_r}, bond {bond}");
+        assert!(peak_g > 5.0, "crystal peak too weak: {peak_g}");
+        // No density inside the bond (hard core).
+        for (ri, gi) in r.iter().zip(&g) {
+            if *ri < bond * 0.7 {
+                assert_eq!(*gi, 0.0, "g({ri}) = {gi} inside the core");
+            }
+        }
+    }
+
+    #[test]
+    fn rdf_normalizes_to_one_at_large_r_for_ideal_gas() {
+        // Pseudo-random uniform positions: g(r) ~ 1 everywhere.
+        let mut atoms = dcmesh_tddft::AtomSet::new(vec![dcmesh_tddft::Species::oxygen()]);
+        let l = 20.0;
+        let mut state = 12345u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * l
+        };
+        for _ in 0..400 {
+            atoms.push(0, [next(), next(), next()]);
+        }
+        let sim_box = SimBox { lengths: [l, l, l] };
+        let (r, g) = radial_distribution(&atoms, &sim_box, None, 8.0, 16);
+        // Average g over the outer half of the range.
+        let outer: Vec<f64> = r
+            .iter()
+            .zip(&g)
+            .filter(|(ri, _)| **ri > 4.0)
+            .map(|(_, gi)| *gi)
+            .collect();
+        let mean = outer.iter().sum::<f64>() / outer.len() as f64;
+        assert!((mean - 1.0).abs() < 0.15, "ideal-gas g(r) mean {mean}");
+    }
+
+    #[test]
+    fn msd_of_ballistic_motion_is_quadratic() {
+        // r(t) = v t: MSD(k) = |v|^2 (k dt)^2.
+        let v = [0.3, -0.1, 0.2];
+        let v2 = v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
+        let snaps: Vec<Vec<[f64; 3]>> = (0..10)
+            .map(|k| vec![[v[0] * k as f64, v[1] * k as f64, v[2] * k as f64]; 3])
+            .collect();
+        let msd = mean_squared_displacement(&snaps);
+        for (k, m) in msd.iter().enumerate() {
+            let want = v2 * (k as f64).powi(2);
+            assert!((m - want).abs() < 1e-12, "k={k}: {m} vs {want}");
+        }
+    }
+
+    #[test]
+    fn vacf_starts_at_one_and_tracks_oscillation() {
+        // v(t) = v0 cos(w t): C(k) = cos(w t_k).
+        let w: f64 = 0.5;
+        let snaps: Vec<Vec<[f64; 3]>> = (0..20)
+            .map(|k| {
+                let c = (w * k as f64).cos();
+                vec![[c, 0.0, 0.0], [0.0, -2.0 * c, 0.0]]
+            })
+            .collect();
+        let vacf = velocity_autocorrelation(&snaps);
+        assert!((vacf[0] - 1.0).abs() < 1e-12);
+        for (k, c) in vacf.iter().enumerate() {
+            let want = (w * k as f64).cos();
+            assert!((c - want).abs() < 1e-12, "k={k}");
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Classical reference force field for perovskite oxides.
+//!
+//! The paper's application workflow (Fig. 7, ref. [35]) trains a neural
+//! network against ground-state quantum MD. Our substitution chain is:
+//! this classical polarizable-perovskite field is the "ground truth" the
+//! [`crate::nnff`] MLP trains on. It combines:
+//!
+//! * Buckingham short-range repulsion/dispersion `A exp(-r/rho) - C/r^6`
+//!   per species pair (energy-shifted at the cutoff),
+//! * Wolf-summed damped-shifted Coulomb between nominal ionic charges
+//!   (Pb +2, Ti +4, O -2) — O(N) electrostatics with periodic
+//!   minimum-image convention,
+//!
+//! with parameters of the right order of magnitude for PbTiO3, chosen for
+//! numerical robustness rather than quantitative transferability
+//! (DESIGN.md).
+
+use crate::md::ForceProvider;
+use dcmesh_tddft::atoms::{erf, AtomSet};
+
+/// Re-export: the force-provider trait all force fields implement.
+pub use crate::md::ForceProvider as ForceField;
+
+/// Orthorhombic periodic box with minimum-image convention.
+#[derive(Clone, Debug)]
+pub struct SimBox {
+    /// Box lengths (Bohr).
+    pub lengths: [f64; 3],
+}
+
+impl SimBox {
+    /// Minimum-image displacement `a - b`.
+    pub fn min_image(&self, a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+        let mut d = [0.0; 3];
+        for ax in 0..3 {
+            let l = self.lengths[ax];
+            let mut x = a[ax] - b[ax];
+            x -= l * (x / l).round();
+            d[ax] = x;
+        }
+        d
+    }
+
+    /// Wrap a position into the primary cell.
+    pub fn wrap(&self, p: [f64; 3]) -> [f64; 3] {
+        let mut out = p;
+        for ax in 0..3 {
+            let l = self.lengths[ax];
+            out[ax] -= l * (out[ax] / l).floor();
+        }
+        out
+    }
+}
+
+/// Buckingham parameters for one species pair.
+#[derive(Clone, Copy, Debug)]
+pub struct Buckingham {
+    /// Repulsion amplitude (Hartree).
+    pub a: f64,
+    /// Repulsion range (Bohr).
+    pub rho: f64,
+    /// Dispersion coefficient (Hartree Bohr^6).
+    pub c: f64,
+}
+
+impl Buckingham {
+    fn energy(&self, r: f64) -> f64 {
+        self.a * (-r / self.rho).exp() - self.c / r.powi(6)
+    }
+
+    /// dE/dr.
+    fn derivative(&self, r: f64) -> f64 {
+        -self.a / self.rho * (-r / self.rho).exp() + 6.0 * self.c / r.powi(7)
+    }
+}
+
+/// The classical perovskite force field.
+#[derive(Clone, Debug)]
+pub struct PerovskiteFF {
+    /// Periodic box.
+    pub sim_box: SimBox,
+    /// Nominal ionic charge per species index.
+    pub charges: Vec<f64>,
+    /// Buckingham parameters per (species_i, species_j), row-major
+    /// `nspecies x nspecies` (symmetric).
+    pub buckingham: Vec<Option<Buckingham>>,
+    nspecies: usize,
+    /// Real-space cutoff (Bohr).
+    pub cutoff: f64,
+    /// Wolf damping parameter (1/Bohr).
+    pub alpha: f64,
+}
+
+impl PerovskiteFF {
+    /// PbTiO3 parameters: species order must be [Pb, Ti, O].
+    /// Short-range pairs: Pb-O, Ti-O, O-O (cation-cation handled by
+    /// Coulomb repulsion alone, as usual for shell-model oxides).
+    pub fn pbtio3(sim_box: SimBox) -> Self {
+        let n = 3;
+        let mut buckingham = vec![None; n * n];
+        let mut set = |i: usize, j: usize, b: Buckingham| {
+            buckingham[i * n + j] = Some(b);
+            buckingham[j * n + i] = Some(b);
+        };
+        // Order-of-magnitude oxide parameters (Hartree/Bohr units).
+        set(0, 2, Buckingham { a: 45.0, rho: 0.65, c: 0.0 }); // Pb-O
+        set(1, 2, Buckingham { a: 85.0, rho: 0.55, c: 0.0 }); // Ti-O
+        set(2, 2, Buckingham { a: 510.0, rho: 0.28, c: 2.0 }); // O-O
+        // Minimum-image correctness requires the cutoff to stay inside the
+        // half-box; larger boxes use the full 14-Bohr physical cutoff.
+        let lmin = sim_box.lengths.iter().cloned().fold(f64::INFINITY, f64::min);
+        let cutoff = 14.0f64.min(0.49 * lmin);
+        Self {
+            sim_box,
+            charges: vec![2.0, 4.0, -2.0],
+            buckingham,
+            nspecies: n,
+            cutoff,
+            alpha: 0.18,
+        }
+    }
+
+    fn pair(&self, si: usize, sj: usize) -> Option<&Buckingham> {
+        self.buckingham[si * self.nspecies + sj].as_ref()
+    }
+
+    /// Wolf/damped-shifted-force Coulomb energy of a pair at distance `r`.
+    fn coulomb_energy(&self, qq: f64, r: f64) -> f64 {
+        let rc = self.cutoff;
+        let erfc = |x: f64| 1.0 - erf(x);
+        let e_r = erfc(self.alpha * r) / r;
+        let e_rc = erfc(self.alpha * rc) / rc;
+        let de_rc = -erfc(self.alpha * rc) / (rc * rc)
+            - 2.0 * self.alpha / std::f64::consts::PI.sqrt()
+                * (-(self.alpha * rc).powi(2)).exp()
+                / rc;
+        qq * (e_r - e_rc - de_rc * (r - rc))
+    }
+
+    /// d/dr of the damped-shifted-force Coulomb pair energy.
+    fn coulomb_derivative(&self, qq: f64, r: f64) -> f64 {
+        let rc = self.cutoff;
+        let erfc = |x: f64| 1.0 - erf(x);
+        let gauss = |x: f64| (-(self.alpha * x).powi(2)).exp();
+        let de_r = -erfc(self.alpha * r) / (r * r)
+            - 2.0 * self.alpha / std::f64::consts::PI.sqrt() * gauss(r) / r;
+        let de_rc = -erfc(self.alpha * rc) / (rc * rc)
+            - 2.0 * self.alpha / std::f64::consts::PI.sqrt() * gauss(rc) / rc;
+        qq * (de_r - de_rc)
+    }
+}
+
+impl ForceProvider for PerovskiteFF {
+    fn compute(&self, atoms: &mut AtomSet) -> f64 {
+        let n = atoms.len();
+        let mut energy = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                let (pi, pj) = (atoms.atoms[i].pos, atoms.atoms[j].pos);
+                let d = self.sim_box.min_image(pi, pj);
+                let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                if r2 > self.cutoff * self.cutoff || r2 < 1e-12 {
+                    continue;
+                }
+                let r = r2.sqrt();
+                let (si, sj) = (atoms.atoms[i].species, atoms.atoms[j].species);
+                let qq = self.charges[si] * self.charges[sj];
+                let mut e = self.coulomb_energy(qq, r);
+                let mut de = self.coulomb_derivative(qq, r);
+                if let Some(b) = self.pair(si, sj) {
+                    // Shift the Buckingham energy to zero at the cutoff.
+                    e += b.energy(r) - b.energy(self.cutoff);
+                    de += b.derivative(r);
+                }
+                energy += e;
+                // F_i = -dE/dr * dhat (d points from j to i).
+                for ax in 0..3 {
+                    let f = -de * d[ax] / r;
+                    atoms.atoms[i].force[ax] += f;
+                    atoms.atoms[j].force[ax] -= f;
+                }
+            }
+        }
+        energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pbtio3::{PbTiO3Cell, Supercell};
+    use dcmesh_tddft::AtomSet;
+
+    fn small_crystal() -> (PerovskiteFF, AtomSet) {
+        let cell = PbTiO3Cell::cubic();
+        let sc = Supercell::build(&cell, [2, 2, 2]);
+        let ff = PerovskiteFF::pbtio3(SimBox { lengths: sc.box_lengths });
+        (ff, sc.atoms)
+    }
+
+    #[test]
+    fn min_image_halves_box() {
+        let b = SimBox { lengths: [10.0, 10.0, 10.0] };
+        let d = b.min_image([9.5, 0.0, 0.0], [0.5, 0.0, 0.0]);
+        assert!((d[0] + 1.0).abs() < 1e-12, "wrapped displacement {d:?}");
+        let d2 = b.min_image([3.0, 0.0, 0.0], [1.0, 0.0, 0.0]);
+        assert!((d2[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forces_vanish_on_ideal_cubic_lattice() {
+        // Every atom in the ideal cubic perovskite sits on an inversion
+        // center: forces must vanish by symmetry.
+        let (ff, mut atoms) = small_crystal();
+        atoms.clear_forces();
+        ff.compute(&mut atoms);
+        for (i, a) in atoms.atoms.iter().enumerate() {
+            for ax in 0..3 {
+                assert!(
+                    a.force[ax].abs() < 1e-8,
+                    "atom {i} axis {ax}: {}",
+                    a.force[ax]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forces_match_energy_gradient() {
+        let (ff, mut atoms) = small_crystal();
+        // Displace a Ti atom off-center to get nonzero forces.
+        let ti = atoms.atoms.iter().position(|a| a.species == 1).unwrap();
+        atoms.atoms[ti].pos[0] += 0.4;
+        atoms.atoms[ti].pos[1] -= 0.15;
+        atoms.clear_forces();
+        ff.compute(&mut atoms);
+        let f_analytic = atoms.atoms[ti].force;
+        let h = 1e-5;
+        for ax in 0..3 {
+            let mut plus = atoms.clone();
+            plus.atoms[ti].pos[ax] += h;
+            plus.clear_forces();
+            let ep = ff.compute(&mut plus);
+            let mut minus = atoms.clone();
+            minus.atoms[ti].pos[ax] -= h;
+            minus.clear_forces();
+            let em = ff.compute(&mut minus);
+            let fd = -(ep - em) / (2.0 * h);
+            assert!(
+                (fd - f_analytic[ax]).abs() < 1e-5 * f_analytic[ax].abs().max(1.0),
+                "axis {ax}: fd {fd} vs analytic {}",
+                f_analytic[ax]
+            );
+        }
+    }
+
+    #[test]
+    fn newtons_third_law_total_force_zero() {
+        let (ff, mut atoms) = small_crystal();
+        atoms.atoms[3].pos[2] += 0.3;
+        atoms.atoms[7].pos[0] -= 0.2;
+        atoms.clear_forces();
+        ff.compute(&mut atoms);
+        for ax in 0..3 {
+            let tot: f64 = atoms.atoms.iter().map(|a| a.force[ax]).sum();
+            assert!(tot.abs() < 1e-9, "axis {ax} total {tot}");
+        }
+    }
+
+    #[test]
+    fn displaced_ti_is_pulled_back() {
+        let (ff, mut atoms) = small_crystal();
+        let ti = atoms.atoms.iter().position(|a| a.species == 1).unwrap();
+        atoms.atoms[ti].pos[0] += 0.3;
+        atoms.clear_forces();
+        let e_displaced = ff.compute(&mut atoms);
+        // Restoring force points back toward the ideal site.
+        assert!(atoms.atoms[ti].force[0] < 0.0, "force {}", atoms.atoms[ti].force[0]);
+        // And the ideal lattice has lower energy.
+        atoms.atoms[ti].pos[0] -= 0.3;
+        atoms.clear_forces();
+        let e_ideal = ff.compute(&mut atoms);
+        assert!(e_ideal < e_displaced);
+    }
+
+    #[test]
+    fn coulomb_shifted_force_is_continuous_at_cutoff() {
+        let b = SimBox { lengths: [100.0; 3] };
+        let ff = PerovskiteFF::pbtio3(b);
+        let rc = ff.cutoff;
+        let e = ff.coulomb_energy(4.0, rc - 1e-9);
+        let de = ff.coulomb_derivative(4.0, rc - 1e-9);
+        assert!(e.abs() < 1e-7, "energy at cutoff {e}");
+        assert!(de.abs() < 1e-7, "force at cutoff {de}");
+    }
+}

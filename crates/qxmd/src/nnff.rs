@@ -1,0 +1,670 @@
+//! Neural-network force field: a from-scratch MLP + Adam trainer.
+//!
+//! The paper's application pipeline (ref. [35]) prepares polar topologies
+//! with "molecular dynamics simulations with a neural-network force field
+//! trained with ground-state quantum MD". Here the MLP trains against the
+//! classical reference field of [`crate::forcefield`] (our QMD stand-in):
+//! per-atom Behler–Parrinello-style radial descriptors feed a shared MLP
+//! that predicts per-atom energies; total energy is their sum and forces
+//! come from analytic backpropagation through the network and the
+//! descriptor gradients (a finite-difference oracle is kept for tests).
+
+use crate::forcefield::SimBox;
+use crate::md::ForceProvider;
+use dcmesh_tddft::AtomSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------
+// MLP
+// ---------------------------------------------------------------------
+
+/// One dense layer `y = W x + b` with parameter and Adam-moment storage.
+#[derive(Clone, Debug)]
+struct Layer {
+    w: Vec<f64>, // out x in, row-major
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+    // Adam moments.
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+    // Gradient accumulators.
+    gw: Vec<f64>,
+    gb: Vec<f64>,
+}
+
+impl Layer {
+    fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
+        let scale = (2.0 / (n_in + n_out) as f64).sqrt();
+        let w = (0..n_in * n_out).map(|_| rng.gen_range(-scale..scale)).collect();
+        Self {
+            w,
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+            mw: vec![0.0; n_in * n_out],
+            vw: vec![0.0; n_in * n_out],
+            mb: vec![0.0; n_out],
+            vb: vec![0.0; n_out],
+            gw: vec![0.0; n_in * n_out],
+            gb: vec![0.0; n_out],
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.b.clone();
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            y[o] += row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
+        }
+        y
+    }
+}
+
+/// A multilayer perceptron with tanh hidden activations and linear output.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    adam_t: u64,
+}
+
+/// Training hyperparameters.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Training epochs.
+    pub epochs: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { lr: 3e-3, epochs: 400 }
+    }
+}
+
+impl Mlp {
+    /// Build with the given layer widths, e.g. `[in, 16, 16, 1]`.
+    pub fn new(widths: &[usize], seed: u64) -> Self {
+        assert!(widths.len() >= 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = widths
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+        Self { layers, adam_t: 0 }
+    }
+
+    /// Input dimension.
+    pub fn n_in(&self) -> usize {
+        self.layers[0].n_in
+    }
+
+    /// Forward pass returning the scalar output (last layer width must be 1).
+    pub fn forward(&self, x: &[f64]) -> f64 {
+        let mut a = x.to_vec();
+        let last = self.layers.len() - 1;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut y = layer.forward(&a);
+            if li != last {
+                for v in &mut y {
+                    *v = v.tanh();
+                }
+            }
+            a = y;
+        }
+        a[0]
+    }
+
+    /// Forward with caches, then backprop `dloss_dy` into the gradient
+    /// accumulators; returns the output.
+    fn forward_backward(&mut self, x: &[f64], dloss_dy: f64) -> f64 {
+        // Forward with pre-activation caches.
+        let last = self.layers.len() - 1;
+        let mut activations: Vec<Vec<f64>> = vec![x.to_vec()];
+        let mut preacts: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
+        for (li, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward(activations.last().unwrap());
+            preacts.push(z.clone());
+            let a = if li != last {
+                z.iter().map(|v| v.tanh()).collect()
+            } else {
+                z
+            };
+            activations.push(a);
+        }
+        let out = activations.last().unwrap()[0];
+        // Backward.
+        let mut delta = vec![dloss_dy]; // dL/dz for the output layer (linear)
+        for li in (0..self.layers.len()).rev() {
+            let a_in = activations[li].clone();
+            let layer = &mut self.layers[li];
+            // Accumulate parameter gradients.
+            for o in 0..layer.n_out {
+                layer.gb[o] += delta[o];
+                for i in 0..layer.n_in {
+                    layer.gw[o * layer.n_in + i] += delta[o] * a_in[i];
+                }
+            }
+            if li == 0 {
+                break;
+            }
+            // Propagate to the previous layer: dL/da_in then through tanh.
+            let mut next = vec![0.0; layer.n_in];
+            for o in 0..layer.n_out {
+                for (i, nx) in next.iter_mut().enumerate() {
+                    *nx += layer.w[o * layer.n_in + i] * delta[o];
+                }
+            }
+            let z_prev = &preacts[li - 1];
+            for (i, nx) in next.iter_mut().enumerate() {
+                let t = z_prev[i].tanh();
+                *nx *= 1.0 - t * t;
+            }
+            delta = next;
+        }
+        out
+    }
+
+    /// Forward pass plus the gradient of the output with respect to the
+    /// INPUT vector (no parameter-gradient accumulation): the chain-rule
+    /// piece analytic forces need.
+    pub fn input_gradient(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        let last = self.layers.len() - 1;
+        let mut activations: Vec<Vec<f64>> = vec![x.to_vec()];
+        let mut preacts: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
+        for (li, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward(activations.last().unwrap());
+            preacts.push(z.clone());
+            let a = if li != last {
+                z.iter().map(|v| v.tanh()).collect()
+            } else {
+                z
+            };
+            activations.push(a);
+        }
+        let out = activations.last().unwrap()[0];
+        let mut delta = vec![1.0];
+        for li in (0..self.layers.len()).rev() {
+            let layer = &self.layers[li];
+            let mut next = vec![0.0; layer.n_in];
+            for o in 0..layer.n_out {
+                for (i, nx) in next.iter_mut().enumerate() {
+                    *nx += layer.w[o * layer.n_in + i] * delta[o];
+                }
+            }
+            if li > 0 {
+                let z_prev = &preacts[li - 1];
+                for (i, nx) in next.iter_mut().enumerate() {
+                    let t = z_prev[i].tanh();
+                    *nx *= 1.0 - t * t;
+                }
+            }
+            delta = next;
+        }
+        (out, delta)
+    }
+
+    /// Zero gradient accumulators.
+    fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.gw.iter_mut().for_each(|g| *g = 0.0);
+            l.gb.iter_mut().for_each(|g| *g = 0.0);
+        }
+    }
+
+    /// One Adam update from accumulated gradients (scaled by `1/batch`).
+    fn adam_step(&mut self, lr: f64, batch: f64) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        self.adam_t += 1;
+        let t = self.adam_t as f64;
+        let corr1 = 1.0 - B1.powf(t);
+        let corr2 = 1.0 - B2.powf(t);
+        for l in &mut self.layers {
+            for i in 0..l.w.len() {
+                let g = l.gw[i] / batch;
+                l.mw[i] = B1 * l.mw[i] + (1.0 - B1) * g;
+                l.vw[i] = B2 * l.vw[i] + (1.0 - B2) * g * g;
+                l.w[i] -= lr * (l.mw[i] / corr1) / ((l.vw[i] / corr2).sqrt() + EPS);
+            }
+            for i in 0..l.b.len() {
+                let g = l.gb[i] / batch;
+                l.mb[i] = B1 * l.mb[i] + (1.0 - B1) * g;
+                l.vb[i] = B2 * l.vb[i] + (1.0 - B2) * g * g;
+                l.b[i] -= lr * (l.mb[i] / corr1) / ((l.vb[i] / corr2).sqrt() + EPS);
+            }
+        }
+    }
+
+    /// Train on scalar regression pairs `(x, y)` with MSE loss; returns the
+    /// loss history (one value per epoch).
+    pub fn train(&mut self, data: &[(Vec<f64>, f64)], cfg: &TrainConfig) -> Vec<f64> {
+        let mut history = Vec::with_capacity(cfg.epochs);
+        for _ in 0..cfg.epochs {
+            self.zero_grad();
+            let mut loss = 0.0;
+            for (x, y) in data {
+                // d(0.5 (out - y)^2)/dout = out - y, computed after forward:
+                // two passes keep the implementation simple and correct.
+                let out = self.forward(x);
+                let err = out - *y;
+                loss += 0.5 * err * err;
+                self.forward_backward(x, err);
+            }
+            self.adam_step(cfg.lr, data.len() as f64);
+            history.push(loss / data.len() as f64);
+        }
+        history
+    }
+}
+
+// ---------------------------------------------------------------------
+// Descriptors + force field
+// ---------------------------------------------------------------------
+
+/// Radial descriptor set: Gaussians centered at `centers` with width `eta`,
+/// smoothly cut off at `rcut`, resolved per neighbour species.
+#[derive(Clone, Debug)]
+pub struct Descriptors {
+    /// Gaussian centers (Bohr).
+    pub centers: Vec<f64>,
+    /// Gaussian inverse-width parameter.
+    pub eta: f64,
+    /// Cutoff (Bohr).
+    pub rcut: f64,
+    /// Number of species.
+    pub nspecies: usize,
+}
+
+impl Descriptors {
+    /// A small default set suitable for perovskite bond lengths.
+    pub fn perovskite(nspecies: usize) -> Self {
+        Self { centers: vec![3.0, 4.0, 5.5, 7.0], eta: 1.2, rcut: 9.0, nspecies }
+    }
+
+    /// Descriptor length per atom: one-hot species + per-species radial set.
+    pub fn len(&self) -> usize {
+        self.nspecies + self.nspecies * self.centers.len()
+    }
+
+    /// True if this descriptor set is degenerate (no radial channels).
+    pub fn is_empty(&self) -> bool {
+        self.centers.is_empty()
+    }
+
+    /// Cosine cutoff function.
+    fn fcut(&self, r: f64) -> f64 {
+        if r >= self.rcut {
+            0.0
+        } else {
+            0.5 * (1.0 + (std::f64::consts::PI * r / self.rcut).cos())
+        }
+    }
+
+    /// Per-atom descriptor vectors for a configuration.
+    pub fn compute(&self, atoms: &AtomSet, sim_box: &SimBox) -> Vec<Vec<f64>> {
+        let n = atoms.len();
+        let k = self.centers.len();
+        let mut out = vec![vec![0.0; self.len()]; n];
+        for (i, d) in out.iter_mut().enumerate() {
+            d[atoms.atoms[i].species] = 1.0; // one-hot
+        }
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let dvec = sim_box.min_image(atoms.atoms[i].pos, atoms.atoms[j].pos);
+                let r = (dvec[0] * dvec[0] + dvec[1] * dvec[1] + dvec[2] * dvec[2]).sqrt();
+                if r >= self.rcut {
+                    continue;
+                }
+                let sj = atoms.atoms[j].species;
+                let fc = self.fcut(r);
+                for (ci, &c) in self.centers.iter().enumerate() {
+                    let g = (-self.eta * (r - c) * (r - c)).exp() * fc;
+                    out[i][self.nspecies + sj * k + ci] += g;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The trained NN force field: shared MLP over per-atom descriptors.
+#[derive(Clone, Debug)]
+pub struct NnForceField {
+    /// The network (input = descriptor length, output = 1).
+    pub mlp: Mlp,
+    /// Descriptor definition.
+    pub descriptors: Descriptors,
+    /// Periodic box.
+    pub sim_box: SimBox,
+    /// Finite-difference step for forces (Bohr).
+    pub fd_step: f64,
+}
+
+impl NnForceField {
+    /// Fresh untrained field. The descriptor cutoff is clamped inside the
+    /// half-box so the minimum-image convention stays single-valued (same
+    /// constraint as the classical force field).
+    pub fn new(mut descriptors: Descriptors, sim_box: SimBox, hidden: &[usize], seed: u64) -> Self {
+        let lmin = sim_box.lengths.iter().cloned().fold(f64::INFINITY, f64::min);
+        descriptors.rcut = descriptors.rcut.min(0.49 * lmin);
+        let mut widths = vec![descriptors.len()];
+        widths.extend_from_slice(hidden);
+        widths.push(1);
+        Self { mlp: Mlp::new(&widths, seed), descriptors, sim_box, fd_step: 1e-4 }
+    }
+
+    /// Total predicted energy of a configuration.
+    pub fn energy(&self, atoms: &AtomSet) -> f64 {
+        self.descriptors
+            .compute(atoms, &self.sim_box)
+            .iter()
+            .map(|d| self.mlp.forward(d))
+            .sum()
+    }
+
+    /// Train on labelled configurations `(atoms, energy)`; labels are
+    /// *total* energies, distributed per atom through the shared network.
+    /// Returns the per-epoch loss history.
+    pub fn train(&mut self, configs: &[(AtomSet, f64)], cfg: &TrainConfig) -> Vec<f64> {
+        let mut history = Vec::with_capacity(cfg.epochs);
+        let descs: Vec<Vec<Vec<f64>>> = configs
+            .iter()
+            .map(|(a, _)| self.descriptors.compute(a, &self.sim_box))
+            .collect();
+        for _ in 0..cfg.epochs {
+            self.mlp.zero_grad();
+            let mut loss = 0.0;
+            for ((_, e_ref), d) in configs.iter().zip(&descs) {
+                let e_pred: f64 = d.iter().map(|x| self.mlp.forward(x)).sum();
+                let err = e_pred - e_ref;
+                loss += 0.5 * err * err;
+                for x in d {
+                    self.mlp.forward_backward(x, err);
+                }
+            }
+            self.mlp.adam_step(cfg.lr, configs.len() as f64);
+            history.push(loss / configs.len() as f64);
+        }
+        history
+    }
+}
+
+impl NnForceField {
+    /// Analytic forces: backprop through the network to the descriptors,
+    /// then chain through the descriptor gradients pairwise. O(N^2 K) like
+    /// the descriptor build itself. Adds into the accumulators; returns
+    /// the energy.
+    pub fn compute_analytic(&self, atoms: &mut AtomSet) -> f64 {
+        let descs = self.descriptors.compute(atoms, &self.sim_box);
+        let n = atoms.len();
+        let k = self.descriptors.centers.len();
+        let ns = self.descriptors.nspecies;
+        // Per-atom network output and dE_i/d(descriptor features).
+        let mut energy = 0.0;
+        let grads: Vec<Vec<f64>> = descs
+            .iter()
+            .map(|d| {
+                let (e, g) = self.mlp.input_gradient(d);
+                energy += e;
+                g
+            })
+            .collect();
+        let rcut = self.descriptors.rcut;
+        let eta = self.descriptors.eta;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let dvec = self
+                    .sim_box
+                    .min_image(atoms.atoms[i].pos, atoms.atoms[j].pos);
+                let r = (dvec[0] * dvec[0] + dvec[1] * dvec[1] + dvec[2] * dvec[2]).sqrt();
+                if r >= rcut || r < 1e-9 {
+                    continue;
+                }
+                let sj = atoms.atoms[j].species;
+                let fc = 0.5 * (1.0 + (std::f64::consts::PI * r / rcut).cos());
+                let dfc = -0.5 * std::f64::consts::PI / rcut
+                    * (std::f64::consts::PI * r / rcut).sin();
+                for (ci, &c) in self.descriptors.centers.iter().enumerate() {
+                    let gauss = (-eta * (r - c) * (r - c)).exp();
+                    // d/dr of gauss * fc.
+                    let dg_dr = gauss * (dfc - 2.0 * eta * (r - c) * fc);
+                    let feature = ns + sj * k + ci;
+                    let coeff = grads[i][feature] * dg_dr;
+                    for ax in 0..3 {
+                        // dvec points j -> i; dr/dpos_i = dvec/r.
+                        let dir = dvec[ax] / r;
+                        atoms.atoms[i].force[ax] -= coeff * dir;
+                        atoms.atoms[j].force[ax] += coeff * dir;
+                    }
+                }
+            }
+        }
+        energy
+    }
+
+    /// Finite-difference forces (kept as a correctness oracle).
+    pub fn compute_fd(&self, atoms: &mut AtomSet) -> f64 {
+        let e0 = self.energy(atoms);
+        let h = self.fd_step;
+        let n = atoms.len();
+        for i in 0..n {
+            for ax in 0..3 {
+                let orig = atoms.atoms[i].pos[ax];
+                atoms.atoms[i].pos[ax] = orig + h;
+                let ep = self.energy(atoms);
+                atoms.atoms[i].pos[ax] = orig - h;
+                let em = self.energy(atoms);
+                atoms.atoms[i].pos[ax] = orig;
+                atoms.atoms[i].force[ax] += -(ep - em) / (2.0 * h);
+            }
+        }
+        e0
+    }
+}
+
+impl ForceProvider for NnForceField {
+    fn compute(&self, atoms: &mut AtomSet) -> f64 {
+        self.compute_analytic(atoms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forcefield::PerovskiteFF;
+    use crate::pbtio3::{PbTiO3Cell, Supercell};
+
+    #[test]
+    fn mlp_gradient_matches_finite_difference() {
+        let mut mlp = Mlp::new(&[3, 5, 1], 42);
+        let x = vec![0.3, -0.7, 1.1];
+        mlp.zero_grad();
+        mlp.forward_backward(&x, 1.0); // dL/dy = 1 -> grads = dy/dtheta
+        // Check several weight gradients by finite differences.
+        let h = 1e-6;
+        for (li, oi) in [(0usize, 0usize), (0, 7), (1, 2)] {
+            let g_analytic = mlp.layers[li].gw[oi];
+            let mut plus = mlp.clone();
+            plus.layers[li].w[oi] += h;
+            let mut minus = mlp.clone();
+            minus.layers[li].w[oi] -= h;
+            let fd = (plus.forward(&x) - minus.forward(&x)) / (2.0 * h);
+            assert!(
+                (fd - g_analytic).abs() < 1e-6,
+                "layer {li} w[{oi}]: fd {fd} vs {g_analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn mlp_fits_smooth_function() {
+        let mut mlp = Mlp::new(&[1, 12, 12, 1], 7);
+        let data: Vec<(Vec<f64>, f64)> = (0..40)
+            .map(|i| {
+                let x = -2.0 + i as f64 * 0.1;
+                (vec![x], (1.5 * x).sin())
+            })
+            .collect();
+        let hist = mlp.train(&data, &TrainConfig { lr: 5e-3, epochs: 1500 });
+        let first = hist[0];
+        let last = *hist.last().unwrap();
+        assert!(last < first * 0.01, "loss {first} -> {last}");
+        // Interpolation check at an unseen point.
+        let pred = mlp.forward(&[0.55]);
+        let want = (1.5f64 * 0.55).sin();
+        assert!((pred - want).abs() < 0.1, "pred {pred} want {want}");
+    }
+
+    #[test]
+    fn descriptors_are_translation_invariant() {
+        let cell = PbTiO3Cell::cubic();
+        let sc = Supercell::build(&cell, [2, 2, 2]);
+        let sim_box = SimBox { lengths: sc.box_lengths };
+        let desc = Descriptors::perovskite(3);
+        let d0 = desc.compute(&sc.atoms, &sim_box);
+        let mut shifted = sc.atoms.clone();
+        for a in &mut shifted.atoms {
+            a.pos[0] += 1.234;
+            a.pos[2] -= 0.777;
+        }
+        let d1 = desc.compute(&shifted, &sim_box);
+        for (a, b) in d0.iter().zip(&d1) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-9, "descriptor changed under translation");
+            }
+        }
+    }
+
+    #[test]
+    fn descriptors_distinguish_species() {
+        let cell = PbTiO3Cell::cubic();
+        let sc = Supercell::build(&cell, [2, 2, 2]);
+        let sim_box = SimBox { lengths: sc.box_lengths };
+        let desc = Descriptors::perovskite(3);
+        let d = desc.compute(&sc.atoms, &sim_box);
+        // One-hot prefix reflects the species.
+        for (i, a) in sc.atoms.atoms.iter().enumerate() {
+            assert_eq!(d[i][a.species], 1.0);
+        }
+        // A Pb and an O descriptor differ beyond the one-hot.
+        let pb = &d[0];
+        let o = &d[2];
+        let diff: f64 = pb[3..].iter().zip(&o[3..]).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 0.1, "radial environments identical: {diff}");
+    }
+
+    #[test]
+    fn nnff_learns_reference_energies() {
+        // Label distorted supercells with the classical reference field and
+        // verify the NN loss drops and generalizes to a held-out config.
+        let cell = PbTiO3Cell::cubic();
+        let base = Supercell::build(&cell, [2, 2, 2]);
+        let sim_box = SimBox { lengths: base.box_lengths };
+        let ff = PerovskiteFF::pbtio3(SimBox { lengths: base.box_lengths });
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut make_config = |amp: f64| {
+            let mut atoms = base.atoms.clone();
+            for a in &mut atoms.atoms {
+                for ax in 0..3 {
+                    a.pos[ax] += rng.gen_range(-amp..amp);
+                }
+            }
+            let mut scratch = atoms.clone();
+            scratch.clear_forces();
+            let e = ff.compute(&mut scratch);
+            (atoms, e)
+        };
+        let configs: Vec<(AtomSet, f64)> = (0..12).map(|_| make_config(0.15)).collect();
+        // Normalize labels: subtract the mean energy so the net fits the
+        // fluctuation, not a huge offset.
+        let emean = configs.iter().map(|(_, e)| e).sum::<f64>() / configs.len() as f64;
+        let train_set: Vec<(AtomSet, f64)> =
+            configs.iter().map(|(a, e)| (a.clone(), e - emean)).collect();
+        let mut nn = NnForceField::new(Descriptors::perovskite(3), sim_box, &[10], 5);
+        let hist = nn.train(&train_set, &TrainConfig { lr: 4e-3, epochs: 300 });
+        let first = hist[0];
+        let last = *hist.last().unwrap();
+        assert!(last < first * 0.2, "training did not converge: {first} -> {last}");
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mlp = Mlp::new(&[4, 6, 1], 17);
+        let x = vec![0.2, -0.5, 0.9, 0.1];
+        let (out, grad) = mlp.input_gradient(&x);
+        assert!((out - mlp.forward(&x)).abs() < 1e-14);
+        let h = 1e-6;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp[i] += h;
+            let mut xm = x.clone();
+            xm[i] -= h;
+            let fd = (mlp.forward(&xp) - mlp.forward(&xm)) / (2.0 * h);
+            assert!((fd - grad[i]).abs() < 1e-7, "input {i}: {fd} vs {}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn analytic_forces_match_finite_difference() {
+        let cell = PbTiO3Cell::cubic();
+        let sc = Supercell::build(&cell, [2, 2, 2]);
+        let sim_box = SimBox { lengths: sc.box_lengths };
+        let nn = NnForceField::new(Descriptors::perovskite(3), sim_box, &[8], 21);
+        let mut atoms = sc.atoms.clone();
+        atoms.atoms[1].pos[0] += 0.25;
+        atoms.atoms[6].pos[2] -= 0.17;
+        let mut analytic = atoms.clone();
+        analytic.clear_forces();
+        let ea = nn.compute_analytic(&mut analytic);
+        let mut fd = atoms.clone();
+        fd.clear_forces();
+        let ef = nn.compute_fd(&mut fd);
+        assert!((ea - ef).abs() < 1e-10, "energies differ: {ea} vs {ef}");
+        for (i, (a, b)) in analytic.atoms.iter().zip(&fd.atoms).enumerate() {
+            for ax in 0..3 {
+                assert!(
+                    (a.force[ax] - b.force[ax]).abs() < 1e-5 * b.force[ax].abs().max(1e-3),
+                    "atom {i} axis {ax}: analytic {} vs fd {}",
+                    a.force[ax],
+                    b.force[ax]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nnff_forces_are_finite_and_third_law_balanced() {
+        let cell = PbTiO3Cell::cubic();
+        let sc = Supercell::build(&cell, [2, 2, 2]);
+        let sim_box = SimBox { lengths: sc.box_lengths };
+        let nn = NnForceField::new(Descriptors::perovskite(3), sim_box, &[8], 3);
+        let mut atoms = sc.atoms.clone();
+        atoms.atoms[1].pos[0] += 0.3;
+        atoms.clear_forces();
+        nn.compute(&mut atoms);
+        for a in &atoms.atoms {
+            for ax in 0..3 {
+                assert!(a.force[ax].is_finite());
+            }
+        }
+        // Descriptors depend on relative distances only -> total force ~ 0.
+        for ax in 0..3 {
+            let tot: f64 = atoms.atoms.iter().map(|a| a.force[ax]).sum();
+            assert!(tot.abs() < 1e-6, "axis {ax} total {tot}");
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Kohn–Sham Hamiltonian application, split local/nonlocal per Eq. (5).
+//!
+//! `h = -(1/2m) lap + v_loc(r) + v_nl`, with:
+//!
+//! * kinetic: 3-point finite differences per axis, Dirichlet boundaries
+//!   (DC domains are finite; the LDC density-adaptive boundary enters via
+//!   the embedded `v_loc`),
+//! * `v_loc`: local pseudopotential + Hartree + LDA XC, point-diagonal,
+//! * `v_nl`: Kleinman–Bylander rank-1 channels, one per atom:
+//!   `v_nl = sum_a |chi_a> E_a <chi_a|` with normalized projectors.
+//!
+//! The split matters because the whole shadow-dynamics optimization (paper
+//! Eqs. (5)-(8)) hinges on treating `v_nl` separately from the point-local
+//! part.
+
+use dcmesh_grid::Mesh3;
+use dcmesh_math::C64;
+
+use crate::atoms::AtomSet;
+
+/// One Kleinman–Bylander rank-1 nonlocal channel: sparse projector values
+/// with its energy strength.
+#[derive(Clone, Debug)]
+pub struct NonlocalProjector {
+    /// (mesh index, projector amplitude) — normalized so `sum p^2 dv = 1`.
+    pub entries: Vec<(usize, f64)>,
+    /// KB energy (Hartree).
+    pub e_kb: f64,
+}
+
+impl NonlocalProjector {
+    /// `<chi | psi> * dv` for a complex field.
+    pub fn overlap(&self, psi: &[C64], dv: f64) -> C64 {
+        let mut acc = C64::zero();
+        for &(idx, p) in &self.entries {
+            acc += psi[idx].scale(p);
+        }
+        acc.scale(dv)
+    }
+
+    /// `out += coeff * |chi>`.
+    pub fn accumulate(&self, coeff: C64, out: &mut [C64]) {
+        for &(idx, p) in &self.entries {
+            out[idx] += coeff.scale(p);
+        }
+    }
+}
+
+/// The Kohn–Sham Hamiltonian on one mesh (f64 substrate precision).
+#[derive(Clone, Debug)]
+pub struct Hamiltonian {
+    mesh: Mesh3,
+    /// Point-local effective potential (pseudo + Hartree + XC [+ laser]).
+    pub v_loc: Vec<f64>,
+    /// Nonlocal KB channels.
+    pub projectors: Vec<NonlocalProjector>,
+    /// Electron mass (1 in atomic units; kept explicit for tests).
+    pub mass: f64,
+}
+
+impl Hamiltonian {
+    /// Hamiltonian with an externally supplied local potential and no
+    /// nonlocal channels.
+    pub fn with_potential(mesh: Mesh3, v_loc: Vec<f64>) -> Self {
+        assert_eq!(v_loc.len(), mesh.len());
+        Self { mesh, v_loc, projectors: Vec::new(), mass: 1.0 }
+    }
+
+    /// Build from atoms: local pseudopotential summed over atoms plus one
+    /// KB projector per atom with `e_kb != 0`. `v_extra` (Hartree + XC) is
+    /// added pointwise if provided.
+    pub fn from_atoms(mesh: Mesh3, atoms: &AtomSet, v_extra: Option<&[f64]>) -> Self {
+        let mut v_loc = local_pseudopotential(&mesh, atoms);
+        if let Some(extra) = v_extra {
+            assert_eq!(extra.len(), v_loc.len());
+            for (v, e) in v_loc.iter_mut().zip(extra) {
+                *v += e;
+            }
+        }
+        let projectors = build_projectors(&mesh, atoms);
+        Self { mesh, v_loc, projectors, mass: 1.0 }
+    }
+
+    /// The mesh.
+    pub fn mesh(&self) -> &Mesh3 {
+        &self.mesh
+    }
+
+    /// `out = -(1/2m) lap psi` (Dirichlet boundaries), overwriting `out`.
+    pub fn apply_kinetic(&self, psi: &[C64], out: &mut [C64]) {
+        let m = &self.mesh;
+        assert_eq!(psi.len(), m.len());
+        assert_eq!(out.len(), m.len());
+        let cx = 1.0 / (2.0 * self.mass * m.dx * m.dx);
+        let cy = 1.0 / (2.0 * self.mass * m.dy * m.dy);
+        let cz = 1.0 / (2.0 * self.mass * m.dz * m.dz);
+        let diag = 2.0 * (cx + cy + cz);
+        for i in 0..m.nx {
+            for j in 0..m.ny {
+                for k in 0..m.nz {
+                    let c = m.idx(i, j, k);
+                    let mut acc = psi[c].scale(diag);
+                    if i > 0 {
+                        acc -= psi[m.idx(i - 1, j, k)].scale(cx);
+                    }
+                    if i + 1 < m.nx {
+                        acc -= psi[m.idx(i + 1, j, k)].scale(cx);
+                    }
+                    if j > 0 {
+                        acc -= psi[m.idx(i, j - 1, k)].scale(cy);
+                    }
+                    if j + 1 < m.ny {
+                        acc -= psi[m.idx(i, j + 1, k)].scale(cy);
+                    }
+                    if k > 0 {
+                        acc -= psi[m.idx(i, j, k - 1)].scale(cz);
+                    }
+                    if k + 1 < m.nz {
+                        acc -= psi[m.idx(i, j, k + 1)].scale(cz);
+                    }
+                    out[c] = acc;
+                }
+            }
+        }
+    }
+
+    /// `out += v_loc * psi`.
+    pub fn apply_local_potential(&self, psi: &[C64], out: &mut [C64]) {
+        for ((o, p), &v) in out.iter_mut().zip(psi).zip(&self.v_loc) {
+            *o += p.scale(v);
+        }
+    }
+
+    /// `out += v_nl psi = sum_a E_a <chi_a|psi> |chi_a>`.
+    pub fn apply_nonlocal(&self, psi: &[C64], out: &mut [C64]) {
+        let dv = self.mesh.dv();
+        for proj in &self.projectors {
+            let c = proj.overlap(psi, dv).scale(proj.e_kb);
+            proj.accumulate(c, out);
+        }
+    }
+
+    /// Full application `out = h psi`, optionally including the nonlocal
+    /// part (the loc/nl distinction of Eq. (5) and the scissor shift Eq. (8)).
+    pub fn apply(&self, psi: &[C64], out: &mut [C64], include_nonlocal: bool) {
+        self.apply_kinetic(psi, out);
+        self.apply_local_potential(psi, out);
+        if include_nonlocal {
+            self.apply_nonlocal(psi, out);
+        }
+    }
+
+    /// Expectation `<psi|h|psi> dv / <psi|psi> dv` (real for Hermitian h).
+    pub fn expectation(&self, psi: &[C64], include_nonlocal: bool) -> f64 {
+        let mut hpsi = vec![C64::zero(); psi.len()];
+        self.apply(psi, &mut hpsi, include_nonlocal);
+        let num: f64 = psi.iter().zip(&hpsi).map(|(a, b)| (a.conj() * *b).re).sum();
+        let den: f64 = psi.iter().map(|z| z.norm_sqr()).sum();
+        num / den
+    }
+
+    /// Upper-bound estimate of the largest eigenvalue (Gershgorin-style),
+    /// used as the gradient step scale in the eigensolver.
+    pub fn spectral_bound(&self) -> f64 {
+        let m = &self.mesh;
+        let kin = 2.0 / self.mass * (1.0 / (m.dx * m.dx) + 1.0 / (m.dy * m.dy) + 1.0 / (m.dz * m.dz));
+        let vmax = self.v_loc.iter().copied().fold(0.0f64, f64::max);
+        let nl: f64 = self.projectors.iter().map(|p| p.e_kb.abs()).fold(0.0, f64::max);
+        kin + vmax + nl
+    }
+}
+
+/// Sum of local pseudopotentials of all atoms, evaluated on the mesh.
+pub fn local_pseudopotential(mesh: &Mesh3, atoms: &AtomSet) -> Vec<f64> {
+    let mut v = vec![0.0; mesh.len()];
+    for atom in &atoms.atoms {
+        let sp = &atoms.species[atom.species];
+        for (i, j, k) in mesh.iter_points() {
+            let p = mesh.position(i, j, k);
+            let r = crate::atoms::distance(p, atom.pos);
+            v[mesh.idx(i, j, k)] += sp.v_local(r);
+        }
+    }
+    v
+}
+
+/// Build normalized KB projectors (one per atom with `e_kb != 0`).
+pub fn build_projectors(mesh: &Mesh3, atoms: &AtomSet) -> Vec<NonlocalProjector> {
+    let dv = mesh.dv();
+    let mut out = Vec::new();
+    for atom in &atoms.atoms {
+        let sp = &atoms.species[atom.species];
+        if sp.e_kb == 0.0 {
+            continue;
+        }
+        let cutoff = 5.0 * sp.r_nl;
+        let mut entries = Vec::new();
+        let mut norm2 = 0.0;
+        for (i, j, k) in mesh.iter_points() {
+            let p = mesh.position(i, j, k);
+            let r = crate::atoms::distance(p, atom.pos);
+            if r > cutoff {
+                continue;
+            }
+            let amp = sp.projector(r);
+            entries.push((mesh.idx(i, j, k), amp));
+            norm2 += amp * amp;
+        }
+        let norm = (norm2 * dv).sqrt();
+        if norm < 1e-12 {
+            continue; // atom outside this domain's mesh
+        }
+        for e in &mut entries {
+            e.1 /= norm;
+        }
+        out.push(NonlocalProjector { entries, e_kb: sp.e_kb });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atoms::Species;
+    use dcmesh_math::linalg;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_field(rng: &mut StdRng, n: usize) -> Vec<C64> {
+        (0..n)
+            .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
+    }
+
+    fn test_hamiltonian() -> Hamiltonian {
+        let mesh = Mesh3::cubic(10, 0.5);
+        let mut atoms = AtomSet::new(vec![Species::titanium()]);
+        atoms.push(0, mesh.center());
+        Hamiltonian::from_atoms(mesh, &atoms, None)
+    }
+
+    #[test]
+    fn hamiltonian_is_hermitian() {
+        let h = test_hamiltonian();
+        let mut rng = StdRng::seed_from_u64(51);
+        let a = random_field(&mut rng, h.mesh().len());
+        let b = random_field(&mut rng, h.mesh().len());
+        let mut ha = vec![C64::zero(); a.len()];
+        let mut hb = vec![C64::zero(); b.len()];
+        h.apply(&a, &mut ha, true);
+        h.apply(&b, &mut hb, true);
+        let lhs = linalg::dotc(&b, &ha); // <b|H a>
+        let rhs = linalg::dotc(&hb, &a); // <H b|a>
+        assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn expectation_is_real_and_bounded() {
+        let h = test_hamiltonian();
+        let mut rng = StdRng::seed_from_u64(52);
+        let psi = random_field(&mut rng, h.mesh().len());
+        let e = h.expectation(&psi, true);
+        assert!(e.is_finite());
+        assert!(e < h.spectral_bound());
+    }
+
+    #[test]
+    fn kinetic_of_constant_in_interior_is_zero() {
+        let mesh = Mesh3::cubic(8, 0.5);
+        let h = Hamiltonian::with_potential(mesh.clone(), vec![0.0; mesh.len()]);
+        let psi = vec![C64::one(); mesh.len()];
+        let mut out = vec![C64::zero(); mesh.len()];
+        h.apply_kinetic(&psi, &mut out);
+        // Interior points see a flat field: Laplacian = 0.
+        let c = mesh.idx(4, 4, 4);
+        assert!(out[c].abs() < 1e-14);
+        // Boundary points feel the Dirichlet wall: nonzero.
+        assert!(out[mesh.idx(0, 4, 4)].abs() > 0.0);
+    }
+
+    #[test]
+    fn nonlocal_is_rank_one_per_projector() {
+        let h = test_hamiltonian();
+        assert_eq!(h.projectors.len(), 1);
+        let proj = &h.projectors[0];
+        // Applying v_nl to the projector itself returns e_kb * projector.
+        let mut chi = vec![C64::zero(); h.mesh().len()];
+        for &(idx, p) in &proj.entries {
+            chi[idx] = C64::from_real(p);
+        }
+        let mut out = vec![C64::zero(); h.mesh().len()];
+        h.apply_nonlocal(&chi, &mut out);
+        for &(idx, p) in &proj.entries {
+            let want = proj.e_kb * p;
+            assert!((out[idx].re - want).abs() < 1e-9, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn projector_normalized() {
+        let h = test_hamiltonian();
+        let dv = h.mesh().dv();
+        let n2: f64 = h.projectors[0].entries.iter().map(|&(_, p)| p * p).sum::<f64>() * dv;
+        assert!((n2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_pseudopotential_attractive_at_atom() {
+        let mesh = Mesh3::cubic(12, 0.5);
+        let mut atoms = AtomSet::new(vec![Species::oxygen()]);
+        let c = mesh.center();
+        atoms.push(0, c);
+        let v = local_pseudopotential(&mesh, &atoms);
+        let (ci, cj, ck) = mesh.nearest_point(c);
+        let v_at = v[mesh.idx(ci, cj, ck)];
+        let v_far = v[mesh.idx(0, 0, 0)];
+        assert!(v_at < v_far && v_at < -1.0, "v_at={v_at} v_far={v_far}");
+    }
+
+    #[test]
+    fn atom_outside_mesh_yields_no_projector() {
+        let mesh = Mesh3::cubic(8, 0.4);
+        let mut atoms = AtomSet::new(vec![Species::titanium()]);
+        atoms.push(0, [100.0, 100.0, 100.0]);
+        let projs = build_projectors(&mesh, &atoms);
+        assert!(projs.is_empty());
+    }
+
+    #[test]
+    fn loc_nl_split_adds_up() {
+        let h = test_hamiltonian();
+        let mut rng = StdRng::seed_from_u64(53);
+        let psi = random_field(&mut rng, h.mesh().len());
+        let mut full = vec![C64::zero(); psi.len()];
+        h.apply(&psi, &mut full, true);
+        let mut loc = vec![C64::zero(); psi.len()];
+        h.apply(&psi, &mut loc, false);
+        let mut nl = vec![C64::zero(); psi.len()];
+        h.apply_nonlocal(&psi, &mut nl);
+        for i in 0..psi.len() {
+            assert!((full[i] - (loc[i] + nl[i])).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Local density approximation exchange-correlation.
+//!
+//! Slater exchange plus Perdew–Zunger (1981) parametrization of the
+//! Ceperley–Alder correlation energy. The paper treats "higher-order
+//! correlations represented by the exchange-correlation kernel ... locally
+//! within each DC domain since they are known to be short-ranged" — LDA is
+//! exactly point-local, the cleanest realization of that statement.
+
+/// Exchange energy density per electron `eps_x(rho)` (Hartree).
+#[inline]
+pub fn eps_x(rho: f64) -> f64 {
+    if rho <= 0.0 {
+        return 0.0;
+    }
+    const CX: f64 = -0.738_558_766_382_022_4; // -(3/4)(3/pi)^(1/3)
+    CX * rho.powf(1.0 / 3.0)
+}
+
+/// Exchange potential `v_x = d(rho eps_x)/d rho = (4/3) eps_x`.
+#[inline]
+pub fn v_x(rho: f64) -> f64 {
+    4.0 / 3.0 * eps_x(rho)
+}
+
+/// Wigner–Seitz radius `rs = (3 / (4 pi rho))^(1/3)`.
+#[inline]
+pub fn rs_of(rho: f64) -> f64 {
+    (3.0 / (4.0 * std::f64::consts::PI * rho)).powf(1.0 / 3.0)
+}
+
+// Perdew–Zunger fit constants (unpolarized).
+const PZ_A: f64 = 0.0311;
+const PZ_B: f64 = -0.048;
+const PZ_C: f64 = 0.0020;
+const PZ_D: f64 = -0.0116;
+const PZ_GAMMA: f64 = -0.1423;
+const PZ_BETA1: f64 = 1.0529;
+const PZ_BETA2: f64 = 0.3334;
+
+/// Correlation energy density per electron `eps_c(rho)` (Hartree, PZ81).
+pub fn eps_c(rho: f64) -> f64 {
+    if rho <= 0.0 {
+        return 0.0;
+    }
+    let rs = rs_of(rho);
+    if rs < 1.0 {
+        let ln = rs.ln();
+        PZ_A * ln + PZ_B + PZ_C * rs * ln + PZ_D * rs
+    } else {
+        let srs = rs.sqrt();
+        PZ_GAMMA / (1.0 + PZ_BETA1 * srs + PZ_BETA2 * rs)
+    }
+}
+
+/// Correlation potential `v_c = eps_c - (rs/3) d eps_c / d rs` (PZ81).
+pub fn v_c(rho: f64) -> f64 {
+    if rho <= 0.0 {
+        return 0.0;
+    }
+    let rs = rs_of(rho);
+    if rs < 1.0 {
+        let ln = rs.ln();
+        // v_c = A ln rs + (B - A/3) + (2/3) C rs ln rs + (2D - C)/3 * rs
+        PZ_A * ln + (PZ_B - PZ_A / 3.0) + 2.0 / 3.0 * PZ_C * rs * ln + (2.0 * PZ_D - PZ_C) / 3.0 * rs
+    } else {
+        let srs = rs.sqrt();
+        let denom = 1.0 + PZ_BETA1 * srs + PZ_BETA2 * rs;
+        let e = PZ_GAMMA / denom;
+        // v_c = e * (1 + 7/6 beta1 sqrt(rs) + 4/3 beta2 rs) / denom
+        e * (1.0 + 7.0 / 6.0 * PZ_BETA1 * srs + 4.0 / 3.0 * PZ_BETA2 * rs) / denom
+    }
+}
+
+/// Total XC potential `v_xc(rho)`.
+#[inline]
+pub fn v_xc(rho: f64) -> f64 {
+    v_x(rho) + v_c(rho)
+}
+
+/// Total XC energy density per electron `eps_xc(rho)`.
+#[inline]
+pub fn eps_xc(rho: f64) -> f64 {
+    eps_x(rho) + eps_c(rho)
+}
+
+/// XC energy of a density field: `integral rho * eps_xc(rho) dV`.
+pub fn xc_energy(rho: &[f64], dv: f64) -> f64 {
+    rho.iter().map(|&r| r * eps_xc(r.max(0.0))).sum::<f64>() * dv
+}
+
+/// Fill the XC potential for a density field.
+pub fn xc_potential(rho: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(rho.len(), out.len());
+    for (v, &r) in out.iter_mut().zip(rho) {
+        *v = v_xc(r.max(0.0));
+    }
+}
+
+/// The double-counting correction `integral rho (eps_xc - v_xc) dV`
+/// entering the total energy when summing KS eigenvalues.
+pub fn xc_double_counting(rho: &[f64], dv: f64) -> f64 {
+    rho.iter()
+        .map(|&r| {
+            let rr = r.max(0.0);
+            rr * (eps_xc(rr) - v_xc(rr))
+        })
+        .sum::<f64>()
+        * dv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_density_is_safe() {
+        assert_eq!(eps_x(0.0), 0.0);
+        assert_eq!(v_xc(0.0), 0.0);
+        assert_eq!(eps_c(-1.0), 0.0);
+    }
+
+    #[test]
+    fn exchange_reference_value() {
+        // rho = 1: eps_x = -(3/4)(3/pi)^(1/3) ~ -0.738559.
+        assert!((eps_x(1.0) + 0.738_558_8).abs() < 1e-6);
+        assert!((v_x(1.0) - 4.0 / 3.0 * eps_x(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_continuous_at_rs_one() {
+        // PZ81 pieces meet at rs = 1; check continuity of eps_c and v_c.
+        let rho1 = 3.0 / (4.0 * std::f64::consts::PI); // rs = 1
+        let lo = eps_c(rho1 * 1.0001);
+        let hi = eps_c(rho1 * 0.9999);
+        assert!((lo - hi).abs() < 1e-4, "eps_c jump {lo} vs {hi}");
+        let lov = v_c(rho1 * 1.0001);
+        let hiv = v_c(rho1 * 0.9999);
+        assert!((lov - hiv).abs() < 1e-3, "v_c jump {lov} vs {hiv}");
+    }
+
+    #[test]
+    fn xc_is_attractive_and_deepens_with_density() {
+        for &rho in &[0.01, 0.1, 1.0, 10.0] {
+            assert!(v_xc(rho) < 0.0);
+            assert!(eps_xc(rho) < 0.0);
+        }
+        assert!(v_xc(10.0) < v_xc(0.1));
+    }
+
+    #[test]
+    fn potential_is_functional_derivative() {
+        // v_xc = d(rho eps_xc)/drho, checked by central differences.
+        for &rho in &[0.05, 0.2, 0.5, 2.0, 8.0] {
+            let h = rho * 1e-6;
+            let f = |r: f64| r * eps_xc(r);
+            let fd = (f(rho + h) - f(rho - h)) / (2.0 * h);
+            assert!(
+                (fd - v_xc(rho)).abs() < 1e-6 * v_xc(rho).abs().max(1.0),
+                "rho={rho}: fd {fd} vs v {}",
+                v_xc(rho)
+            );
+        }
+    }
+
+    #[test]
+    fn energy_and_double_counting_consistency() {
+        let rho = vec![0.3, 0.7, 1.1, 0.0];
+        let dv = 0.125;
+        let e = xc_energy(&rho, dv);
+        let dc = xc_double_counting(&rho, dv);
+        // E_xc < 0, and |dc| < |E_xc| since v_xc and eps_xc share sign and
+        // |v_xc| > |eps_xc| (so dc > 0).
+        assert!(e < 0.0);
+        assert!(dc > 0.0);
+        let mut v = vec![0.0; 4];
+        xc_potential(&rho, &mut v);
+        let vint: f64 = rho.iter().zip(&v).map(|(r, vv)| r * vv).sum::<f64>() * dv;
+        assert!((e - (vint + dc)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,66 @@
+//! Divide-and-conquer global-local SCF — the "DC" of DC-MESH, standalone.
+//!
+//! Splits a two-atom cell into two DC domains with an LDC buffer shell,
+//! runs the global-local SCF (global multigrid Hartree + per-domain dense
+//! eigensolves + one global Fermi level), and compares against the
+//! single-domain reference.
+//!
+//! Run: `cargo run --release --example dc_scf`
+
+use dcmesh::grid::Mesh3;
+use dcmesh::tddft::dcscf::{run_dc_scf, DcScfConfig};
+use dcmesh::tddft::{AtomSet, Species};
+
+fn main() {
+    let global = Mesh3::new(16, 8, 8, 0.55, 0.55, 0.55);
+    let mut atoms = AtomSet::new(vec![Species::hydrogen()]);
+    atoms.push(0, [4.0 * 0.55, 4.0 * 0.55, 4.0 * 0.55]);
+    atoms.push(0, [12.0 * 0.55, 4.0 * 0.55, 4.0 * 0.55]);
+    println!(
+        "two H atoms in a {}x{}x{} cell, decomposed into 2 DC domains along x\n",
+        global.nx, global.ny, global.nz
+    );
+
+    for buffer in [0usize, 1, 2, 3] {
+        let cfg = DcScfConfig {
+            parts: [2, 1, 1],
+            buffer,
+            norb_per_domain: 2,
+            scf_iters: 8,
+            ..Default::default()
+        };
+        let res = run_dc_scf(&global, &atoms, &cfg);
+        let (homo, lumo) = res.global_homo_lumo();
+        println!(
+            "buffer {buffer}: electrons {:.4}, Fermi {:.4} Ha, HOMO {:.4}, LUMO {:.4}, final residual {:.2e}",
+            res.electron_count(),
+            res.fermi_level,
+            homo,
+            lumo,
+            res.residual_history.last().unwrap()
+        );
+    }
+
+    println!("\nsingle-domain reference:");
+    let reference = run_dc_scf(
+        &global,
+        &atoms,
+        &DcScfConfig {
+            parts: [1, 1, 1],
+            buffer: 0,
+            norb_per_domain: 4,
+            scf_iters: 8,
+            ..Default::default()
+        },
+    );
+    let (h, l) = reference.global_homo_lumo();
+    println!(
+        "            electrons {:.4}, Fermi {:.4} Ha, HOMO {:.4}, LUMO {:.4}",
+        reference.electron_count(),
+        reference.fermi_level,
+        h,
+        l
+    );
+    println!("\nthe LDC buffer embeds each domain in the globally informed potential;");
+    println!("thicker buffers converge the DC spectra toward the reference at O((s+2b)^3) cost.");
+}

@@ -1,0 +1,47 @@
+//! Weak- and strong-scaling study on the simulated Polaris fabric
+//! (the Figs. 2-3 experiment as a library-user workflow).
+//!
+//! Run: `cargo run --release --example scaling_study`
+
+use dcmesh::core::scaling::{strong_scaling, weak_scaling, AnalyticEfficiency, ScalingConfig};
+
+fn main() {
+    let cfg = ScalingConfig::default();
+    println!("DC-MESH scaling study (simulated ranks, modeled Slingshot network)\n");
+
+    println!("weak scaling — {} atoms/rank:", cfg.atoms_per_rank);
+    println!("{:>6} {:>9} {:>14} {:>11}", "ranks", "atoms", "t/step (s)", "efficiency");
+    for p in weak_scaling(&cfg, &[4, 16, 64, 256, 1024]) {
+        println!(
+            "{:>6} {:>9} {:>14.3} {:>11.4}",
+            p.ranks, p.atoms, p.sim_seconds, p.efficiency
+        );
+    }
+
+    for atoms in [5120usize, 10240] {
+        let ranks: Vec<usize> = if atoms == 5120 { vec![64, 128, 256] } else { vec![128, 256, 512] };
+        println!("\nstrong scaling — {atoms} atoms:");
+        println!("{:>6} {:>12} {:>14} {:>11}", "ranks", "atoms/rank", "t/step (s)", "efficiency");
+        for p in strong_scaling(&cfg, atoms, &ranks) {
+            println!(
+                "{:>6} {:>12} {:>14.3} {:>11.4}",
+                p.ranks,
+                atoms / p.ranks,
+                p.sim_seconds,
+                p.efficiency
+            );
+        }
+    }
+
+    println!("\nanalytic efficiency models (paper §IV-A):");
+    let weak_model = AnalyticEfficiency { alpha: 0.02, beta: 0.12 };
+    let strong_model = AnalyticEfficiency { alpha: 0.6, beta: 1.2 };
+    println!(
+        "  weak:   eta(n=40, P=1024) = {:.4}",
+        weak_model.weak(40.0, 1024)
+    );
+    println!(
+        "  strong: eta(N=5120, P=256) / eta(N=5120, P=64) = {:.4}",
+        strong_model.strong(5120.0, 256) / strong_model.strong(5120.0, 64)
+    );
+}

@@ -1,0 +1,107 @@
+//! Integration of the full coupled pipeline: QXMD atoms + LFD electrons +
+//! Maxwell field + surface hopping + polarization response.
+
+use dcmesh::core::{DcMeshConfig, DcMeshSim};
+use dcmesh::lfd::LaserPulse;
+
+fn base_cfg() -> DcMeshConfig {
+    DcMeshConfig {
+        supercell_dims: [4, 2, 2],
+        domains_x: 2,
+        domain_mesh_points: 8,
+        norb: 4,
+        lumo: 2,
+        dt_qd: 0.02,
+        n_qd: 10,
+        dt_md: dcmesh::math::phys::femtoseconds_to_au(0.5),
+        build: dcmesh::lfd::BuildKind::GpuCublasPinned,
+        laser: None,
+        flux_closure_amplitude: None,
+        scf_initial_state: false,
+        ehrenfest_feedback: false,
+        seed: 4242,
+    }
+}
+
+#[test]
+fn multistep_run_conserves_electrons_and_stays_finite() {
+    let mut sim = DcMeshSim::new(base_cfg());
+    let n0 = sim.total_occupation();
+    for _ in 0..5 {
+        let r = sim.md_step();
+        assert!(r.time_fs.is_finite());
+        assert!(r.excited_population.is_finite() && r.excited_population >= 0.0);
+        assert!(r.temperature_k.is_finite() && r.temperature_k >= 0.0);
+        assert!(r.mean_polarization.iter().all(|p| p.is_finite()));
+    }
+    assert!((sim.total_occupation() - n0).abs() < 1e-8);
+    assert_eq!(sim.md_steps(), 5);
+}
+
+#[test]
+fn md_time_advances_by_dt_md_per_step() {
+    let cfg = base_cfg();
+    let dt_fs = dcmesh::math::phys::au_to_femtoseconds(cfg.dt_md);
+    let mut sim = DcMeshSim::new(cfg);
+    let r1 = sim.md_step();
+    let r2 = sim.md_step();
+    assert!((r1.time_fs - dt_fs).abs() < 1e-12);
+    assert!((r2.time_fs - 2.0 * dt_fs).abs() < 1e-12);
+}
+
+#[test]
+fn shadow_handshake_counts_match_steps_and_domains() {
+    let mut sim = DcMeshSim::new(base_cfg());
+    for _ in 0..3 {
+        sim.md_step();
+    }
+    for d in 0..sim.num_domains() {
+        let shadow = sim.engine(d).shadow().expect("device build");
+        assert_eq!(shadow.handshakes(), 3, "domain {d}");
+        // The handshake is occupations only: tiny.
+        assert!(shadow.handshake_bytes() < 1024);
+    }
+}
+
+#[test]
+fn vortex_toroidal_moment_is_weakened_by_excitation() {
+    let mut cfg = base_cfg();
+    cfg.supercell_dims = [6, 1, 6];
+    cfg.flux_closure_amplitude = Some(0.3);
+    cfg.n_qd = 30;
+    let mut lit_cfg = cfg.clone();
+    lit_cfg.laser = Some(LaserPulse { e0: 1.5, omega: 0.8, duration: 6.0 });
+    let mut dark = DcMeshSim::new(cfg);
+    let mut lit = DcMeshSim::new(lit_cfg);
+    let (mut g_dark, mut g_lit) = (0.0, 0.0);
+    for _ in 0..7 {
+        g_dark = dark.md_step().toroidal_moment;
+        g_lit = lit.md_step().toroidal_moment;
+    }
+    assert!(g_dark.abs() > 1e-6, "vortex not visible in the dark run: {g_dark}");
+    // Excitation screens the double well -> smaller spontaneous
+    // polarization -> weaker vortex than the identical dark run.
+    assert!(
+        g_lit.abs() < g_dark.abs(),
+        "excitation did not weaken the vortex: dark {g_dark} vs lit {g_lit}"
+    );
+}
+
+#[test]
+fn field_free_and_lit_runs_diverge() {
+    let mut dark_cfg = base_cfg();
+    dark_cfg.n_qd = 25;
+    let mut lit_cfg = dark_cfg.clone();
+    lit_cfg.laser = Some(LaserPulse { e0: 1.5, omega: 0.8, duration: 2.0 });
+    let mut dark = DcMeshSim::new(dark_cfg);
+    let mut lit = DcMeshSim::new(lit_cfg);
+    let mut diverged = false;
+    for _ in 0..4 {
+        let rd = dark.md_step();
+        let rl = lit.md_step();
+        if (rd.excited_population - rl.excited_population).abs() > 1e-6 {
+            diverged = true;
+        }
+    }
+    assert!(diverged, "laser had no effect on the coupled pipeline");
+}

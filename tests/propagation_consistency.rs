@@ -1,0 +1,138 @@
+//! Cross-crate integration: the LFD propagation stack against quantum
+//! mechanics — eigenstate phase evolution, build-variant equivalence, and
+//! unitarity of the full QD loop.
+
+use dcmesh::grid::Mesh3;
+use dcmesh::lfd::kinetic::KineticPropagator;
+use dcmesh::lfd::{BuildKind, LfdConfig, LfdEngine, PotentialPropagator};
+use dcmesh::math::linalg;
+use dcmesh::tddft::{eigensolver, Hamiltonian};
+
+/// Harmonic well + its lowest eigenstates on a small mesh.
+fn eigen_setup(norb: usize) -> (Mesh3, Vec<f64>, dcmesh::grid::WfAos<f64>, Vec<f64>) {
+    let mesh = Mesh3::cubic(9, 0.5);
+    let c = mesh.center();
+    let mut v = vec![0.0; mesh.len()];
+    for (i, j, k) in mesh.iter_points() {
+        let p = mesh.position(i, j, k);
+        let r2 = (p[0] - c[0]).powi(2) + (p[1] - c[1]).powi(2) + (p[2] - c[2]).powi(2);
+        v[mesh.idx(i, j, k)] = 0.5 * r2;
+    }
+    let h = Hamiltonian::with_potential(mesh.clone(), v.clone());
+    let eig = eigensolver::lowest_states(&h, norb, 350, 3);
+    (mesh, v, eig.orbitals, eig.values)
+}
+
+#[test]
+fn eigenstate_acquires_correct_phase() {
+    // An eigenstate of H = T + V propagated by the split-operator chain
+    // must return to itself times exp(-i E t).
+    let (mesh, v, orbitals, values) = eigen_setup(1);
+    let dt = 0.01;
+    let steps = 100;
+    let kin = KineticPropagator::new(mesh.clone(), dt, 1.0);
+    let pot_half = PotentialPropagator::new(mesh.clone(), &v, dt * 0.5);
+    let mut soa = orbitals.to_soa();
+    for _ in 0..steps {
+        pot_half.apply(&mut soa, None);
+        kin.step_optimized(&mut soa, 1, None);
+        pot_half.apply(&mut soa, None);
+    }
+    let evolved = soa.to_aos();
+    // Overlap <psi(0)|psi(t)> = exp(-i E t) up to Trotter error.
+    let overlap = linalg::dotc(orbitals.orbital(0), evolved.orbital(0))
+        .scale(mesh.dv());
+    let expected_phase = -values[0] * dt * steps as f64;
+    assert!(
+        (overlap.abs() - 1.0).abs() < 5e-3,
+        "eigenstate leaked: |<0|t>| = {}",
+        overlap.abs()
+    );
+    let phase_err = (overlap.arg() - expected_phase).rem_euclid(2.0 * std::f64::consts::PI);
+    let phase_err = phase_err.min(2.0 * std::f64::consts::PI - phase_err);
+    assert!(phase_err < 0.05, "phase error {phase_err} (E = {})", values[0]);
+}
+
+#[test]
+fn all_build_variants_agree_on_a_physical_state() {
+    let (mesh, v, orbitals, _) = eigen_setup(4);
+    let make_cfg = |build| LfdConfig {
+        mesh: mesh.clone(),
+        norb: 4,
+        lumo: 2,
+        dt: 0.02,
+        n_qd: 10,
+        block_size: 2,
+        build,
+        delta_sci: 0.06,
+        laser: None,
+        seed: 5,
+    };
+    let reference = {
+        let mut e =
+            LfdEngine::<f64>::with_initial_state(make_cfg(BuildKind::CpuLoops), v.clone(), orbitals.clone());
+        e.run_md_step();
+        e.state_aos()
+    };
+    for build in [BuildKind::CpuBlas, BuildKind::GpuBlas, BuildKind::GpuCublas, BuildKind::GpuCublasPinned] {
+        let mut e = LfdEngine::<f64>::with_initial_state(make_cfg(build), v.clone(), orbitals.clone());
+        e.run_md_step();
+        let diff = reference.max_abs_diff(&e.state_aos());
+        assert!(diff < 1e-9, "{build:?} diverged by {diff}");
+    }
+}
+
+#[test]
+fn qd_loop_is_norm_preserving_over_many_steps() {
+    let (mesh, v, orbitals, _) = eigen_setup(3);
+    let cfg = LfdConfig {
+        mesh: mesh.clone(),
+        norb: 3,
+        lumo: 1,
+        dt: 0.02,
+        n_qd: 50,
+        block_size: 3,
+        build: BuildKind::CpuBlas,
+        delta_sci: 0.1,
+        laser: None,
+        seed: 9,
+    };
+    let mut e = LfdEngine::<f64>::with_initial_state(cfg, v, orbitals);
+    for _ in 0..4 {
+        e.run_md_step();
+    }
+    let state = e.state_aos();
+    for n in 0..3 {
+        assert!(
+            (state.orbital_norm(n) - 1.0).abs() < 1e-9,
+            "orbital {n} norm {}",
+            state.orbital_norm(n)
+        );
+    }
+    assert!((e.total_occupation() - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn sp_and_dp_builds_agree_to_single_precision() {
+    let (mesh, v, orbitals, _) = eigen_setup(2);
+    let cfg = LfdConfig {
+        mesh: mesh.clone(),
+        norb: 2,
+        lumo: 1,
+        dt: 0.02,
+        n_qd: 20,
+        block_size: 2,
+        build: BuildKind::CpuBlas,
+        delta_sci: 0.05,
+        laser: None,
+        seed: 2,
+    };
+    let mut dp = LfdEngine::<f64>::with_initial_state(cfg.clone(), v.clone(), orbitals.clone());
+    dp.run_md_step();
+    let mut sp = LfdEngine::<f32>::with_initial_state(cfg, v, orbitals.cast());
+    sp.run_md_step();
+    let dp_state = dp.state_aos();
+    let sp_state: dcmesh::grid::WfAos<f64> = sp.state_aos().cast();
+    let diff = dp_state.max_abs_diff(&sp_state);
+    assert!(diff < 1e-3, "SP/DP divergence {diff}");
+}
