@@ -84,5 +84,36 @@ fn bench_pot_prop(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_kin_prop, bench_nonlocal, bench_pot_prop);
+fn bench_obs_overhead(c: &mut Criterion) {
+    // The acceptance bar for the observability layer: with the collector
+    // disabled (the default), the instrumented kinetic stencil must sit
+    // within noise of the uninstrumented seed — the only added work on the
+    // disabled path is one relaxed atomic load per launch/span.
+    let mesh = bench_mesh();
+    let prop = KineticPropagator::new(mesh.clone(), 0.04, 1.0);
+    let mut init = WfAos::<f64>::zeros(mesh.clone(), NORB);
+    init.randomize(4);
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+
+    dcmesh_obs::reset();
+    group.bench_function("kin_stencil_collector_disabled", |b| {
+        let mut psi = init.to_soa();
+        b.iter(|| prop.apply_axis_alg5(&mut psi, Axis::X, StepFraction::Full, 8, None));
+    });
+    group.bench_function("span_guard_disabled", |b| {
+        b.iter(|| {
+            let _s = dcmesh_obs::span!("bench.noop");
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kin_prop,
+    bench_nonlocal,
+    bench_pot_prop,
+    bench_obs_overhead
+);
 criterion_main!(benches);

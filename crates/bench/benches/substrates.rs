@@ -16,9 +16,13 @@ use dcmesh_qxmd::pbtio3::{PbTiO3Cell, Supercell};
 fn random_matrix(seed: u64, rows: usize, cols: usize) -> Matrix<f64> {
     let mut x = seed;
     Matrix::from_fn(rows, cols, |_, _| {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let r = (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let i = (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
         Complex::new(r, i)
     })
@@ -32,22 +36,63 @@ fn bench_gemm(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("naive", |bch| {
         let mut out = Matrix::zeros(n, n);
-        bch.iter(|| gemm_naive(Complex::one(), &a, Op::None, &b, Op::None, Complex::zero(), &mut out));
+        bch.iter(|| {
+            gemm_naive(
+                Complex::one(),
+                &a,
+                Op::None,
+                &b,
+                Op::None,
+                Complex::zero(),
+                &mut out,
+            )
+        });
     });
     group.bench_function("blocked", |bch| {
         let mut out = Matrix::zeros(n, n);
-        bch.iter(|| gemm_blocked(Complex::one(), &a, Op::None, &b, Op::None, Complex::zero(), &mut out));
+        bch.iter(|| {
+            gemm_blocked(
+                Complex::one(),
+                &a,
+                Op::None,
+                &b,
+                Op::None,
+                Complex::zero(),
+                &mut out,
+            )
+        });
     });
     group.bench_function("parallel", |bch| {
         let mut out = Matrix::zeros(n, n);
-        bch.iter(|| gemm(Complex::one(), &a, Op::None, &b, Op::None, Complex::zero(), &mut out));
+        bch.iter(|| {
+            gemm(
+                Complex::one(),
+                &a,
+                Op::None,
+                &b,
+                Op::None,
+                Complex::zero(),
+                &mut out,
+            )
+        });
     });
     group.finish();
 }
 
 fn bench_multigrid(c: &mut Criterion) {
     let n = 32;
-    let mg = Multigrid::new(n, n, n, 8.0, 8.0, 8.0, MgParams { max_cycles: 10, ..Default::default() });
+    let mg = Multigrid::new(
+        n,
+        n,
+        n,
+        8.0,
+        8.0,
+        8.0,
+        MgParams {
+            max_cycles: 10,
+            ..Default::default()
+        },
+    );
     let mut f = vec![0.0; n * n * n];
     for (i, v) in f.iter_mut().enumerate() {
         *v = ((i % 17) as f64 - 8.0) / 8.0;
@@ -93,7 +138,9 @@ fn bench_comm_allreduce(c: &mut Criterion) {
 
 fn bench_forcefield(c: &mut Criterion) {
     let sc = Supercell::build(&PbTiO3Cell::cubic(), [3, 3, 3]);
-    let ff = PerovskiteFF::pbtio3(SimBox { lengths: sc.box_lengths });
+    let ff = PerovskiteFF::pbtio3(SimBox {
+        lengths: sc.box_lengths,
+    });
     c.bench_function("perovskite_ff_135_atoms", |b| {
         let mut atoms = sc.atoms.clone();
         b.iter(|| {

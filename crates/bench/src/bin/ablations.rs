@@ -9,6 +9,7 @@
 
 use std::time::Instant;
 
+use dcmesh_bench::BenchArgs;
 use dcmesh_core::metrics::Table;
 use dcmesh_core::scaling::{weak_scaling, ScalingConfig};
 use dcmesh_grid::{Mesh3, WfAos};
@@ -18,10 +19,15 @@ use dcmesh_tddft::dcscf::{run_dc_scf, DcScfConfig};
 use dcmesh_tddft::{AtomSet, Species};
 
 fn main() {
+    // The sweeps use fixed workloads; BenchArgs only carries the
+    // observability flags (`--trace PATH`, `--report`) here.
+    let args = BenchArgs::parse();
+    args.init_obs();
     block_size_sweep();
     gemm_path_sweep();
     buffer_width_sweep();
     imbalance_sweep();
+    args.finish_obs();
 }
 
 fn block_size_sweep() {
@@ -44,7 +50,11 @@ fn block_size_sweep() {
         if block == 1 {
             base = dt;
         }
-        table.row(&[block.to_string(), format!("{dt:.3}"), format!("{:.2}x", base / dt)]);
+        table.row(&[
+            block.to_string(),
+            format!("{dt:.3}"),
+            format!("{:.2}x", base / dt),
+        ]);
     }
     println!("{}", table.render());
     println!("(block = norb reproduces Algorithm 3; the paper's Alg. 4 gains depend on\n the carry-buffer pressure our exact-unitary pairwise kernel avoids)\n");
@@ -52,7 +62,14 @@ fn block_size_sweep() {
 
 fn gemm_path_sweep() {
     println!("=== ablation 2: nonlocal correction, loops vs BLAS (SIII-D) ===");
-    let mut table = Table::new(&["mesh", "norb", "state (MB)", "loops (ms)", "BLAS (ms)", "BLAS speedup"]);
+    let mut table = Table::new(&[
+        "mesh",
+        "norb",
+        "state (MB)",
+        "loops (ms)",
+        "BLAS (ms)",
+        "BLAS speedup",
+    ]);
     for (n, norb) in [(16usize, 12usize), (24, 20), (32, 28), (40, 40)] {
         let mesh = Mesh3::cubic(n, 0.42);
         let mut psi0 = WfAos::<f64>::zeros(mesh.clone(), norb);
@@ -94,12 +111,29 @@ fn buffer_width_sweep() {
     let reference = run_dc_scf(
         &global,
         &atoms,
-        &DcScfConfig { parts: [1, 1, 1], buffer: 0, norb_per_domain: 4, scf_iters: 8, ..Default::default() },
+        &DcScfConfig {
+            parts: [1, 1, 1],
+            buffer: 0,
+            norb_per_domain: 4,
+            scf_iters: 8,
+            ..Default::default()
+        },
     )
     .global_density;
-    let mut table = Table::new(&["buffer (pts)", "local mesh", "density err (L2)", "time (ms)"]);
+    let mut table = Table::new(&[
+        "buffer (pts)",
+        "local mesh",
+        "density err (L2)",
+        "time (ms)",
+    ]);
     for buffer in [0usize, 1, 2, 3] {
-        let cfg = DcScfConfig { parts: [2, 1, 1], buffer, norb_per_domain: 2, scf_iters: 8, ..Default::default() };
+        let cfg = DcScfConfig {
+            parts: [2, 1, 1],
+            buffer,
+            norb_per_domain: 2,
+            scf_iters: 8,
+            ..Default::default()
+        };
         let t0 = Instant::now();
         let dc = run_dc_scf(&global, &atoms, &cfg);
         let dt = t0.elapsed().as_secs_f64() * 1e3;

@@ -15,7 +15,10 @@ fn main() {
     let points = weak_scaling(&cfg, &ranks);
 
     // Fit-free analytic overlay with the paper's functional form.
-    let analytic = AnalyticEfficiency { alpha: 0.02, beta: 0.12 };
+    let analytic = AnalyticEfficiency {
+        alpha: 0.02,
+        beta: 0.12,
+    };
 
     let mut table = Table::new(&[
         "Ranks (P)",

@@ -10,11 +10,24 @@ fn main() {
     println!("(simulated ranks; compute modeled, communication modeled; see DESIGN.md)\n");
 
     let cfg = ScalingConfig::default();
-    let analytic = AnalyticEfficiency { alpha: 0.6, beta: 1.2 };
+    let analytic = AnalyticEfficiency {
+        alpha: 0.6,
+        beta: 1.2,
+    };
 
     for (atoms, ranks, paper_eff, paper_at) in [
-        (5120usize, vec![64usize, 128, 256], paper::STRONG_EFF_5120_AT_256, 256usize),
-        (10240, vec![128, 256, 512], paper::STRONG_EFF_10240_AT_512, 512),
+        (
+            5120usize,
+            vec![64usize, 128, 256],
+            paper::STRONG_EFF_5120_AT_256,
+            256usize,
+        ),
+        (
+            10240,
+            vec![128, 256, 512],
+            paper::STRONG_EFF_10240_AT_512,
+            512,
+        ),
     ] {
         println!("--- {atoms}-atom PbTiO3 ---");
         let points = strong_scaling(&cfg, atoms, &ranks);
@@ -33,7 +46,8 @@ fn main() {
                 format!("{:.4}", p.efficiency),
                 format!(
                     "{:.4}",
-                    analytic.strong(atoms as f64, p.ranks) / analytic.strong(atoms as f64, ranks[0])
+                    analytic.strong(atoms as f64, p.ranks)
+                        / analytic.strong(atoms as f64, ranks[0])
                 ),
             ]);
         }

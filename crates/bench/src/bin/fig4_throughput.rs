@@ -11,7 +11,11 @@ fn main() {
     let cfg = ScalingConfig::default();
     let (cpu, gpu) = single_node_throughput(&cfg);
     let mut table = Table::new(&["Configuration", "Throughput (ranks/s)", "Relative"]);
-    table.row(&["CPU only (AMD 7543P)".into(), format!("{cpu:.5}"), "1.00x".into()]);
+    table.row(&[
+        "CPU only (AMD 7543P)".into(),
+        format!("{cpu:.5}"),
+        "1.00x".into(),
+    ]);
     table.row(&[
         "CPU + NVIDIA A100".into(),
         format!("{gpu:.5}"),

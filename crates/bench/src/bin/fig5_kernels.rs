@@ -12,6 +12,7 @@ struct KernelRow {
     build: BuildKind,
     electron: f64,
     nonlocal: f64,
+    transfer: f64,
     energy: f64,
     modeled: bool,
 }
@@ -44,13 +45,21 @@ fn run(args: &BenchArgs, build: BuildKind) -> KernelRow {
         // Model the energy kernel like the nonlocal GEMM it is.
         energy = t.nonlocal * 0.45; // one GEMM of the two in nlp_prop
     }
-    KernelRow { build, electron: t.electron, nonlocal: t.nonlocal, energy, modeled: t.modeled }
+    KernelRow {
+        build,
+        electron: t.electron,
+        nonlocal: t.nonlocal,
+        transfer: t.transfer,
+        energy,
+        modeled: t.modeled,
+    }
 }
 
 fn main() {
     let args = BenchArgs::parse();
     println!("Fig. 5 reproduction — DP kernel runtimes across builds");
     println!("{}\n", args.describe());
+    args.init_obs();
 
     let builds = [
         BuildKind::CpuBlas,
@@ -64,6 +73,7 @@ fn main() {
         "Build",
         "Electron prop (s)",
         "Nonlocal prop (s)",
+        "Transfer (s)",
         "Energy calc (s)",
         "Source",
     ]);
@@ -72,11 +82,41 @@ fn main() {
             r.build.label().to_string(),
             fmt_s(r.electron),
             fmt_s(r.nonlocal),
+            fmt_s(r.transfer),
             fmt_s(r.energy),
             if r.modeled { "modeled" } else { "measured" }.to_string(),
         ]);
     }
     println!("{}", table.render());
+
+    if let Some(events) = args.finish_obs() {
+        // Cross-check: the host-track phase totals in the trace must agree
+        // with the legacy KernelTimings view (both are derived from the
+        // same per-step slices, so any mismatch means lost events).
+        let kin = dcmesh_bench::host_phase_seconds(&events, "lfd.kinetic");
+        let pot = dcmesh_bench::host_phase_seconds(&events, "lfd.potential");
+        let nonl = dcmesh_bench::host_phase_seconds(&events, "lfd.nonlocal");
+        let elec_legacy: f64 = rows.iter().map(|r| r.electron).sum();
+        let nonl_legacy: f64 = rows.iter().map(|r| r.nonlocal).sum();
+        let agree = |a: f64, b: f64| (a - b).abs() <= 0.01 * a.abs().max(b.abs()).max(1e-12);
+        println!(
+            "trace vs KernelTimings: electron {} vs {} ({}), nonlocal {} vs {} ({})",
+            fmt_s(kin + pot),
+            fmt_s(elec_legacy),
+            if agree(kin + pot, elec_legacy) {
+                "agree"
+            } else {
+                "MISMATCH"
+            },
+            fmt_s(nonl),
+            fmt_s(nonl_legacy),
+            if agree(nonl, nonl_legacy) {
+                "agree"
+            } else {
+                "MISMATCH"
+            },
+        );
+    }
 
     let base = &rows[0];
     let best = rows.last().unwrap();

@@ -54,7 +54,11 @@ fn main() {
     let pinned_gain = (times[2].0 - times[3].0) / times[3].0;
     let total = t_base / times[3].0;
     println!("decomposition of the ladder (this run vs paper):");
-    println!("  BLAS on CPU:        {} (paper {}x)", fmt_x(cpu_blas), paper::FIG6_CPU_BLAS);
+    println!(
+        "  BLAS on CPU:        {} (paper {}x)",
+        fmt_x(cpu_blas),
+        paper::FIG6_CPU_BLAS
+    );
     println!(
         "  GPU over CPU BLAS:  {} (paper {}x)",
         fmt_x(gpu_over_blas),
@@ -65,5 +69,9 @@ fn main() {
         pinned_gain * 100.0,
         paper::FIG6_PINNED_GAIN * 100.0
     );
-    println!("  TOTAL:              {} (paper {}x)", fmt_x(total), paper::FIG6_TOTAL);
+    println!(
+        "  TOTAL:              {} (paper {}x)",
+        fmt_x(total),
+        paper::FIG6_TOTAL
+    );
 }

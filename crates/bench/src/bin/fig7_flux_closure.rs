@@ -20,8 +20,15 @@ fn main() {
     let field = PolarizationField::from_supercell(&sc, 0);
     println!("flux-closure polarization field (12x12 cells, x-z plane):\n");
     println!("{}", field.render_ascii());
-    println!("toroidal moment G_y = {:.4} (a.u.)", field.toroidal_moment());
-    println!("mean |P| = {:.4}, net P = {:?}\n", field.mean_magnitude(), field.mean());
+    println!(
+        "toroidal moment G_y = {:.4} (a.u.)",
+        field.toroidal_moment()
+    );
+    println!(
+        "mean |P| = {:.4}, net P = {:?}\n",
+        field.mean_magnitude(),
+        field.mean()
+    );
 
     // CSV artifact for plotting.
     let csv_path = "fig7_flux_closure_field.csv";
@@ -39,7 +46,11 @@ fn main() {
         n_qd: 40,
         dt_md: dcmesh_math::phys::femtoseconds_to_au(0.25),
         build: dcmesh_lfd::BuildKind::GpuCublasPinned,
-        laser: Some(LaserPulse { e0: 1.2, omega: 0.8, duration: 8.0 }),
+        laser: Some(LaserPulse {
+            e0: 1.2,
+            omega: 0.8,
+            duration: 8.0,
+        }),
         flux_closure_amplitude: Some(0.3),
         scf_initial_state: false,
         ehrenfest_feedback: false,

@@ -21,6 +21,7 @@ fn main() {
     println!("Table I reproduction — kin_prop() optimization ladder");
     println!("{}", args.describe());
     println!("(timing: {n_qd} QD steps of the x-direction stencil, like the paper)\n");
+    args.init_obs();
 
     let mut init = WfAos::<f64>::zeros(mesh.clone(), norb);
     init.randomize(1);
@@ -56,7 +57,13 @@ fn main() {
         let dev = Device::a100();
         let mut s = init.to_soa();
         for _ in 0..n_qd {
-            prop.apply_axis_alg5(&mut s, Axis::X, StepFraction::Full, block, Some((&dev, policy)));
+            prop.apply_axis_alg5(
+                &mut s,
+                Axis::X,
+                StepFraction::Full,
+                block,
+                Some((&dev, policy)),
+            );
         }
         dev.synchronize()
     };
@@ -89,7 +96,12 @@ fn main() {
             fmt_x(t_alg1 / t),
             fmt_s(*pt),
             fmt_x(*px),
-            if *modeled { "modeled (A100 roofline)" } else { "measured" }.to_string(),
+            if *modeled {
+                "modeled (A100 roofline)"
+            } else {
+                "measured"
+            }
+            .to_string(),
         ]);
     }
     println!("{}", table.render());
@@ -98,5 +110,8 @@ fn main() {
         "asynchronous (nowait) gain over synchronous: {:.2}% (paper: 10.35%)",
         nowait_gain
     );
-    println!("\nshape check: Alg3 > 1x, Alg4 >= Alg3, GPU >> CPU, async > sync — compare columns above.");
+    println!(
+        "\nshape check: Alg3 > 1x, Alg4 >= Alg3, GPU >> CPU, async > sync — compare columns above."
+    );
+    args.finish_obs();
 }

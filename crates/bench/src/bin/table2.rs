@@ -31,6 +31,7 @@ fn main() {
     println!("Table II reproduction — LFD build-variant ladder, SP vs DP");
     println!("{}", args.describe());
     println!("(each row runs the full QD loop: nonlocal half-step / electron propagation / nonlocal half-step)\n");
+    args.init_obs();
 
     let mut table = Table::new(&[
         "Build",
@@ -38,6 +39,8 @@ fn main() {
         "Elec DP (s)",
         "Nonlocal SP (s)",
         "Nonlocal DP (s)",
+        "Xfer SP (s)",
+        "Xfer DP (s)",
         "Total SP (s)",
         "Total DP (s)",
         "Source",
@@ -53,12 +56,15 @@ fn main() {
             fmt_s(dp.electron),
             fmt_s(sp.nonlocal),
             fmt_s(dp.nonlocal),
+            fmt_s(sp.transfer),
+            fmt_s(dp.transfer),
             fmt_s(sp.total),
             fmt_s(dp.total),
             if sp.modeled { "modeled" } else { "measured" }.to_string(),
         ]);
     }
     println!("{}", table.render());
+    args.finish_obs();
 
     println!("paper Table II totals for the full-size workload (seconds):");
     let mut ptable = Table::new(&["Build", "SP", "DP"]);

@@ -20,17 +20,28 @@
 //! `--full` for the paper-size workload (70x70x72 mesh, 64 orbitals,
 //! 1,000 QD steps) and `--scale X` for anything in between.
 
+use dcmesh_core::metrics::Table;
 use dcmesh_grid::Mesh3;
+use dcmesh_obs::Event;
+use std::path::PathBuf;
 
-/// Workload scale parsed from the command line.
-#[derive(Copy, Clone, Debug)]
+/// Workload scale and observability options parsed from the command line.
+#[derive(Clone, Debug)]
 pub struct BenchArgs {
     /// Fraction of the paper workload (1.0 = full).
     pub scale: f64,
+    /// Write a Chrome-trace/Perfetto JSON of the run to this path.
+    pub trace: Option<PathBuf>,
+    /// Print the flat per-phase aggregate table at exit.
+    pub report: bool,
+    /// Use the deterministic counter clock for host timestamps, so the
+    /// trace file is byte-identical across runs of a fixed-seed workload.
+    pub deterministic: bool,
 }
 
 impl BenchArgs {
-    /// Parse `--full`, `--scale X`, `--quick` from `std::env::args`.
+    /// Parse `--full`, `--scale X`, `--quick`, `--trace PATH`, `--report`,
+    /// `--deterministic` from `std::env::args`.
     pub fn parse() -> Self {
         Self::parse_with_default(0.25)
     }
@@ -38,22 +49,77 @@ impl BenchArgs {
     /// Parse with a benchmark-specific default scale.
     pub fn parse_with_default(default_scale: f64) -> Self {
         let args: Vec<String> = std::env::args().collect();
-        let mut scale = default_scale;
+        let mut parsed = Self {
+            scale: default_scale,
+            trace: None,
+            report: false,
+            deterministic: false,
+        };
         let mut it = args.iter().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
-                "--full" => scale = 1.0,
-                "--quick" => scale = 0.1,
+                "--full" => parsed.scale = 1.0,
+                "--quick" => parsed.scale = 0.1,
                 "--scale" => {
-                    scale = it
+                    parsed.scale = it
                         .next()
                         .and_then(|v| v.parse().ok())
                         .expect("--scale requires a number");
                 }
-                other => panic!("unknown argument: {other} (use --full | --quick | --scale X)"),
+                "--trace" => {
+                    parsed.trace = Some(PathBuf::from(it.next().expect("--trace requires a path")));
+                }
+                "--report" => parsed.report = true,
+                "--deterministic" => parsed.deterministic = true,
+                other => panic!(
+                    "unknown argument: {other} (use --full | --quick | --scale X | \
+                     --trace PATH | --report | --deterministic)"
+                ),
             }
         }
-        Self { scale }
+        parsed
+    }
+
+    /// Whether any observability output was requested.
+    pub fn obs_active(&self) -> bool {
+        self.trace.is_some() || self.report
+    }
+
+    /// Turn the global collector on if `--trace`/`--report` was given.
+    /// Call once, before the instrumented work starts.
+    pub fn init_obs(&self) {
+        if !self.obs_active() {
+            return;
+        }
+        if self.deterministic {
+            dcmesh_obs::clock::set_mode(dcmesh_obs::clock::ClockMode::Counter { step_us: 1 });
+        }
+        dcmesh_obs::enable();
+    }
+
+    /// Drain the collector, write the trace file and/or print the report
+    /// as requested, and hand back the drained events for further checks.
+    /// Returns `None` (and does nothing) when observability is off.
+    pub fn finish_obs(&self) -> Option<Vec<Event>> {
+        if !self.obs_active() {
+            return None;
+        }
+        dcmesh_obs::disable();
+        let events = dcmesh_obs::trace::drain();
+        if let Some(path) = &self.trace {
+            dcmesh_obs::chrome::write_chrome_trace(path, &events)
+                .unwrap_or_else(|e| panic!("cannot write trace to {}: {e}", path.display()));
+            println!(
+                "wrote Chrome trace ({} events) to {}",
+                events.len(),
+                path.display()
+            );
+        }
+        if self.report {
+            println!("\nPer-phase aggregate report");
+            println!("{}", obs_report(&events));
+        }
+        Some(events)
     }
 
     /// The benchmark mesh at this scale (paper: 70 x 70 x 72).
@@ -133,6 +199,53 @@ pub mod paper {
     pub const FIG6_TOTAL: f64 = 644.0;
 }
 
+/// Render the flat per-phase aggregate of a drained timeline through the
+/// shared [`Table`] formatter: one row per `(phase, track)` with counts,
+/// total seconds, and attached bytes. Includes the metrics registry's
+/// counters and gauges below the phase table when any are set.
+pub fn obs_report(events: &[Event]) -> String {
+    let mut table = Table::new(&["Phase", "Track", "Count", "Total (s)", "Bytes"]);
+    for agg in dcmesh_obs::report::aggregate(events) {
+        table.row(&[
+            agg.name.clone(),
+            agg.track.to_string(),
+            agg.count.to_string(),
+            fmt_s(agg.total_s),
+            agg.bytes.to_string(),
+        ]);
+    }
+    let mut out = table.render();
+    let snap = dcmesh_obs::metrics::snapshot();
+    if !snap.counters.is_empty() || !snap.gauges.is_empty() {
+        let mut mt = Table::new(&["Metric", "Kind", "Value"]);
+        for (name, v) in &snap.counters {
+            mt.row(&[name.clone(), "counter".to_string(), v.to_string()]);
+        }
+        for (name, g) in &snap.gauges {
+            mt.row(&[name.clone(), "gauge".to_string(), format!("{:.6e}", g.last)]);
+        }
+        for (name, h) in &snap.histograms {
+            mt.row(&[
+                name.clone(),
+                "histogram".to_string(),
+                format!("n={} sum={:.6e}", h.count, h.sum),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&mt.render());
+    }
+    out
+}
+
+/// Total host-track seconds recorded for one phase name.
+pub fn host_phase_seconds(events: &[Event], name: &str) -> f64 {
+    dcmesh_obs::report::aggregate(events)
+        .iter()
+        .filter(|a| a.name == name && a.track == "host")
+        .map(|a| a.total_s)
+        .sum()
+}
+
 /// Format a seconds value with sensible precision.
 pub fn fmt_s(t: f64) -> String {
     if t >= 100.0 {
@@ -157,17 +270,27 @@ pub fn fmt_x(x: f64) -> String {
 mod tests {
     use super::*;
 
+    fn args_at(scale: f64) -> BenchArgs {
+        BenchArgs {
+            scale,
+            trace: None,
+            report: false,
+            deterministic: false,
+        }
+    }
+
     #[test]
     fn default_scale_shrinks_workload() {
-        let a = BenchArgs { scale: 0.25 };
+        let a = args_at(0.25);
         assert!(a.mesh().len() < 70 * 70 * 72 / 10);
         assert_eq!(a.norb(), 16);
         assert_eq!(a.n_qd(), 250);
+        assert!(!a.obs_active());
     }
 
     #[test]
     fn full_scale_matches_paper() {
-        let a = BenchArgs { scale: 1.0 };
+        let a = args_at(1.0);
         let m = a.mesh();
         assert_eq!((m.nx, m.ny, m.nz), (70, 70, 72));
         assert_eq!(a.norb(), 64);
@@ -178,7 +301,7 @@ mod tests {
     fn paper_constants_sane() {
         assert_eq!(paper::TABLE1.len(), 5);
         assert!(paper::TABLE1[3].3 > 300.0);
-        assert!(paper::FIG6_TOTAL > 600.0);
+        const { assert!(paper::FIG6_TOTAL > 600.0) };
     }
 
     #[test]

@@ -31,7 +31,14 @@ pub enum Face {
 impl Face {
     /// All six faces, paired lo/hi per axis.
     pub fn all() -> [Face; 6] {
-        [Face::XLo, Face::XHi, Face::YLo, Face::YHi, Face::ZLo, Face::ZHi]
+        [
+            Face::XLo,
+            Face::XHi,
+            Face::YLo,
+            Face::YHi,
+            Face::ZLo,
+            Face::ZHi,
+        ]
     }
 
     /// The opposite face (what the neighbour calls this exchange).
@@ -72,12 +79,12 @@ impl Cart3d {
         let mut best = [nranks, 1, 1];
         let mut best_surface = usize::MAX;
         for a in 1..=nranks {
-            if nranks % a != 0 {
+            if !nranks.is_multiple_of(a) {
                 continue;
             }
             let rest = nranks / a;
             for b in 1..=rest {
-                if rest % b != 0 {
+                if !rest.is_multiple_of(b) {
                     continue;
                 }
                 let c = rest / b;
@@ -148,7 +155,11 @@ mod tests {
         for r in 0..cart.len() {
             for face in Face::all() {
                 let n = cart.neighbor(r, face);
-                assert_eq!(cart.neighbor(n, face.opposite()), r, "rank {r} face {face:?}");
+                assert_eq!(
+                    cart.neighbor(n, face.opposite()),
+                    r,
+                    "rank {r} face {face:?}"
+                );
             }
         }
     }
@@ -192,7 +203,10 @@ mod tests {
                 // The message arriving across `face` was sent by the
                 // neighbour using the opposite face's tag.
                 let from = cart2.neighbor(me, *face);
-                let tag = Face::all().iter().position(|x| *x == face.opposite()).unwrap();
+                let tag = Face::all()
+                    .iter()
+                    .position(|x| *x == face.opposite())
+                    .unwrap();
                 let _ = f;
                 let v = rank.recv(from, tag as u64);
                 got.push(v[0] as usize);

@@ -73,7 +73,10 @@ impl World {
                     f_ref(&mut rank)
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
         })
     }
 }
@@ -126,7 +129,14 @@ impl Rank {
     }
 
     fn send_raw(&self, to: usize, tag: u64, payload: Vec<f64>) {
-        let msg = Message { from: self.id, tag, payload, clock: self.clock, logical_bytes: None };
+        dcmesh_obs::metrics::counter_add("comm.send_bytes", (payload.len() * 8) as u64);
+        let msg = Message {
+            from: self.id,
+            tag,
+            payload,
+            clock: self.clock,
+            logical_bytes: None,
+        };
         self.senders[to].send(msg).expect("receiver hung up");
     }
 
@@ -135,9 +145,25 @@ impl Rank {
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
         assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^60");
         let msg = self.recv_raw(from, tag);
-        let arrival = msg.clock + self.net.p2p_time(msg.payload.len() * 8, from, self.id);
-        self.clock = self.clock.max(arrival);
+        let bytes = msg.payload.len() * 8;
+        let latency = self.net.p2p_time(bytes, from, self.id);
+        self.clock = self.clock.max(msg.clock + latency);
+        self.record_p2p(from, bytes as u64, latency);
         msg.payload
+    }
+
+    /// Feed modeled p2p traffic into the metrics registry: total exchanged
+    /// bytes plus a per-neighbor latency histogram. No-op (and no
+    /// allocation) when the collector is disabled.
+    fn record_p2p(&self, from: usize, bytes: u64, latency_s: f64) {
+        if !dcmesh_obs::enabled() {
+            return;
+        }
+        dcmesh_obs::metrics::counter_add("comm.recv_bytes", bytes);
+        dcmesh_obs::metrics::histogram_record(
+            &format!("comm.p2p_latency_s.from_{from}"),
+            latency_s,
+        );
     }
 
     /// Non-blocking send of a *modeled* message: no payload is
@@ -146,6 +172,7 @@ impl Rank {
     /// model full-size halo exchanges without allocating them.
     pub fn send_modeled(&self, to: usize, tag: u64, logical_bytes: u64) {
         assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^60");
+        dcmesh_obs::metrics::counter_add("comm.send_bytes", logical_bytes);
         let msg = Message {
             from: self.id,
             tag,
@@ -162,13 +189,18 @@ impl Rank {
         assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^60");
         let msg = self.recv_raw(from, tag);
         let bytes = msg.logical_bytes.unwrap_or((msg.payload.len() * 8) as u64);
-        let arrival = msg.clock + self.net.p2p_time(bytes as usize, from, self.id);
-        self.clock = self.clock.max(arrival);
+        let latency = self.net.p2p_time(bytes as usize, from, self.id);
+        self.clock = self.clock.max(msg.clock + latency);
+        self.record_p2p(from, bytes, latency);
         bytes
     }
 
     fn recv_raw(&mut self, from: usize, tag: u64) -> Message {
-        if let Some(pos) = self.pending.iter().position(|m| m.from == from && m.tag == tag) {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.from == from && m.tag == tag)
+        {
             return self.pending.remove(pos);
         }
         loop {
@@ -203,10 +235,19 @@ impl Rank {
                     *d = combine(*d, *v);
                 }
             }
-            let done = max_clock + self.net.tree_collective_time(bytes, self.size);
+            let coll = self.net.tree_collective_time(bytes, self.size);
+            let done = max_clock + coll;
             self.clock = done;
+            dcmesh_obs::metrics::counter_add("comm.collective_bytes", bytes as u64);
+            dcmesh_obs::metrics::histogram_record("comm.collective_latency_s", coll);
             for to in 1..self.size {
-                let msg = Message { from: 0, tag, payload: data.to_vec(), clock: done, logical_bytes: None };
+                let msg = Message {
+                    from: 0,
+                    tag,
+                    payload: data.to_vec(),
+                    clock: done,
+                    logical_bytes: None,
+                };
                 self.senders[to].send(msg).expect("receiver hung up");
             }
         } else {
@@ -251,7 +292,13 @@ impl Rank {
             self.clock = done;
             for to in 0..self.size {
                 if to != root {
-                    let msg = Message { from: root, tag, payload: data.clone(), clock: done, logical_bytes: None };
+                    let msg = Message {
+                        from: root,
+                        tag,
+                        payload: data.clone(),
+                        clock: done,
+                        logical_bytes: None,
+                    };
                     self.senders[to].send(msg).expect("receiver hung up");
                 }
             }
@@ -270,13 +317,13 @@ impl Rank {
             let mut rows: Vec<Vec<f64>> = vec![Vec::new(); self.size];
             rows[root] = data.to_vec();
             let mut max_clock = self.clock;
-            for from in 0..self.size {
+            for (from, row) in rows.iter_mut().enumerate() {
                 if from == root {
                     continue;
                 }
                 let msg = self.recv_raw(from, tag);
                 max_clock = max_clock.max(msg.clock);
-                rows[from] = msg.payload;
+                *row = msg.payload;
             }
             self.clock = max_clock + self.net.gather_time(data.len() * 8, self.size);
             Some(rows)
@@ -361,7 +408,11 @@ mod tests {
     #[test]
     fn broadcast_delivers_root_data() {
         let out = World::run(4, NetworkModel::slingshot11(), |r| {
-            let mut v = if r.id() == 1 { vec![3.5, -2.0] } else { vec![0.0, 0.0] };
+            let mut v = if r.id() == 1 {
+                vec![3.5, -2.0]
+            } else {
+                vec![0.0, 0.0]
+            };
             r.broadcast(1, &mut v);
             v
         });
@@ -372,7 +423,9 @@ mod tests {
 
     #[test]
     fn gather_collects_by_rank() {
-        let out = World::run(3, NetworkModel::ideal(), |r| r.gather(0, &[r.id() as f64 * 10.0]));
+        let out = World::run(3, NetworkModel::ideal(), |r| {
+            r.gather(0, &[r.id() as f64 * 10.0])
+        });
         let rows = out[0].as_ref().expect("root has rows");
         assert_eq!(rows[0], vec![0.0]);
         assert_eq!(rows[1], vec![10.0]);

@@ -35,7 +35,12 @@ impl NetworkModel {
 
     /// An ideal zero-cost network (for efficiency-model ablations).
     pub fn ideal() -> Self {
-        Self { latency: 0.0, bandwidth: f64::INFINITY, ranks_per_node: 4, on_node_bandwidth: f64::INFINITY }
+        Self {
+            latency: 0.0,
+            bandwidth: f64::INFINITY,
+            ranks_per_node: 4,
+            on_node_bandwidth: f64::INFINITY,
+        }
     }
 
     /// Point-to-point time for `bytes` between `src` and `dst` ranks.
@@ -44,7 +49,11 @@ impl NetworkModel {
             return 0.0;
         }
         let same_node = src / self.ranks_per_node == dst / self.ranks_per_node;
-        let bw = if same_node { self.on_node_bandwidth } else { self.bandwidth };
+        let bw = if same_node {
+            self.on_node_bandwidth
+        } else {
+            self.bandwidth
+        };
         if bw.is_infinite() {
             self.latency
         } else {
@@ -74,7 +83,11 @@ impl NetworkModel {
             return 0.0;
         }
         let total = bytes_per_rank.saturating_mul(p - 1);
-        let bw_term = if self.bandwidth.is_infinite() { 0.0 } else { total as f64 / self.bandwidth };
+        let bw_term = if self.bandwidth.is_infinite() {
+            0.0
+        } else {
+            total as f64 / self.bandwidth
+        };
         self.latency * (p as f64).log2().ceil() + bw_term
     }
 }

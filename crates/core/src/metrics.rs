@@ -13,10 +13,19 @@ pub struct Speed {
 }
 
 impl Speed {
-    /// atoms * steps / second.
+    /// atoms * steps / second. Returns `f64::NAN` for a non-positive
+    /// elapsed time instead of panicking (a zero-duration window is a
+    /// measurement artifact, not a programming error); use
+    /// [`Speed::try_value`] to handle that case explicitly.
     pub fn value(&self) -> f64 {
-        assert!(self.seconds > 0.0, "elapsed time must be positive");
-        (self.atoms * self.md_steps) as f64 / self.seconds
+        self.try_value().unwrap_or(f64::NAN)
+    }
+
+    /// atoms * steps / second, or `None` when the elapsed time is not a
+    /// positive finite number.
+    pub fn try_value(&self) -> Option<f64> {
+        (self.seconds.is_finite() && self.seconds > 0.0)
+            .then(|| (self.atoms * self.md_steps) as f64 / self.seconds)
     }
 }
 
@@ -30,7 +39,12 @@ pub fn parallel_efficiency_weak(speed_ref: Speed, p_ref: usize, speed_p: Speed, 
 
 /// Strong-scaling parallel efficiency: `t(P_min) / t(P_max)` divided by
 /// `P_max / P_min` (constant total problem).
-pub fn parallel_efficiency_strong(t_min_ranks: f64, p_min: usize, t_max_ranks: f64, p_max: usize) -> f64 {
+pub fn parallel_efficiency_strong(
+    t_min_ranks: f64,
+    p_min: usize,
+    t_max_ranks: f64,
+    p_max: usize,
+) -> f64 {
     assert!(p_max >= p_min && p_min > 0);
     assert!(t_min_ranks > 0.0 && t_max_ranks > 0.0);
     let speedup = t_min_ranks / t_max_ranks;
@@ -53,7 +67,10 @@ pub struct Table {
 impl Table {
     /// New table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header count).
@@ -100,23 +117,67 @@ mod tests {
 
     #[test]
     fn speed_definition() {
-        let s = Speed { atoms: 40, md_steps: 10, seconds: 4.0 };
+        let s = Speed {
+            atoms: 40,
+            md_steps: 10,
+            seconds: 4.0,
+        };
         assert_eq!(s.value(), 100.0);
+        assert_eq!(s.try_value(), Some(100.0));
+    }
+
+    #[test]
+    fn zero_duration_speed_is_nan_not_panic() {
+        let s = Speed {
+            atoms: 40,
+            md_steps: 10,
+            seconds: 0.0,
+        };
+        assert!(s.value().is_nan());
+        assert_eq!(s.try_value(), None);
+        let neg = Speed {
+            atoms: 1,
+            md_steps: 1,
+            seconds: -1.0,
+        };
+        assert!(neg.value().is_nan());
+        let inf = Speed {
+            atoms: 1,
+            md_steps: 1,
+            seconds: f64::INFINITY,
+        };
+        assert_eq!(inf.try_value(), None);
     }
 
     #[test]
     fn perfect_weak_scaling_gives_unit_efficiency() {
         // Double the ranks, double the atoms, same time.
-        let s4 = Speed { atoms: 160, md_steps: 1, seconds: 10.0 };
-        let s8 = Speed { atoms: 320, md_steps: 1, seconds: 10.0 };
+        let s4 = Speed {
+            atoms: 160,
+            md_steps: 1,
+            seconds: 10.0,
+        };
+        let s8 = Speed {
+            atoms: 320,
+            md_steps: 1,
+            seconds: 10.0,
+        };
         let eff = parallel_efficiency_weak(s4, 4, s8, 8);
         assert!((eff - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn slower_large_run_lowers_weak_efficiency() {
-        let s4 = Speed { atoms: 160, md_steps: 1, seconds: 10.0 };
-        let s8 = Speed { atoms: 320, md_steps: 1, seconds: 10.5 };
+        let s4 = Speed {
+            atoms: 160,
+            md_steps: 1,
+            seconds: 10.0,
+        };
+        let s8 = Speed {
+            atoms: 320,
+            md_steps: 1,
+            seconds: 10.5,
+        };
         let eff = parallel_efficiency_weak(s4, 4, s8, 8);
         assert!(eff < 1.0 && eff > 0.9);
     }

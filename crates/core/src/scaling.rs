@@ -128,7 +128,7 @@ impl ScalingConfig {
         let ngrid = (self.mesh_points_per_rank as f64 * scale) as u64;
         let norb = self.lfd_orbitals as u64;
         let csize = 8u64; // single-precision complex, the production choice
-        // LFD per QD step: 15 kinetic passes + 2 potential + nonlocal GEMMs.
+                          // LFD per QD step: 15 kinetic passes + 2 potential + nonlocal GEMMs.
         let stencil_bytes = 17 * 2 * ngrid * norb * csize;
         let nu = norb / 4;
         let gemm_flops = 2 * 8 * ngrid * norb * nu;
@@ -143,10 +143,9 @@ impl ScalingConfig {
         // ~10 N log2 N real flops) plus the density build.
         let pw = self.qxmd_orbitals as u64;
         let logn = (ngrid.max(2) as f64).log2();
-        let qxmd_flops = (self.scf_iters * self.cg_iters) as u64
-            * pw
-            * (10.0 * ngrid as f64 * logn) as u64
-            + 16 * ngrid * pw;
+        let qxmd_flops =
+            (self.scf_iters * self.cg_iters) as u64 * pw * (10.0 * ngrid as f64 * logn) as u64
+                + 16 * ngrid * pw;
         let t_qxmd = self.host.kernel_time(&dcmesh_device::KernelWork {
             bytes: 4 * ngrid * pw,
             flops: qxmd_flops,
@@ -239,7 +238,12 @@ pub fn weak_scaling(cfg: &ScalingConfig, rank_counts: &[usize]) -> Vec<ScalingPo
             }
             Some((s0, p0)) => (speed / s0) / (p as f64 / p0 as f64),
         };
-        points.push(ScalingPoint { ranks: p, atoms, sim_seconds: t, efficiency: eff });
+        points.push(ScalingPoint {
+            ranks: p,
+            atoms,
+            sim_seconds: t,
+            efficiency: eff,
+        });
     }
     points
 }
@@ -263,7 +267,12 @@ pub fn strong_scaling(
             }
             Some((t0, p0)) => (t0 / t) / (p as f64 / p0 as f64),
         };
-        points.push(ScalingPoint { ranks: p, atoms: total_atoms, sim_seconds: t, efficiency: eff });
+        points.push(ScalingPoint {
+            ranks: p,
+            atoms: total_atoms,
+            sim_seconds: t,
+            efficiency: eff,
+        });
     }
     points
 }
@@ -307,12 +316,19 @@ mod tests {
 
     fn quick_cfg() -> ScalingConfig {
         // Shrink the modeled workload so tests run in milliseconds.
-        ScalingConfig { n_qd: 50, global_solve_serial: 0.0009, ..ScalingConfig::default() }
+        ScalingConfig {
+            n_qd: 50,
+            global_solve_serial: 0.0009,
+            ..ScalingConfig::default()
+        }
     }
 
     #[test]
     fn analytic_weak_model_decays_logarithmically() {
-        let m = AnalyticEfficiency { alpha: 0.05, beta: 0.4 };
+        let m = AnalyticEfficiency {
+            alpha: 0.05,
+            beta: 0.4,
+        };
         let e4 = m.weak(40.0, 4);
         let e1024 = m.weak(40.0, 1024);
         assert!(e4 > e1024);
@@ -321,7 +337,10 @@ mod tests {
 
     #[test]
     fn analytic_strong_model_decays_faster() {
-        let m = AnalyticEfficiency { alpha: 0.5, beta: 1.0 };
+        let m = AnalyticEfficiency {
+            alpha: 0.5,
+            beta: 1.0,
+        };
         let weak_drop = m.weak(40.0, 4) - m.weak(40.0, 256);
         let strong_drop = m.strong(5120.0, 4 * 40) - m.strong(5120.0, 256 * 40);
         assert!(strong_drop > weak_drop, "strong should degrade faster");

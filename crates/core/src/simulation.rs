@@ -41,7 +41,10 @@ pub struct EhrenfestFF {
 impl EhrenfestFF {
     /// Wrap a classical field with zeroed external forces for `natoms`.
     pub fn new(classical: PerovskiteFF, natoms: usize) -> Self {
-        Self { classical, external: RefCell::new(vec![[0.0; 3]; natoms]) }
+        Self {
+            classical,
+            external: RefCell::new(vec![[0.0; 3]; natoms]),
+        }
     }
 
     /// Replace the external (electronic) forces for the coming MD step.
@@ -57,12 +60,11 @@ impl EhrenfestFF {
 
 impl dcmesh_qxmd::md::ForceProvider for EhrenfestFF {
     fn compute(&self, atoms: &mut AtomSet) -> f64 {
-        use dcmesh_qxmd::md::ForceProvider as _;
         let e = self.classical.compute(atoms);
         let ext = self.external.borrow();
         for (a, f) in atoms.atoms.iter_mut().zip(ext.iter()) {
-            for ax in 0..3 {
-                a.force[ax] += f[ax];
+            for (fa, &fe) in a.force.iter_mut().zip(f) {
+                *fa += fe;
             }
         }
         e
@@ -142,6 +144,8 @@ pub struct StepReport {
     pub lfd_electron_s: f64,
     /// LFD nonlocal-correction time.
     pub lfd_nonlocal_s: f64,
+    /// LFD H2D/D2H transfer time (coefficient uploads, PCIe round-trips).
+    pub lfd_transfer_s: f64,
     /// Instantaneous MD temperature (K).
     pub temperature_k: f64,
     /// Vector potential sampled at each domain center.
@@ -170,14 +174,26 @@ pub struct DcMeshSim {
 impl DcMeshSim {
     /// Build the coupled simulation.
     pub fn new(cfg: DcMeshConfig) -> Self {
-        assert!(cfg.supercell_dims[0] % cfg.domains_x == 0, "domains must tile the supercell");
+        assert!(
+            cfg.supercell_dims[0].is_multiple_of(cfg.domains_x),
+            "domains must tile the supercell"
+        );
         let mut supercell = Supercell::build(&PbTiO3Cell::cubic(), cfg.supercell_dims);
         if let Some(amp) = cfg.flux_closure_amplitude {
             supercell.imprint_flux_closure(amp, 1.0);
         }
-        let sim_box = SimBox { lengths: supercell.box_lengths };
+        let sim_box = SimBox {
+            lengths: supercell.box_lengths,
+        };
         let ff = EhrenfestFF::new(PerovskiteFF::pbtio3(sim_box), supercell.atoms.len());
-        let md = MdIntegrator::new(supercell.atoms.clone(), ff, MdConfig { dt: cfg.dt_md, thermostat: None });
+        let md = MdIntegrator::new(
+            supercell.atoms.clone(),
+            ff,
+            MdConfig {
+                dt: cfg.dt_md,
+                thermostat: None,
+            },
+        );
 
         // Domain meshes: cubic boxes spanning each x-slab of the supercell.
         let slab_len = supercell.box_lengths[0] / cfg.domains_x as f64;
@@ -250,13 +266,7 @@ impl DcMeshSim {
         let rng = StdRng::seed_from_u64(cfg.seed);
         let prev_dipole = engines
             .iter()
-            .map(|e| {
-                dcmesh_lfd::spectrum::dipole_moment(
-                    &e.state_aos(),
-                    &e.occupations,
-                    0,
-                )
-            })
+            .map(|e| dcmesh_lfd::spectrum::dipole_moment(&e.state_aos(), &e.occupations, 0))
             .collect();
         Self {
             cfg,
@@ -289,13 +299,24 @@ impl DcMeshSim {
     }
 
     /// Run one full multiscale MD step.
+    ///
+    /// Each multiscale phase — Maxwell FDTD, LFD propagation, FSSH hop,
+    /// Ehrenfest feedback, MD integration, LK polarization — runs under a
+    /// `sim.*` span so an enabled trace collector sees the full Eq. (3)
+    /// cycle; per-step wall latency feeds the `sim.md_step_seconds`
+    /// histogram.
     pub fn md_step(&mut self) -> StepReport {
+        let step_wall = std::time::Instant::now();
+        let step_span = dcmesh_obs::span!("sim.md_step");
+        let step_id = step_span.id();
         let cfg = &self.cfg;
         // --- Maxwell: advance the field through this MD window. ---
-        let pulse = cfg
-            .laser
-            .clone()
-            .unwrap_or(LaserPulse { e0: 0.0, omega: 1.0, duration: 1.0 });
+        let maxwell_span = dcmesh_obs::span!("sim.maxwell_fdtd", parent = step_id);
+        let pulse = cfg.laser.clone().unwrap_or(LaserPulse {
+            e0: 0.0,
+            omega: 1.0,
+            duration: 1.0,
+        });
         let n_field_steps = cfg.n_qd;
         let mut a_at_domains = vec![0.0; self.engines.len()];
         let slab_len = self.supercell.box_lengths[0] / cfg.domains_x as f64;
@@ -307,9 +328,7 @@ impl DcMeshSim {
             .iter()
             .map(|e| dcmesh_lfd::spectrum::dipole_moment(&e.state_aos(), &e.occupations, 0))
             .collect();
-        let slab_volume = slab_len
-            * self.supercell.box_lengths[1]
-            * self.supercell.box_lengths[2];
+        let slab_volume = slab_len * self.supercell.box_lengths[1] * self.supercell.box_lengths[2];
         let currents: Vec<f64> = dipoles
             .iter()
             .zip(&self.prev_dipole)
@@ -319,8 +338,8 @@ impl DcMeshSim {
         let mx_dx = self.supercell.box_lengths[0] / self.maxwell.len() as f64;
         for _ in 0..n_field_steps {
             for (d, j) in currents.iter().enumerate() {
-                let cell = (((d as f64 + 0.5) * slab_len / mx_dx) as usize)
-                    .min(self.maxwell.len() - 1);
+                let cell =
+                    (((d as f64 + 0.5) * slab_len / mx_dx) as usize).min(self.maxwell.len() - 1);
                 self.maxwell.deposit_current(cell, *j);
             }
             self.maxwell.step(&pulse);
@@ -328,15 +347,24 @@ impl DcMeshSim {
         for (d, a) in a_at_domains.iter_mut().enumerate() {
             *a = self.maxwell.sample((d as f64 + 0.5) * slab_len);
         }
+        drop(maxwell_span);
 
         // --- LFD: N_QD electronic steps per domain, in parallel. ---
-        let timings: Vec<dcmesh_lfd::KernelTimings> =
-            self.engines.par_iter_mut().map(|e| e.run_md_step()).collect();
+        let lfd_span = dcmesh_obs::span!("sim.lfd_propagation", parent = step_id);
+        let timings: Vec<dcmesh_lfd::KernelTimings> = self
+            .engines
+            .par_iter_mut()
+            .map(|e| e.run_md_step())
+            .collect();
         let lfd_electron_s: f64 = timings.iter().map(|t| t.electron).sum();
         let lfd_nonlocal_s: f64 = timings.iter().map(|t| t.nonlocal).sum();
+        let lfd_transfer_s: f64 = timings.iter().map(|t| t.transfer).sum();
         let excited: f64 = self.engines.iter().map(|e| e.excited_population()).sum();
+        drop(lfd_span);
+        dcmesh_obs::metrics::gauge_set("sim.excited_population", excited);
 
         // --- Surface hopping: one FSSH step per domain. ---
+        let fssh_span = dcmesh_obs::span!("sim.fssh_hop", parent = step_id);
         // Two-level model: |ground>, |excited> separated by the domain's
         // scissor-corrected gap; NAC scales with atomic velocity.
         let v_rms = {
@@ -358,13 +386,17 @@ impl DcMeshSim {
             let nac = 5.0 * v_rms; // velocity-proportional coupling
             let e = vec![0.0, gap];
             let d = vec![vec![0.0, nac], vec![-nac, 0.0]];
-            match f.step(&e, &d, cfg.dt_md, &mut kinetic, &mut self.rng) {
-                dcmesh_qxmd::fssh::HopEvent::Hopped(_) => hops += 1,
-                _ => {}
+            if let dcmesh_qxmd::fssh::HopEvent::Hopped(_) =
+                f.step(&e, &d, cfg.dt_md, &mut kinetic, &mut self.rng)
+            {
+                hops += 1;
             }
         }
+        drop(fssh_span);
+        dcmesh_obs::metrics::counter_add("sim.fssh_hops", hops as u64);
 
         // --- Ehrenfest feedback: electron density -> forces on the ions. ---
+        let ehrenfest_span = dcmesh_obs::span!("sim.ehrenfest_feedback", parent = step_id);
         if cfg.ehrenfest_feedback {
             let slab_len_fb = self.supercell.box_lengths[0] / cfg.domains_x as f64;
             let mut external = vec![[0.0; 3]; self.md.atoms.len()];
@@ -384,24 +416,24 @@ impl DcMeshSim {
                     continue;
                 }
                 slab.clear_forces();
-                dcmesh_tddft::forces::local_pseudo_forces(
-                    &engine.config().mesh,
-                    &mut slab,
-                    &rho,
-                );
+                dcmesh_tddft::forces::local_pseudo_forces(&engine.config().mesh, &mut slab, &rho);
                 for (li, &gi) in idx_map.iter().enumerate() {
                     external[gi] = slab.atoms[li].force;
                 }
             }
             self.md.forces.set_external(external);
         }
+        drop(ehrenfest_span);
 
         // --- MD: advance the atoms. ---
+        let md_span = dcmesh_obs::span!("sim.md_integration", parent = step_id);
         self.md.step();
         // Keep the supercell's atom view in sync for polarization analysis.
         self.supercell.atoms = self.md.atoms.clone();
+        drop(md_span);
 
         // --- Polarization response (LK), driven by the excitation. ---
+        let lk_span = dcmesh_obs::span!("sim.lk_polarization", parent = step_id);
         let n_cells = self.supercell.num_cells() as f64;
         let n_exc = (excited / n_cells).min(1.0);
         let e_pulse = cfg
@@ -421,9 +453,15 @@ impl DcMeshSim {
         for _ in 0..substeps {
             self.lk.step(dt_lk, [drive, 0.0], n_exc);
         }
+        drop(lk_span);
 
         self.time += cfg.dt_md;
         self.md_steps += 1;
+        drop(step_span);
+        dcmesh_obs::metrics::histogram_record(
+            "sim.md_step_seconds",
+            step_wall.elapsed().as_secs_f64(),
+        );
         StepReport {
             time_fs: dcmesh_math::phys::au_to_femtoseconds(self.time),
             excited_population: excited,
@@ -432,6 +470,7 @@ impl DcMeshSim {
             hops,
             lfd_electron_s,
             lfd_nonlocal_s,
+            lfd_transfer_s,
             temperature_k: self.md.temperature(),
             a_at_domains,
         }
@@ -459,7 +498,10 @@ mod tests {
     use super::*;
 
     fn quick_cfg() -> DcMeshConfig {
-        DcMeshConfig { n_qd: 5, ..DcMeshConfig::default() }
+        DcMeshConfig {
+            n_qd: 5,
+            ..DcMeshConfig::default()
+        }
     }
 
     #[test]
@@ -488,7 +530,11 @@ mod tests {
         cfg.n_qd = 50;
         // A short, strong pulse fully contained in the simulated window
         // (4 MD steps x 50 QD steps x 0.02 au = 4 au).
-        cfg.laser = Some(LaserPulse { e0: 1.5, omega: 0.8, duration: 4.0 });
+        cfg.laser = Some(LaserPulse {
+            e0: 1.5,
+            omega: 0.8,
+            duration: 4.0,
+        });
         let mut lit = DcMeshSim::new(cfg.clone());
         let mut dark_cfg = cfg;
         dark_cfg.laser = None;
@@ -519,7 +565,11 @@ mod tests {
         cfg.flux_closure_amplitude = Some(0.3);
         let mut sim = DcMeshSim::new(cfg);
         let r = sim.md_step();
-        assert!(r.toroidal_moment.abs() > 1e-6, "vortex lost: G = {}", r.toroidal_moment);
+        assert!(
+            r.toroidal_moment.abs() > 1e-6,
+            "vortex lost: G = {}",
+            r.toroidal_moment
+        );
     }
 
     #[test]

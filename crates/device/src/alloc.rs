@@ -72,25 +72,29 @@ impl<T: Copy + Default> DeviceVec<T> {
 
     /// `omp target update to(...)`: push the host copy to the device.
     pub fn update_to_device(&self) {
-        self.device.transfer_h2d(self.stream, self.bytes(), self.transfer_kind);
+        self.device
+            .transfer_h2d(self.stream, self.bytes(), self.transfer_kind);
     }
 
     /// `omp target update from(...)`: pull the device copy to the host.
     pub fn update_to_host(&self) {
-        self.device.transfer_d2h(self.stream, self.bytes(), self.transfer_kind);
+        self.device
+            .transfer_d2h(self.stream, self.bytes(), self.transfer_kind);
     }
 
     /// Push only a prefix of `n` elements (e.g. the occupation-number
     /// handshake, which is tiny compared to the wavefunctions).
     pub fn update_prefix_to_device(&self, n: usize) {
         let bytes = (n.min(self.host.len()) * std::mem::size_of::<T>()) as u64;
-        self.device.transfer_h2d(self.stream, bytes, self.transfer_kind);
+        self.device
+            .transfer_h2d(self.stream, bytes, self.transfer_kind);
     }
 
     /// Pull only a prefix of `n` elements from the device.
     pub fn update_prefix_to_host(&self, n: usize) {
         let bytes = (n.min(self.host.len()) * std::mem::size_of::<T>()) as u64;
-        self.device.transfer_d2h(self.stream, bytes, self.transfer_kind);
+        self.device
+            .transfer_d2h(self.stream, bytes, self.transfer_kind);
     }
 
     /// The device this vector is mapped on.

@@ -16,7 +16,7 @@ pub fn teams_distribute<F>(num_teams: usize, body: F)
 where
     F: Fn(usize) + Sync + Send,
 {
-    (0..num_teams).into_par_iter().for_each(|t| body(t));
+    (0..num_teams).into_par_iter().for_each(body);
 }
 
 /// `teams distribute` over mutable chunks: splits `data` into `num_teams`
@@ -32,7 +32,9 @@ where
         return;
     }
     let chunk = data.len().div_ceil(num_teams);
-    data.par_chunks_mut(chunk).enumerate().for_each(|(t, c)| body(t, c));
+    data.par_chunks_mut(chunk)
+        .enumerate()
+        .for_each(|(t, c)| body(t, c));
 }
 
 /// `#pragma omp parallel for simd` inside a team: a plain sequential loop

@@ -59,7 +59,11 @@ pub struct KernelWork {
 impl KernelWork {
     /// Convenience constructor.
     pub fn new(bytes: u64, flops: u64, precision: Precision) -> Self {
-        Self { bytes, flops, precision: Some(precision) }
+        Self {
+            bytes,
+            flops,
+            precision: Some(precision),
+        }
     }
 }
 
@@ -113,7 +117,7 @@ impl HardwareSpec {
     pub fn epyc_7543_core() -> Self {
         Self {
             name: "AMD EPYC 7543P (1 core)",
-            mem_bw: 20e9, // per-core sustainable share of DDR4-3200 x8
+            mem_bw: 20e9,          // per-core sustainable share of DDR4-3200 x8
             peak_sp: 2.8e9 * 16.0, // 2x AVX2 FMA units x 8 SP lanes
             peak_dp: 2.8e9 * 8.0,
             launch_overhead: 0.0,

@@ -110,17 +110,45 @@ impl Device {
         work: KernelWork,
         body: impl FnOnce() -> T,
     ) -> T {
+        self.launch_named("device.kernel", stream, policy, work, body)
+    }
+
+    /// [`Device::launch`] with a phase name for the trace: the modeled
+    /// kernel slice lands on the device track under `name`, tagged with
+    /// its stream and roofline duration.
+    pub fn launch_named<T>(
+        &self,
+        name: &'static str,
+        stream: StreamId,
+        policy: LaunchPolicy,
+        work: KernelWork,
+        body: impl FnOnce() -> T,
+    ) -> T {
         let out = body();
         let dt = self.spec.kernel_time(&work);
-        let mut g = self.inner.lock();
-        let start = g.host_clock.max(g.streams[stream.0]);
-        let end = start + dt;
-        g.streams[stream.0] = end;
-        g.stats.kernels_launched += 1;
-        g.stats.kernel_busy += dt;
-        match policy {
-            LaunchPolicy::Sync => g.host_clock = end + self.spec.launch_overhead,
-            LaunchPolicy::Async => g.host_clock += self.spec.launch_overhead * 0.1,
+        let start;
+        {
+            let mut g = self.inner.lock();
+            start = g.host_clock.max(g.streams[stream.0]);
+            let end = start + dt;
+            g.streams[stream.0] = end;
+            g.stats.kernels_launched += 1;
+            g.stats.kernel_busy += dt;
+            match policy {
+                LaunchPolicy::Sync => g.host_clock = end + self.spec.launch_overhead,
+                LaunchPolicy::Async => g.host_clock += self.spec.launch_overhead * 0.1,
+            }
+        }
+        if dcmesh_obs::enabled() {
+            dcmesh_obs::trace::record(dcmesh_obs::Event::complete(
+                name,
+                dcmesh_obs::Track::Device {
+                    stream: stream.0 as u32,
+                },
+                start * 1e6,
+                dt * 1e6,
+            ));
+            dcmesh_obs::metrics::counter_add("device.kernels_launched", 1);
         }
         out
     }
@@ -137,31 +165,70 @@ impl Device {
 
     fn transfer(&self, stream: StreamId, bytes: u64, kind: TransferKind, h2d: bool) {
         let dt = self.spec.transfer_time(bytes, kind);
-        let mut g = self.inner.lock();
-        let start = g.host_clock.max(g.streams[stream.0]);
-        let end = start + dt;
-        g.streams[stream.0] = end;
-        // Transfers from pageable memory block the host; pinned + streams
-        // overlap (this is exactly the §III-E optimization).
-        match kind {
-            TransferKind::Pageable => g.host_clock = end,
-            TransferKind::Pinned | TransferKind::NvLink => {}
+        let start;
+        {
+            let mut g = self.inner.lock();
+            start = g.host_clock.max(g.streams[stream.0]);
+            let end = start + dt;
+            g.streams[stream.0] = end;
+            // Transfers from pageable memory block the host; pinned + streams
+            // overlap (this is exactly the §III-E optimization).
+            match kind {
+                TransferKind::Pageable => g.host_clock = end,
+                TransferKind::Pinned | TransferKind::NvLink => {}
+            }
+            g.stats.transfer_time += dt;
+            if h2d {
+                g.stats.h2d_transfers += 1;
+                g.stats.h2d_bytes += bytes;
+            } else {
+                g.stats.d2h_transfers += 1;
+                g.stats.d2h_bytes += bytes;
+            }
         }
-        g.stats.transfer_time += dt;
-        if h2d {
-            g.stats.h2d_transfers += 1;
-            g.stats.h2d_bytes += bytes;
-        } else {
-            g.stats.d2h_transfers += 1;
-            g.stats.d2h_bytes += bytes;
+        if dcmesh_obs::enabled() {
+            let name = if h2d { "device.h2d" } else { "device.d2h" };
+            dcmesh_obs::trace::record(
+                dcmesh_obs::Event::complete(
+                    name,
+                    dcmesh_obs::Track::Device {
+                        stream: stream.0 as u32,
+                    },
+                    start * 1e6,
+                    dt * 1e6,
+                )
+                .with_bytes(bytes),
+            );
+            dcmesh_obs::metrics::counter_add(
+                if h2d {
+                    "device.h2d_bytes"
+                } else {
+                    "device.d2h_bytes"
+                },
+                bytes,
+            );
         }
     }
 
     /// Block the host until all streams drain; returns the host clock.
     pub fn synchronize(&self) -> f64 {
-        let mut g = self.inner.lock();
-        let max_end = g.streams.iter().copied().fold(g.host_clock, f64::max);
-        g.host_clock = max_end;
+        let max_end = {
+            let mut g = self.inner.lock();
+            let max_end = g.streams.iter().copied().fold(g.host_clock, f64::max);
+            g.host_clock = max_end;
+            max_end
+        };
+        if dcmesh_obs::enabled() {
+            dcmesh_obs::trace::record(
+                dcmesh_obs::Event::complete(
+                    "device.synchronize",
+                    dcmesh_obs::Track::Device { stream: 0 },
+                    max_end * 1e6,
+                    0.0,
+                )
+                .with_kind(dcmesh_obs::EventKind::Instant),
+            );
+        }
         max_end
     }
 

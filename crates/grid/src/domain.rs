@@ -30,9 +30,12 @@ impl Domain {
     /// Maxwell vector potential is sampled (paper Eq. (2)).
     pub fn center(&self) -> [f64; 3] {
         [
-            self.mesh.origin[0] + (self.buffer as f64 + 0.5 * (self.core[0] as f64 - 1.0)) * self.mesh.dx,
-            self.mesh.origin[1] + (self.buffer as f64 + 0.5 * (self.core[1] as f64 - 1.0)) * self.mesh.dy,
-            self.mesh.origin[2] + (self.buffer as f64 + 0.5 * (self.core[2] as f64 - 1.0)) * self.mesh.dz,
+            self.mesh.origin[0]
+                + (self.buffer as f64 + 0.5 * (self.core[0] as f64 - 1.0)) * self.mesh.dx,
+            self.mesh.origin[1]
+                + (self.buffer as f64 + 0.5 * (self.core[1] as f64 - 1.0)) * self.mesh.dy,
+            self.mesh.origin[2]
+                + (self.buffer as f64 + 0.5 * (self.core[2] as f64 - 1.0)) * self.mesh.dz,
         ]
     }
 
@@ -97,11 +100,21 @@ impl DcDecomposition {
                         global.origin[1] + (offset[1] as f64 - buffer as f64) * global.dy,
                         global.origin[2] + (offset[2] as f64 - buffer as f64) * global.dz,
                     ];
-                    domains.push(Domain { id, offset, core, buffer, mesh });
+                    domains.push(Domain {
+                        id,
+                        offset,
+                        core,
+                        buffer,
+                        mesh,
+                    });
                 }
             }
         }
-        Self { global, parts, domains }
+        Self {
+            global,
+            parts,
+            domains,
+        }
     }
 
     /// Number of domains.
@@ -123,9 +136,18 @@ impl DcDecomposition {
             let n = n as isize;
             (((p % n) + n) % n) as usize
         };
-        let gi = wrap(dom.offset[0] as isize + li as isize - dom.buffer as isize, g.nx);
-        let gj = wrap(dom.offset[1] as isize + lj as isize - dom.buffer as isize, g.ny);
-        let gk = wrap(dom.offset[2] as isize + lk as isize - dom.buffer as isize, g.nz);
+        let gi = wrap(
+            dom.offset[0] as isize + li as isize - dom.buffer as isize,
+            g.nx,
+        );
+        let gj = wrap(
+            dom.offset[1] as isize + lj as isize - dom.buffer as isize,
+            g.ny,
+        );
+        let gk = wrap(
+            dom.offset[2] as isize + lk as isize - dom.buffer as isize,
+            g.nz,
+        );
         g.idx(gi, gj, gk)
     }
 

@@ -32,9 +32,23 @@ pub struct Mesh3 {
 impl Mesh3 {
     /// A mesh with the given point counts and spacings, origin at zero.
     pub fn new(nx: usize, ny: usize, nz: usize, dx: f64, dy: f64, dz: f64) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "mesh dimensions must be positive");
-        assert!(dx > 0.0 && dy > 0.0 && dz > 0.0, "mesh spacings must be positive");
-        Self { nx, ny, nz, dx, dy, dz, origin: [0.0; 3] }
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "mesh dimensions must be positive"
+        );
+        assert!(
+            dx > 0.0 && dy > 0.0 && dz > 0.0,
+            "mesh spacings must be positive"
+        );
+        Self {
+            nx,
+            ny,
+            nz,
+            dx,
+            dy,
+            dz,
+            origin: [0.0; 3],
+        }
     }
 
     /// A cubic mesh: `n^3` points with equal spacing `h`.
@@ -97,7 +111,11 @@ impl Mesh3 {
     /// Physical extents `(Lx, Ly, Lz)`.
     #[inline(always)]
     pub fn lengths(&self) -> [f64; 3] {
-        [self.nx as f64 * self.dx, self.ny as f64 * self.dy, self.nz as f64 * self.dz]
+        [
+            self.nx as f64 * self.dx,
+            self.ny as f64 * self.dy,
+            self.nz as f64 * self.dz,
+        ]
     }
 
     /// Center of the mesh in physical coordinates.

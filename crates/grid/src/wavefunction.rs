@@ -44,7 +44,11 @@ impl<R: Real> WfAos<R> {
     /// Zero-initialized set of `norb` orbitals on `mesh`.
     pub fn zeros(mesh: Mesh3, norb: usize) -> Self {
         let len = mesh.len() * norb;
-        Self { mesh, norb, data: vec![Complex::zero(); len] }
+        Self {
+            mesh,
+            norb,
+            data: vec![Complex::zero(); len],
+        }
     }
 
     /// Mesh this set lives on.
@@ -96,7 +100,9 @@ impl<R: Real> WfAos<R> {
         let sigma2 = (nx.min(ny).min(nz) as f64 / 3.0).powi(2);
         for n in 0..self.norb {
             // Distinct wave vector per orbital, perturbed by the seed.
-            let s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(n as u64);
+            let s = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(n as u64);
             let kx = 2.0 * std::f64::consts::PI * ((s % 7) as f64 + 1.0) / nx as f64;
             let ky = 2.0 * std::f64::consts::PI * (((s / 7) % 5) as f64 + 1.0) / ny as f64;
             let kz = 2.0 * std::f64::consts::PI * (((s / 35) % 3) as f64 + 1.0) / nz as f64;
@@ -110,12 +116,10 @@ impl<R: Real> WfAos<R> {
                             + (j as f64 - center[1]).powi(2)
                             + (k as f64 - center[2]).powi(2);
                         let env = (-r2 / (2.0 * sigma2)).exp();
-                        let phase = kx * i as f64 + ky * j as f64 + kz * k as f64
-                            + (n as f64) * 0.37;
-                        orb[mesh.idx(i, j, k)] = Complex::from_polar(
-                            R::from_f64(env),
-                            R::from_f64(phase),
-                        );
+                        let phase =
+                            kx * i as f64 + ky * j as f64 + kz * k as f64 + (n as f64) * 0.37;
+                        orb[mesh.idx(i, j, k)] =
+                            Complex::from_polar(R::from_f64(env), R::from_f64(phase));
                     }
                 }
             }
@@ -163,7 +167,11 @@ impl<R: Real> WfAos<R> {
     pub fn from_matrix(mesh: Mesh3, m: Matrix<R>) -> Self {
         assert_eq!(m.rows(), mesh.len());
         let norb = m.cols();
-        Self { mesh, norb, data: take_matrix_data(m) }
+        Self {
+            mesh,
+            norb,
+            data: take_matrix_data(m),
+        }
     }
 
     /// Electron number density `rho(r) = sum_n f_n |psi_n(r)|^2`.
@@ -171,8 +179,7 @@ impl<R: Real> WfAos<R> {
         assert_eq!(occupations.len(), self.norb);
         let g = self.mesh.len();
         let mut rho = vec![R::ZERO; g];
-        for n in 0..self.norb {
-            let f = occupations[n];
+        for (n, &f) in occupations.iter().enumerate() {
             if f == R::ZERO {
                 continue;
             }
@@ -191,12 +198,10 @@ impl<R: Real> WfAos<R> {
 
     /// Convert to the SoA layout.
     pub fn to_soa(&self) -> WfSoa<R> {
-        let g = self.mesh.len();
         let mut out = WfSoa::zeros(self.mesh.clone(), self.norb);
         for n in 0..self.norb {
-            let orb = self.orbital(n);
-            for ijk in 0..g {
-                out.data[ijk * self.norb + n] = orb[ijk];
+            for (ijk, &z) in self.orbital(n).iter().enumerate() {
+                out.data[ijk * self.norb + n] = z;
             }
         }
         out
@@ -244,7 +249,11 @@ impl<R: Real> WfSoa<R> {
     /// Zero-initialized set of `norb` orbitals on `mesh` in SoA layout.
     pub fn zeros(mesh: Mesh3, norb: usize) -> Self {
         let len = mesh.len() * norb;
-        Self { mesh, norb, data: vec![Complex::zero(); len] }
+        Self {
+            mesh,
+            norb,
+            data: vec![Complex::zero(); len],
+        }
     }
 
     /// Mesh this set lives on.
@@ -342,8 +351,8 @@ mod tests {
         let soa = wf.to_soa();
         let p = soa.point(1, 2, 3);
         assert_eq!(p.len(), 3);
-        for n in 0..3 {
-            assert_eq!(p[n], wf.orbital(n)[wf.mesh().idx(1, 2, 3)]);
+        for (n, &pn) in p.iter().enumerate() {
+            assert_eq!(pn, wf.orbital(n)[wf.mesh().idx(1, 2, 3)]);
         }
     }
 
@@ -418,7 +427,10 @@ mod tests {
     fn index_functions_agree_with_slices() {
         let wf = small_set();
         let soa = wf.to_soa();
-        assert_eq!(wf.data()[wf.index(2, 1, 0, 3)], wf.orbital(2)[wf.mesh().idx(1, 0, 3)]);
+        assert_eq!(
+            wf.data()[wf.index(2, 1, 0, 3)],
+            wf.orbital(2)[wf.mesh().idx(1, 0, 3)]
+        );
         assert_eq!(soa.data()[soa.index(1, 0, 3, 2)], soa.point(1, 0, 3)[2]);
     }
 }

@@ -62,7 +62,9 @@ impl BuildKind {
             BuildKind::CpuBlas => "CPU OpenMP Parallel + BLAS",
             BuildKind::GpuBlas => "GPU OpenMP Offload + BLAS",
             BuildKind::GpuCublas => "GPU OpenMP Offload + cuBLAS",
-            BuildKind::GpuCublasPinned => "GPU OpenMP Offload + cuBLAS (Pinned Memory w/ Cuda Streams)",
+            BuildKind::GpuCublasPinned => {
+                "GPU OpenMP Offload + cuBLAS (Pinned Memory w/ Cuda Streams)"
+            }
         }
     }
 
@@ -81,18 +83,48 @@ impl BuildKind {
 }
 
 /// Accumulated kernel timings for one measurement window.
+///
+/// Since the observability refactor these numbers are a thin view over
+/// the phase slices an MD step records (see [`LfdEngine::run_md_step`]):
+/// `electron = kinetic + potential`, and H2D/D2H time — previously folded
+/// into `nonlocal`/`total` — is now reported separately as `transfer`.
 #[derive(Copy, Clone, Debug, Default)]
 pub struct KernelTimings {
     /// Electron propagation (kinetic + potential), seconds.
     pub electron: f64,
-    /// Nonlocal correction (nlp_prop [+ transfers it forces]), seconds.
+    /// Nonlocal correction (nlp_prop compute only), seconds.
     pub nonlocal: f64,
+    /// H2D/D2H transfer time (coefficient uploads, PCIe round-trips,
+    /// pinned handshakes), seconds.
+    pub transfer: f64,
     /// Makespan of the whole window, seconds.
     pub total: f64,
     /// True when the numbers come from the device roofline model rather
     /// than wall-clock measurement.
     pub modeled: bool,
 }
+
+impl KernelTimings {
+    /// Derive the legacy view from recorded phase slices.
+    pub fn from_recorder(rec: &dcmesh_obs::StepRecorder, total: f64, modeled: bool) -> Self {
+        Self {
+            electron: rec.total_seconds(PHASE_KINETIC) + rec.total_seconds(PHASE_POTENTIAL),
+            nonlocal: rec.total_seconds(PHASE_NONLOCAL),
+            transfer: rec.total_seconds(PHASE_TRANSFER),
+            total,
+            modeled,
+        }
+    }
+}
+
+/// Host-track phase names the engine records each QD step.
+pub const PHASE_KINETIC: &str = "lfd.kinetic";
+/// See [`PHASE_KINETIC`].
+pub const PHASE_POTENTIAL: &str = "lfd.potential";
+/// See [`PHASE_KINETIC`].
+pub const PHASE_NONLOCAL: &str = "lfd.nonlocal";
+/// See [`PHASE_KINETIC`].
+pub const PHASE_TRANSFER: &str = "lfd.transfer";
 
 /// LFD engine configuration.
 #[derive(Clone, Debug)]
@@ -238,20 +270,22 @@ impl<R: Real> LfdEngine<R> {
 
     /// Run one MD step = `N_QD` QD steps; returns kernel timings for the
     /// window (wall-clock for CPU builds, modeled for device builds).
+    ///
+    /// Each QD step records phase slices — [`PHASE_NONLOCAL`],
+    /// [`PHASE_POTENTIAL`], [`PHASE_KINETIC`], [`PHASE_TRANSFER`] — into a
+    /// [`dcmesh_obs::StepRecorder`]; the returned [`KernelTimings`] is a
+    /// view over those slices, and the slices are forwarded to the global
+    /// trace when the collector is enabled.
     pub fn run_md_step(&mut self) -> KernelTimings {
+        let _step_span = dcmesh_obs::span!("lfd.md_step");
         let n_qd = self.cfg.n_qd;
         let build = self.cfg.build;
         let policy = build.policy();
-        let mut elec = 0.0;
-        let mut nonl = 0.0;
+        let mut rec = dcmesh_obs::StepRecorder::new();
         let wall0 = Instant::now();
         if let Some(dev) = &self.device {
             dev.reset_clock();
         }
-        // Device builds: measure modeled busy/transfer time per family.
-        let dev_busy = |d: &Option<Device>| d.as_ref().map_or(0.0, |d| d.stats().kernel_busy);
-        let dev_xfer =
-            |d: &Option<Device>| d.as_ref().map_or(0.0, |d| d.stats().transfer_time);
 
         for q in 0..n_qd {
             // Laser phase table for this QD step, if a pulse is on.
@@ -279,38 +313,21 @@ impl<R: Real> LfdEngine<R> {
                 } else {
                     TransferKind::Pageable
                 };
+                let x0 = self.dev_xfer();
                 dev.transfer_h2d(dcmesh_device::StreamId(0), coeff_bytes, kind);
+                let dur = self.dev_xfer() - x0;
+                rec.record_host_seconds(PHASE_TRANSFER, dur);
+                rec.tag_bytes(coeff_bytes);
             }
 
             // --- nonlocal half step (leading) ---
-            let t0 = Instant::now();
-            let b0 = dev_busy(&self.device) + dev_xfer(&self.device);
-            self.apply_nonlocal(policy);
-            nonl += if build.uses_device() {
-                dev_busy(&self.device) + dev_xfer(&self.device) - b0
-            } else {
-                t0.elapsed().as_secs_f64()
-            };
+            self.timed_phase(&mut rec, PHASE_NONLOCAL, |e, p| e.apply_nonlocal(p), policy);
 
             // --- electron propagation: Pot(dt/2) Kin(dt) Pot(dt/2) ---
-            let t1 = Instant::now();
-            let b1 = dev_busy(&self.device);
-            self.apply_electron_propagation(policy);
-            elec += if build.uses_device() {
-                dev_busy(&self.device) - b1
-            } else {
-                t1.elapsed().as_secs_f64()
-            };
+            self.apply_electron_propagation(policy, &mut rec);
 
             // --- nonlocal half step (trailing) ---
-            let t2 = Instant::now();
-            let b2 = dev_busy(&self.device) + dev_xfer(&self.device);
-            self.apply_nonlocal(policy);
-            nonl += if build.uses_device() {
-                dev_busy(&self.device) + dev_xfer(&self.device) - b2
-            } else {
-                t2.elapsed().as_secs_f64()
-            };
+            self.timed_phase(&mut rec, PHASE_NONLOCAL, |e, p| e.apply_nonlocal(p), policy);
 
             self.time += self.cfg.dt;
             let _ = q;
@@ -320,11 +337,13 @@ impl<R: Real> LfdEngine<R> {
         // finite adiabatic reference basis; population leaking outside the
         // tracked subspace is re-scaled back in (no-ionization constraint —
         // the DC domain's electron count is fixed by QXMD).
+        let _hs_span = dcmesh_obs::span!("lfd.occ_handshake");
         let total_before = self.total_occupation();
         let mut new_occ = if let Some(soa) = &self.psi_soa {
             self.nl.remap_occ_soa(soa, &self.occupations)
         } else if let Some(aos) = &self.psi_aos {
-            self.nl.remap_occ(&aos.to_matrix(), &self.occupations, GemmPath::Loops)
+            self.nl
+                .remap_occ(&aos.to_matrix(), &self.occupations, GemmPath::Loops)
         } else {
             unreachable!("engine always holds a state")
         };
@@ -340,29 +359,115 @@ impl<R: Real> LfdEngine<R> {
         }
         self.occupations = new_occ;
 
+        drop(_hs_span);
         let total = match &self.device {
             Some(dev) => dev.synchronize(),
             None => wall0.elapsed().as_secs_f64(),
         };
-        KernelTimings { electron: elec, nonlocal: nonl, total, modeled: build.uses_device() }
+        let timings = KernelTimings::from_recorder(&rec, total, build.uses_device());
+        rec.flush();
+        timings
     }
 
-    fn apply_electron_propagation(&mut self, policy: LaunchPolicy) {
-        let dev_pair = self.device.as_ref().map(|d| (d, policy));
+    /// Modeled kernel-busy seconds so far (0 for CPU builds).
+    fn dev_busy(&self) -> f64 {
+        self.device.as_ref().map_or(0.0, |d| d.stats().kernel_busy)
+    }
+
+    /// Modeled H2D/D2H transfer seconds so far (0 for CPU builds).
+    fn dev_xfer(&self) -> f64 {
+        self.device
+            .as_ref()
+            .map_or(0.0, |d| d.stats().transfer_time)
+    }
+
+    /// Run `f` and record its duration under `name`: modeled kernel-busy
+    /// delta for device builds, wall clock for CPU builds. Any transfer
+    /// time the body incurs (e.g. the GpuBlas PCIe round-trip) is recorded
+    /// separately under [`PHASE_TRANSFER`].
+    fn timed_phase(
+        &mut self,
+        rec: &mut dcmesh_obs::StepRecorder,
+        name: &'static str,
+        f: impl FnOnce(&mut Self, LaunchPolicy),
+        policy: LaunchPolicy,
+    ) {
+        let modeled = self.cfg.build.uses_device();
+        let t0 = Instant::now();
+        let b0 = self.dev_busy();
+        let x0 = self.dev_xfer();
+        f(self, policy);
+        let dur = if modeled {
+            self.dev_busy() - b0
+        } else {
+            t0.elapsed().as_secs_f64()
+        };
+        rec.record_host_seconds(name, dur);
+        if modeled {
+            let xfer = self.dev_xfer() - x0;
+            if xfer > 0.0 {
+                rec.record_host_seconds(PHASE_TRANSFER, xfer);
+            }
+        }
+    }
+
+    fn apply_electron_propagation(
+        &mut self,
+        policy: LaunchPolicy,
+        rec: &mut dcmesh_obs::StepRecorder,
+    ) {
         match self.cfg.build {
             BuildKind::CpuLoops => {
                 let psi = self.psi_aos.as_mut().expect("AoS state");
                 // Baseline: potential phase applied via SoA conversion-free
                 // AoS sweep (pointwise phase on each orbital).
+                let t0 = Instant::now();
                 apply_potential_aos(&self.pot_half, psi);
+                rec.record_host_seconds(PHASE_POTENTIAL, t0.elapsed().as_secs_f64());
+                let t1 = Instant::now();
                 self.kin.step_alg1(psi);
+                rec.record_host_seconds(PHASE_KINETIC, t1.elapsed().as_secs_f64());
+                let t2 = Instant::now();
                 apply_potential_aos(&self.pot_half, psi);
+                rec.record_host_seconds(PHASE_POTENTIAL, t2.elapsed().as_secs_f64());
             }
             _ => {
+                let modeled = self.cfg.build.uses_device();
+                let dev_pair = self.device.as_ref().map(|d| (d, policy));
+                let busy = |p: Option<(&Device, LaunchPolicy)>| {
+                    p.map_or(0.0, |(d, _)| d.stats().kernel_busy)
+                };
                 let psi = self.psi_soa.as_mut().expect("SoA state");
+
+                let t0 = Instant::now();
+                let b0 = busy(dev_pair);
                 self.pot_half.apply(psi, dev_pair);
+                let d0 = if modeled {
+                    busy(dev_pair) - b0
+                } else {
+                    t0.elapsed().as_secs_f64()
+                };
+                rec.record_host_seconds(PHASE_POTENTIAL, d0);
+
+                let t1 = Instant::now();
+                let b1 = busy(dev_pair);
                 self.kin.step_optimized(psi, self.cfg.block_size, dev_pair);
+                let d1 = if modeled {
+                    busy(dev_pair) - b1
+                } else {
+                    t1.elapsed().as_secs_f64()
+                };
+                rec.record_host_seconds(PHASE_KINETIC, d1);
+
+                let t2 = Instant::now();
+                let b2 = busy(dev_pair);
                 self.pot_half.apply(psi, dev_pair);
+                let d2 = if modeled {
+                    busy(dev_pair) - b2
+                } else {
+                    t2.elapsed().as_secs_f64()
+                };
+                rec.record_host_seconds(PHASE_POTENTIAL, d2);
             }
         }
     }
@@ -383,8 +488,7 @@ impl<R: Real> LfdEngine<R> {
                 // Host BLAS forces the wavefunctions over PCIe both ways.
                 let psi = self.psi_soa.as_mut().expect("SoA state");
                 let dev = self.device.as_ref().expect("device");
-                let bytes =
-                    (psi.data().len() * std::mem::size_of::<dcmesh_math::Complex<R>>()) as u64;
+                let bytes = std::mem::size_of_val(psi.data()) as u64;
                 dev.transfer_d2h(dcmesh_device::StreamId(0), bytes, TransferKind::Pageable);
                 self.nl.nlp_prop_soa(psi);
                 dev.transfer_h2d(dcmesh_device::StreamId(0), bytes, TransferKind::Pageable);
@@ -402,12 +506,12 @@ impl<R: Real> LfdEngine<R> {
     /// correction of Eq. (8). The expensive expectation runs at f64.
     pub fn band_energies(&self) -> Vec<f64> {
         let aos = self.state_aos();
-        let h = dcmesh_tddft::Hamiltonian::with_potential(self.cfg.mesh.clone(), self.v_loc.clone());
+        let h =
+            dcmesh_tddft::Hamiltonian::with_potential(self.cfg.mesh.clone(), self.v_loc.clone());
         let scissor = self.scissor_energies();
         (0..self.cfg.norb)
             .map(|n| {
-                let psi: Vec<dcmesh_math::C64> =
-                    aos.orbital(n).iter().map(|z| z.cast()).collect();
+                let psi: Vec<dcmesh_math::C64> = aos.orbital(n).iter().map(|z| z.cast()).collect();
                 h.expectation(&psi, false) + scissor[n].to_f64()
             })
             .collect()
@@ -435,10 +539,7 @@ impl<R: Real> LfdEngine<R> {
     /// Population excited above the LUMO (the light-induced excitation the
     /// application study tracks).
     pub fn excited_population(&self) -> R {
-        self.occupations[self.cfg.lumo..]
-            .iter()
-            .copied()
-            .sum()
+        self.occupations[self.cfg.lumo..].iter().copied().sum()
     }
 
     /// Total electron count (must be conserved).
@@ -577,8 +678,13 @@ mod tests {
         let (mut cfg, v, orbitals, vals) = eigenstate_setup(150);
         // Drive resonantly at the 0 -> 1 gap (the x-polarized p state).
         let gap = vals[1] - vals[0];
-        cfg.laser = Some(LaserPulse { e0: 0.4, omega: gap, duration: 150.0 * cfg.dt });
-        let mut with_laser = LfdEngine::<f64>::with_initial_state(cfg.clone(), v.clone(), orbitals.clone());
+        cfg.laser = Some(LaserPulse {
+            e0: 0.4,
+            omega: gap,
+            duration: 150.0 * cfg.dt,
+        });
+        let mut with_laser =
+            LfdEngine::<f64>::with_initial_state(cfg.clone(), v.clone(), orbitals.clone());
         with_laser.run_md_step();
         let mut cfg_off = cfg;
         cfg_off.laser = None;
@@ -595,7 +701,8 @@ mod tests {
     #[test]
     fn dark_run_conserves_total_energy_and_laser_pumps_it() {
         let (cfg, v, orbitals, _) = eigenstate_setup(60);
-        let mut dark = LfdEngine::<f64>::with_initial_state(cfg.clone(), v.clone(), orbitals.clone());
+        let mut dark =
+            LfdEngine::<f64>::with_initial_state(cfg.clone(), v.clone(), orbitals.clone());
         let e0 = dark.total_energy();
         dark.run_md_step();
         let e1 = dark.total_energy();
@@ -604,7 +711,11 @@ mod tests {
             "dark energy drift {e0} -> {e1}"
         );
         let mut cfg_lit = cfg;
-        cfg_lit.laser = Some(LaserPulse { e0: 0.5, omega: 1.0, duration: 60.0 * 0.02 });
+        cfg_lit.laser = Some(LaserPulse {
+            e0: 0.5,
+            omega: 1.0,
+            duration: 60.0 * 0.02,
+        });
         let mut lit = LfdEngine::<f64>::with_initial_state(cfg_lit, v, orbitals);
         let l0 = lit.total_energy();
         lit.run_md_step();
@@ -646,7 +757,10 @@ mod tests {
         );
         let d2h_blas = blas.device().unwrap().stats().d2h_bytes;
         let d2h_cublas = cublas.device().unwrap().stats().d2h_bytes;
-        assert!(d2h_blas > 100 * d2h_cublas.max(1), "d2h {d2h_blas} vs {d2h_cublas}");
+        assert!(
+            d2h_blas > 100 * d2h_cublas.max(1),
+            "d2h {d2h_blas} vs {d2h_cublas}"
+        );
     }
 
     #[test]

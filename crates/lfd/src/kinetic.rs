@@ -90,7 +90,12 @@ impl<R: Real> KineticPropagator<R> {
     /// Build coefficient tables for `mesh` and time step `dt`.
     pub fn new(mesh: Mesh3, dt: R, mass: R) -> Self {
         let spacing = [mesh.dx, mesh.dy, mesh.dz];
-        let mut passes = [[[Pass { start: 0, d: Complex::zero(), o: Complex::zero(), lone: Complex::zero() }; 3]; 2]; 3];
+        let mut passes = [[[Pass {
+            start: 0,
+            d: Complex::zero(),
+            o: Complex::zero(),
+            lone: Complex::zero(),
+        }; 3]; 2]; 3];
         for (ax, pax) in passes.iter_mut().enumerate() {
             let h = R::from_f64(spacing[ax]);
             let diag = R::ONE / (mass * h * h);
@@ -100,7 +105,12 @@ impl<R: Real> KineticPropagator<R> {
                 pax[fi] = build_passes(theta, diag, off);
             }
         }
-        Self { mesh, mass, dt, passes }
+        Self {
+            mesh,
+            mass,
+            dt,
+            passes,
+        }
     }
 
     /// The mesh.
@@ -220,7 +230,7 @@ impl<R: Real> KineticPropagator<R> {
                     for nb in (0..norb).step_by(block_size) {
                         let hi = (nb + block_size).min(norb);
                         for z in &mut data[b0 + nb..b0 + hi] {
-                            *z = *z * pass.lone;
+                            *z *= pass.lone;
                         }
                     }
                 }
@@ -242,7 +252,7 @@ impl<R: Real> KineticPropagator<R> {
                 if i < n_axis {
                     let c = base_of(i);
                     for z in &mut data[c..c + norb] {
-                        *z = *z * pass.lone;
+                        *z *= pass.lone;
                     }
                 }
             });
@@ -285,7 +295,7 @@ impl<R: Real> KineticPropagator<R> {
             let _ = pi;
             match device {
                 Some((dev, policy)) => {
-                    dev.launch(dcmesh_device::StreamId(0), policy, work, run);
+                    dev.launch_named("lfd.kinetic", dcmesh_device::StreamId(0), policy, work, run);
                 }
                 None => run(),
             }
@@ -297,10 +307,14 @@ impl<R: Real> KineticPropagator<R> {
     fn pass_work(&self, norb: usize) -> KernelWork {
         let elems = (self.mesh.len() * norb) as u64;
         let csize = 2 * std::mem::size_of::<R>() as u64;
-        let precision = if std::mem::size_of::<R>() == 4 { Precision::Sp } else { Precision::Dp };
+        let precision = if std::mem::size_of::<R>() == 4 {
+            Precision::Sp
+        } else {
+            Precision::Dp
+        };
         KernelWork {
-            bytes: 2 * elems * csize,  // read + write every amplitude
-            flops: 16 * elems,         // 2 complex mul + 1 add per amplitude
+            bytes: 2 * elems * csize, // read + write every amplitude
+            flops: 16 * elems,        // 2 complex mul + 1 add per amplitude
             precision: Some(precision),
         }
     }
@@ -346,9 +360,18 @@ fn build_passes<R: Real>(theta: R, diag: R, off: R) -> PassSet<R> {
     let half_diag = diag * R::HALF;
     let make = |angle: R, start: usize| -> Pass<R> {
         let (d, o) = exp_2x2_symmetric(angle, half_diag, off);
-        Pass { start, d, o, lone: Complex::cis(-angle * half_diag) }
+        Pass {
+            start,
+            d,
+            o,
+            lone: Complex::cis(-angle * half_diag),
+        }
     };
-    [make(theta * R::HALF, 0), make(theta, 1), make(theta * R::HALF, 0)]
+    [
+        make(theta * R::HALF, 0),
+        make(theta, 1),
+        make(theta * R::HALF, 0),
+    ]
 }
 
 /// SoA flat-array offset between pair partners along `axis`.
@@ -461,7 +484,10 @@ fn sweep_x_teams<R: Real>(
     });
     // Tail lone point.
     if tail_start < nx {
-        apply_lone(&mut data[tail_start * slab..(tail_start + 1) * slab], pass.lone);
+        apply_lone(
+            &mut data[tail_start * slab..(tail_start + 1) * slab],
+            pass.lone,
+        );
     }
 }
 
@@ -486,8 +512,8 @@ fn sweep_yz_teams<R: Real>(
         for other in 0..n_other {
             // Base of the 1D line within this slab for the fixed other index.
             let line0 = match axis {
-                Axis::Y => other * norb,          // other = k
-                Axis::Z => other * m.nz * norb,   // other = j
+                Axis::Y => other * norb,        // other = k
+                Axis::Z => other * m.nz * norb, // other = j
                 Axis::X => unreachable!(),
             };
             if pass.start == 1 {
@@ -519,7 +545,7 @@ fn sweep_yz_teams<R: Real>(
 #[inline(always)]
 fn apply_lone<R: Real>(zs: &mut [Complex<R>], lone: Complex<R>) {
     for z in zs {
-        *z = *z * lone;
+        *z *= lone;
     }
 }
 
@@ -669,10 +695,7 @@ mod tests {
         let mut wf = test_wf(&mesh, 2, 8).to_soa();
         let kinetic_energy = |w: &WfSoa<f64>| -> f64 {
             let aos = w.to_aos();
-            let t = dcmesh_tddft::Hamiltonian::with_potential(
-                mesh.clone(),
-                vec![0.0; mesh.len()],
-            );
+            let t = dcmesh_tddft::Hamiltonian::with_potential(mesh.clone(), vec![0.0; mesh.len()]);
             (0..2).map(|n| t.expectation(aos.orbital(n), false)).sum()
         };
         let e0 = kinetic_energy(&wf);

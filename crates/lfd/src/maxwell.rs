@@ -63,7 +63,10 @@ impl LaserPulse {
     /// normalizations in the application benchmarks.
     pub fn fluence(&self, steps: usize) -> f64 {
         let dt = self.duration / steps as f64;
-        (0..steps).map(|n| self.e_field((n as f64 + 0.5) * dt).powi(2)).sum::<f64>() * dt
+        (0..steps)
+            .map(|n| self.e_field((n as f64 + 0.5) * dt).powi(2))
+            .sum::<f64>()
+            * dt
     }
 }
 
@@ -94,7 +97,10 @@ impl Maxwell1d {
     pub fn new(n: usize, dx: f64, dt: f64, source_cell: usize) -> Self {
         let c = SPEED_OF_LIGHT_AU;
         assert!(n >= 3, "need at least 3 cells");
-        assert!(source_cell > 0 && source_cell < n - 1, "source must be interior (Mur boundaries overwrite edge cells)");
+        assert!(
+            source_cell > 0 && source_cell < n - 1,
+            "source must be interior (Mur boundaries overwrite edge cells)"
+        );
         assert!(
             c * dt <= dx * (1.0 + 1e-12),
             "Courant violated: c dt = {} > dx = {dx}",
@@ -133,9 +139,9 @@ impl Maxwell1d {
         let (c, dt, dx) = (self.c, self.dt, self.dx);
         let c2dt2 = (c * dt / dx).powi(2);
         let mut a_next = vec![0.0; self.n];
-        for i in 1..self.n - 1 {
+        for (i, an) in a_next.iter_mut().enumerate().take(self.n - 1).skip(1) {
             let lap = self.a[i + 1] - 2.0 * self.a[i] + self.a[i - 1];
-            a_next[i] = 2.0 * self.a[i] - self.a_prev[i] + c2dt2 * lap
+            *an = 2.0 * self.a[i] - self.a_prev[i] + c2dt2 * lap
                 - 4.0 * std::f64::consts::PI * c * self.j[i] * dt * dt;
         }
         // Soft source: add the pulse's vector potential increment.
@@ -193,7 +199,11 @@ mod tests {
     use super::*;
 
     fn test_pulse() -> LaserPulse {
-        LaserPulse { e0: 0.01, omega: 0.057, duration: 400.0 } // ~800 nm, ~10 fs
+        LaserPulse {
+            e0: 0.01,
+            omega: 0.057,
+            duration: 400.0,
+        } // ~800 nm, ~10 fs
     }
 
     #[test]
@@ -232,7 +242,11 @@ mod tests {
         let dt = Maxwell1d::max_dt(dx) * 0.9;
         let n = 400;
         let mut m = Maxwell1d::new(n, dx, dt, 20);
-        let p = LaserPulse { e0: 0.01, omega: 1.0, duration: 10.0 };
+        let p = LaserPulse {
+            e0: 0.01,
+            omega: 1.0,
+            duration: 10.0,
+        };
         // Run to a time where light from the source has reached cell ~245
         // but cannot yet have reached cell 330.
         let t_run = (200 - 20) as f64 * dx / SPEED_OF_LIGHT_AU + 5.0;
@@ -254,7 +268,11 @@ mod tests {
         let dx = 5.0;
         let dt = Maxwell1d::max_dt(dx); // exact Courant: Mur is perfect
         let mut m = Maxwell1d::new(100, dx, dt, 50);
-        let p = LaserPulse { e0: 0.02, omega: 0.5, duration: 10.0 };
+        let p = LaserPulse {
+            e0: 0.02,
+            omega: 0.5,
+            duration: 10.0,
+        };
         let mut peak = 0.0f64;
         for _ in 0..2000 {
             m.step(&p);
@@ -284,7 +302,11 @@ mod tests {
         let dx = 5.0;
         let dt = Maxwell1d::max_dt(dx) * 0.9;
         let mut m = Maxwell1d::new(60, dx, dt, 1);
-        let silent = LaserPulse { e0: 0.0, omega: 1.0, duration: 1.0 };
+        let silent = LaserPulse {
+            e0: 0.0,
+            omega: 1.0,
+            duration: 1.0,
+        };
         for s in 0..50 {
             // Oscillating dipole current at cell 30.
             m.deposit_current(30, 1e-3 * (0.5 * s as f64 * dt).sin());

@@ -60,7 +60,15 @@ impl<R: Real> NonlocalCorrection<R> {
         let psi0_t = Matrix::from_fn(psi0.cols(), psi0.rows(), |n, g| psi0[(g, n)]);
         let nu = psi0.cols() - lumo;
         let psi0u_t = Matrix::from_fn(nu, psi0.rows(), |u, g| psi0[(g, lumo + u)]);
-        Self { psi0, psi0_t, psi0u_t, lumo, delta_sci, dt, dv }
+        Self {
+            psi0,
+            psi0_t,
+            psi0u_t,
+            lumo,
+            delta_sci,
+            dt,
+            dv,
+        }
     }
 
     /// Number of grid points.
@@ -88,7 +96,11 @@ impl<R: Real> NonlocalCorrection<R> {
         let mut o = Matrix::zeros(nref, n);
         match path {
             GemmPath::Blas => {
-                let refblock = if col0 == 0 { self.psi0.clone() } else { self.unoccupied_block() };
+                let refblock = if col0 == 0 {
+                    self.psi0.clone()
+                } else {
+                    self.unoccupied_block()
+                };
                 gemm(
                     Complex::from_real(self.dv),
                     &refblock,
@@ -207,7 +219,11 @@ impl<R: Real> NonlocalCorrection<R> {
         let cfmas = gemm_cfmas(nu as usize, n as usize, g as usize) as u64
             + gemm_cfmas(g as usize, n as usize, nu as usize) as u64;
         let csize = 2 * std::mem::size_of::<R>() as u64;
-        let precision = if std::mem::size_of::<R>() == 4 { Precision::Sp } else { Precision::Dp };
+        let precision = if std::mem::size_of::<R>() == 4 {
+            Precision::Sp
+        } else {
+            Precision::Dp
+        };
         KernelWork {
             bytes: csize * (2 * g * n + 2 * g * nu + 2 * nu * n),
             flops: 8 * cfmas + 8 * g * n,
@@ -217,14 +233,9 @@ impl<R: Real> NonlocalCorrection<R> {
 
     /// Run `nlp_prop` through the device offload runtime (the GPU builds of
     /// Table II), returning nothing extra — timing lands on the device.
-    pub fn nlp_prop_on_device(
-        &self,
-        psi_t: &mut Matrix<R>,
-        device: &Device,
-        policy: LaunchPolicy,
-    ) {
+    pub fn nlp_prop_on_device(&self, psi_t: &mut Matrix<R>, device: &Device, policy: LaunchPolicy) {
         let work = self.nlp_work(psi_t.cols());
-        device.launch(StreamId(0), policy, work, || {
+        device.launch_named("lfd.nonlocal", StreamId(0), policy, work, || {
             self.nlp_prop(psi_t, GemmPath::Blas);
         });
     }
@@ -239,7 +250,11 @@ impl<R: Real> NonlocalCorrection<R> {
     /// matrix with `M[n][u] = <psi_ref_u(0) | psi_n(t)>`. Zero-copy: `t` is
     /// the raw SoA storage viewed as a `norb x ngrid` column-major matrix.
     fn overlap_soa(&self, t: &[Complex<R>], norb: usize, full_basis: bool) -> Matrix<R> {
-        let t0 = if full_basis { &self.psi0_t } else { &self.psi0u_t };
+        let t0 = if full_basis {
+            &self.psi0_t
+        } else {
+            &self.psi0u_t
+        };
         let ngrid = self.psi0.rows();
         let mut m = Matrix::zeros(norb, t0.rows());
         let mdims = (norb, t0.rows());
@@ -347,7 +362,7 @@ impl<R: Real> NonlocalCorrection<R> {
         policy: LaunchPolicy,
     ) {
         let work = self.nlp_work(soa.norb());
-        device.launch(StreamId(0), policy, work, || {
+        device.launch_named("lfd.nonlocal", StreamId(0), policy, work, || {
             self.nlp_prop_soa(soa);
         });
     }
@@ -500,7 +515,11 @@ mod tests {
         nl.nlp_prop(&mut mat, GemmPath::Blas);
         nl.nlp_prop_soa(&mut soa);
         let back = soa.to_aos().to_matrix();
-        assert!(mat.max_abs_diff(&back) < 1e-11, "diff {}", mat.max_abs_diff(&back));
+        assert!(
+            mat.max_abs_diff(&back) < 1e-11,
+            "diff {}",
+            mat.max_abs_diff(&back)
+        );
         // Energies and occupations agree too.
         let ea = nl.scissor_energies(&mat, GemmPath::Blas);
         let eb = nl.scissor_energies_soa(&soa);

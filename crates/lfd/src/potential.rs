@@ -79,14 +79,14 @@ impl<R: Real> PotentialPropagator<R> {
                 for (pt, amps) in chunk.chunks_exact_mut(norb).enumerate() {
                     let ph = phases[base_point + pt];
                     for a in amps {
-                        *a = *a * ph;
+                        *a *= ph;
                     }
                 }
             });
         };
         match device {
             Some((dev, policy)) => {
-                dev.launch(StreamId(0), policy, work, run);
+                dev.launch_named("lfd.potential", StreamId(0), policy, work, run);
             }
             None => run(),
         }
@@ -96,7 +96,11 @@ impl<R: Real> PotentialPropagator<R> {
     fn work(&self, norb: usize) -> KernelWork {
         let elems = (self.mesh.len() * norb) as u64;
         let csize = 2 * std::mem::size_of::<R>() as u64;
-        let precision = if std::mem::size_of::<R>() == 4 { Precision::Sp } else { Precision::Dp };
+        let precision = if std::mem::size_of::<R>() == 4 {
+            Precision::Sp
+        } else {
+            Precision::Dp
+        };
         KernelWork {
             bytes: 2 * elems * csize + self.mesh.len() as u64 * csize,
             flops: 6 * elems,
@@ -119,7 +123,9 @@ mod tests {
     #[test]
     fn phase_preserves_norm_exactly() {
         let mesh = Mesh3::cubic(8, 0.5);
-        let v: Vec<f64> = (0..mesh.len()).map(|i| (i as f64 * 0.01).sin() * 3.0).collect();
+        let v: Vec<f64> = (0..mesh.len())
+            .map(|i| (i as f64 * 0.01).sin() * 3.0)
+            .collect();
         let prop = PotentialPropagator::new(mesh.clone(), &v, 0.05);
         let mut wf = test_soa(&mesh, 3);
         let aos0 = wf.to_aos();

@@ -42,7 +42,14 @@ impl ScalarPotential {
             hmin / 3f64.sqrt()
         );
         let n = mesh.len();
-        Self { mesh, phi: vec![0.0; n], phi_prev: vec![0.0; n], cs, gamma, dt }
+        Self {
+            mesh,
+            phi: vec![0.0; n],
+            phi_prev: vec![0.0; n],
+            cs,
+            gamma,
+            dt,
+        }
     }
 
     /// Current potential field.
@@ -76,9 +83,13 @@ impl ScalarPotential {
                     let km = wrap(k as isize - 1, m.nz);
                     let kp = wrap(k as isize + 1, m.nz);
                     let c = m.idx(i, j, k);
-                    let lap = cx * (self.phi[m.idx(im, j, k)] + self.phi[m.idx(ip, j, k)] - 2.0 * self.phi[c])
-                        + cy * (self.phi[m.idx(i, jm, k)] + self.phi[m.idx(i, jp, k)] - 2.0 * self.phi[c])
-                        + cz * (self.phi[m.idx(i, j, km)] + self.phi[m.idx(i, j, kp)] - 2.0 * self.phi[c]);
+                    let lap = cx
+                        * (self.phi[m.idx(im, j, k)] + self.phi[m.idx(ip, j, k)]
+                            - 2.0 * self.phi[c])
+                        + cy * (self.phi[m.idx(i, jm, k)] + self.phi[m.idx(i, jp, k)]
+                            - 2.0 * self.phi[c])
+                        + cz * (self.phi[m.idx(i, j, km)] + self.phi[m.idx(i, j, kp)]
+                            - 2.0 * self.phi[c]);
                     let src = cs2 * dt * dt * 4.0 * std::f64::consts::PI * (rho[c] - rho_mean);
                     // Damped Verlet update.
                     next[c] = ((2.0 * self.phi[c] - (1.0 - damp) * self.phi_prev[c]) + lap + src)
@@ -185,7 +196,10 @@ mod tests {
             l[2],
             dcmesh_math::multigrid::MgParams::default(),
         );
-        let f: Vec<f64> = rho.iter().map(|&r| 4.0 * std::f64::consts::PI * r).collect();
+        let f: Vec<f64> = rho
+            .iter()
+            .map(|&r| 4.0 * std::f64::consts::PI * r)
+            .collect();
         let want = mg.solve(&f).phi;
         // Compare mean-free fields.
         let mean_sp = sp.phi().iter().sum::<f64>() / sp.phi().len() as f64;

@@ -124,7 +124,7 @@ mod tests {
         let dev = Device::a100();
         let mut s: ShadowState<f64> = ShadowState::new(&dev, 10000, 16, vec![2.0; 16]);
         s.upload_occupations();
-        s.download_occupations(&vec![1.5; 16]);
+        s.download_occupations(&[1.5; 16]);
         let stats = dev.stats();
         assert_eq!(stats.h2d_bytes, 16 * 8);
         assert_eq!(stats.d2h_bytes, 16 * 8);

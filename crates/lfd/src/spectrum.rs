@@ -100,7 +100,12 @@ pub fn spectrum_from_dipole(
         omega.push(w);
         strength.push(w * acc.im.abs() * dt);
     }
-    Spectrum { omega, strength, dipole: dipole.to_vec(), dt }
+    Spectrum {
+        omega,
+        strength,
+        dipole: dipole.to_vec(),
+        dt,
+    }
 }
 
 /// Run the full delta-kick protocol: kick the given (ground-state) orbitals
@@ -197,15 +202,18 @@ mod tests {
     fn dipole_oscillates_after_kick() {
         let (mesh, v, orbitals) = harmonic_setup(1.0);
         let spec = delta_kick_spectrum(&mesh, &v, orbitals, &[2.0], 0.05, 0.05, 400, 0);
-        let max = spec.dipole.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let min = spec.dipole.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(max > 1e-3 && min < -1e-3, "dipole did not oscillate: [{min}, {max}]");
-        // Sign changes confirm oscillation rather than drift.
-        let crossings = spec
+        let max = spec
             .dipole
-            .windows(2)
-            .filter(|w| w[0] * w[1] < 0.0)
-            .count();
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min = spec.dipole.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            max > 1e-3 && min < -1e-3,
+            "dipole did not oscillate: [{min}, {max}]"
+        );
+        // Sign changes confirm oscillation rather than drift.
+        let crossings = spec.dipole.windows(2).filter(|w| w[0] * w[1] < 0.0).count();
         assert!(crossings > 4, "only {crossings} zero crossings");
     }
 

@@ -137,7 +137,10 @@ impl<R: Real> Complex<R> {
     /// Cast to a different precision (used by the SP/DP comparison harness).
     #[inline(always)]
     pub fn cast<R2: Real>(self) -> Complex<R2> {
-        Complex::new(R2::from_f64(self.re.to_f64()), R2::from_f64(self.im.to_f64()))
+        Complex::new(
+            R2::from_f64(self.re.to_f64()),
+            R2::from_f64(self.im.to_f64()),
+        )
     }
 
     /// True if both components are finite.
@@ -177,6 +180,8 @@ impl<R: Real> Mul for Complex<R> {
 impl<R: Real> Div for Complex<R> {
     type Output = Self;
     #[inline(always)]
+    // Division by multiplying with the reciprocal is the intended formula.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
     }
@@ -301,7 +306,11 @@ mod tests {
         let z = C64::cis(std::f64::consts::PI);
         assert!(close(z, C64::new(-1.0, 0.0), 1e-15));
         // e^{i pi/2} = i
-        assert!(close(C64::cis(std::f64::consts::FRAC_PI_2), C64::i(), 1e-15));
+        assert!(close(
+            C64::cis(std::f64::consts::FRAC_PI_2),
+            C64::i(),
+            1e-15
+        ));
     }
 
     #[test]

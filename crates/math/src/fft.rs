@@ -72,7 +72,7 @@ fn fft_radix2<R: Real>(data: &mut [Complex<R>], dir: Direction) {
                 let v = data[start + k + len / 2] * w;
                 data[start + k] = u + v;
                 data[start + k + len / 2] = u - v;
-                w = w * wlen;
+                w *= wlen;
             }
         }
         len <<= 1;
@@ -81,7 +81,7 @@ fn fft_radix2<R: Real>(data: &mut [Complex<R>], dir: Direction) {
 
 /// Bluestein's algorithm: express the length-n DFT as a convolution of length
 /// >= 2n-1, evaluated with radix-2 FFTs. Handles the 70- and 72-point mesh
-/// lines of the paper's production workload.
+/// > lines of the paper's production workload.
 fn fft_bluestein<R: Real>(data: &mut [Complex<R>], dir: Direction) {
     let n = data.len();
     let sign = match dir {
@@ -109,7 +109,7 @@ fn fft_bluestein<R: Real>(data: &mut [Complex<R>], dir: Direction) {
     fft_radix2(&mut a, Direction::Forward);
     fft_radix2(&mut b, Direction::Forward);
     for k in 0..m {
-        a[k] = a[k] * b[k];
+        a[k] *= b[k];
     }
     fft_radix2(&mut a, Direction::Inverse);
     let inv_m = R::ONE / R::from_usize(m);
@@ -346,7 +346,11 @@ mod tests {
         for i in 0..nx {
             let idx = i + nx * (1 + ny * 2);
             let want = scale * rho[idx];
-            assert!((phi[idx] - want).abs() < 1e-8, "i={i}: {} vs {want}", phi[idx]);
+            assert!(
+                (phi[idx] - want).abs() < 1e-8,
+                "i={i}: {} vs {want}",
+                phi[idx]
+            );
         }
     }
 

@@ -40,7 +40,11 @@ pub struct Matrix<R> {
 impl<R: Real> Matrix<R> {
     /// Zero-filled `rows x cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![Complex::zero(); rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![Complex::zero(); rows * cols],
+        }
     }
 
     /// Identity matrix of size `n`.
@@ -59,7 +63,11 @@ impl<R: Real> Matrix<R> {
     }
 
     /// Build from a function of (row, col).
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex<R>) -> Self {
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> Complex<R>,
+    ) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for c in 0..cols {
             for r in 0..rows {
@@ -252,7 +260,7 @@ pub fn gemm_blocked<R: Real>(
     // beta-scale once up front.
     if beta != Complex::one() {
         for z in c.data_mut() {
-            *z = *z * beta;
+            *z *= beta;
         }
     }
     let mut apack: Vec<Complex<R>> = Vec::with_capacity(BLOCK * BLOCK);
@@ -364,7 +372,7 @@ fn gemm_thin_k_fast<R: Real>(
     c.par_chunks_mut(m).enumerate().for_each(|(j, ccol)| {
         if beta != Complex::one() {
             for z in ccol.iter_mut() {
-                *z = *z * beta;
+                *z *= beta;
             }
         }
         for p in 0..k {
@@ -392,7 +400,16 @@ pub fn gemm<R: Real>(
 ) {
     let (m, n, k) = gemm_dims(a, op_a, b, op_b, c);
     if op_a == Op::ConjTrans && op_b == Op::None {
-        return gemm_adjoint_fast(alpha, a.data(), a.rows(), b.data(), b.rows(), beta, c.data_mut(), (m, n));
+        return gemm_adjoint_fast(
+            alpha,
+            a.data(),
+            a.rows(),
+            b.data(),
+            b.rows(),
+            beta,
+            c.data_mut(),
+            (m, n),
+        );
     }
     if op_a == Op::None && op_b == Op::None && k <= 64 && k < m {
         return gemm_thin_k_fast(alpha, a.data(), m, b.data(), k, beta, c.data_mut(), n);
@@ -410,7 +427,7 @@ pub fn gemm<R: Real>(
             let ncols = cpanel.len() / rows;
             if beta != Complex::one() {
                 for z in cpanel.iter_mut() {
-                    *z = *z * beta;
+                    *z *= beta;
                 }
             }
             let mut apack: Vec<Complex<R>> = Vec::with_capacity(BLOCK * BLOCK);
@@ -527,7 +544,7 @@ pub fn gemm_colmajor<R: Real>(
         c.par_chunks_mut(m).enumerate().for_each(|(j, ccol)| {
             if beta != Complex::one() {
                 for z in ccol.iter_mut() {
-                    *z = *z * beta;
+                    *z *= beta;
                 }
             }
             for p in 0..k {
@@ -538,45 +555,47 @@ pub fn gemm_colmajor<R: Real>(
         return;
     }
     // Parallelize over column panels of C (disjoint output).
-    c.par_chunks_mut(m * BLOCK.max(1)).enumerate().for_each(|(panel, cpanel)| {
-        let j0 = panel * BLOCK;
-        let ncols = cpanel.len() / m;
-        if beta != Complex::one() {
-            for z in cpanel.iter_mut() {
-                *z = *z * beta;
-            }
-        }
-        let mut apack: Vec<Complex<R>> = Vec::with_capacity(BLOCK * BLOCK);
-        let mut bcol: Vec<Complex<R>> = vec![Complex::zero(); BLOCK];
-        for p0 in (0..k).step_by(BLOCK) {
-            let p1 = (p0 + BLOCK).min(k);
-            let kw = p1 - p0;
-            for i0 in (0..m).step_by(BLOCK) {
-                let i1 = (i0 + BLOCK).min(m);
-                apack.clear();
-                for i in i0..i1 {
-                    for p in p0..p1 {
-                        apack.push(a_at(i, p));
-                    }
+    c.par_chunks_mut(m * BLOCK.max(1))
+        .enumerate()
+        .for_each(|(panel, cpanel)| {
+            let j0 = panel * BLOCK;
+            let ncols = cpanel.len() / m;
+            if beta != Complex::one() {
+                for z in cpanel.iter_mut() {
+                    *z *= beta;
                 }
-                for jj in 0..ncols {
-                    let j = j0 + jj;
-                    for (idx, p) in (p0..p1).enumerate() {
-                        bcol[idx] = b_at(p, j);
-                    }
-                    let ccol = &mut cpanel[jj * m..(jj + 1) * m];
-                    for (row, i) in (i0..i1).enumerate() {
-                        let arow = &apack[row * kw..(row + 1) * kw];
-                        let mut acc = Complex::zero();
-                        for (av, bv) in arow.iter().zip(&bcol[..kw]) {
-                            acc += *av * *bv;
+            }
+            let mut apack: Vec<Complex<R>> = Vec::with_capacity(BLOCK * BLOCK);
+            let mut bcol: Vec<Complex<R>> = vec![Complex::zero(); BLOCK];
+            for p0 in (0..k).step_by(BLOCK) {
+                let p1 = (p0 + BLOCK).min(k);
+                let kw = p1 - p0;
+                for i0 in (0..m).step_by(BLOCK) {
+                    let i1 = (i0 + BLOCK).min(m);
+                    apack.clear();
+                    for i in i0..i1 {
+                        for p in p0..p1 {
+                            apack.push(a_at(i, p));
                         }
-                        ccol[i] += alpha * acc;
+                    }
+                    for jj in 0..ncols {
+                        let j = j0 + jj;
+                        for (idx, p) in (p0..p1).enumerate() {
+                            bcol[idx] = b_at(p, j);
+                        }
+                        let ccol = &mut cpanel[jj * m..(jj + 1) * m];
+                        for (row, i) in (i0..i1).enumerate() {
+                            let arow = &apack[row * kw..(row + 1) * kw];
+                            let mut acc = Complex::zero();
+                            for (av, bv) in arow.iter().zip(&bcol[..kw]) {
+                                acc += *av * *bv;
+                            }
+                            ccol[i] += alpha * acc;
+                        }
                     }
                 }
             }
-        }
-    });
+        });
 }
 
 /// Matrix-vector product `y = op(A) x` (level-2 helper for small solvers).
@@ -696,7 +715,15 @@ mod tests {
         q[(5, 1)] = C64::one();
         q[(9, 2)] = C64::new(0.0, 1.0); // i * e_9, still unit norm
         let mut p = Matrix::zeros(n, n);
-        gemm_naive(C64::one(), &q, Op::None, &q, Op::ConjTrans, C64::zero(), &mut p);
+        gemm_naive(
+            C64::one(),
+            &q,
+            Op::None,
+            &q,
+            Op::ConjTrans,
+            C64::zero(),
+            &mut p,
+        );
         let mut p2 = Matrix::zeros(n, n);
         gemm_naive(C64::one(), &p, Op::None, &p, Op::None, C64::zero(), &mut p2);
         assert!(p.max_abs_diff(&p2) < 1e-13);
@@ -712,7 +739,15 @@ mod tests {
             .collect();
         let xm = Matrix::from_vec(5, 1, x.clone());
         let mut ym = Matrix::zeros(9, 1);
-        gemm_naive(C64::one(), &a, Op::None, &xm, Op::None, C64::zero(), &mut ym);
+        gemm_naive(
+            C64::one(),
+            &a,
+            Op::None,
+            &xm,
+            Op::None,
+            C64::zero(),
+            &mut ym,
+        );
         let y = gemv(&a, Op::None, &x);
         for i in 0..9 {
             assert!((y[i] - ym[(i, 0)]).abs() < 1e-13);

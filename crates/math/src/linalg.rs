@@ -309,14 +309,26 @@ mod tests {
             let e = eigh(&a);
             // A V = V Lambda
             let mut av = Matrix::zeros(n, n);
-            gemm_naive(C64::one(), &a, Op::None, &e.vectors, Op::None, C64::zero(), &mut av);
+            gemm_naive(
+                C64::one(),
+                &a,
+                Op::None,
+                &e.vectors,
+                Op::None,
+                C64::zero(),
+                &mut av,
+            );
             let mut vl = e.vectors.clone();
             for c in 0..n {
                 for r in 0..n {
                     vl[(r, c)] = vl[(r, c)].scale(e.values[c]);
                 }
             }
-            assert!(av.max_abs_diff(&vl) < 1e-9, "n={n} diff={}", av.max_abs_diff(&vl));
+            assert!(
+                av.max_abs_diff(&vl) < 1e-9,
+                "n={n} diff={}",
+                av.max_abs_diff(&vl)
+            );
         }
     }
 

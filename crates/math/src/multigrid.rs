@@ -28,7 +28,13 @@ pub struct MgParams {
 
 impl Default for MgParams {
     fn default() -> Self {
-        Self { pre_sweeps: 3, post_sweeps: 3, coarse_sweeps: 200, max_cycles: 40, tol: 1e-8 }
+        Self {
+            pre_sweeps: 3,
+            post_sweeps: 3,
+            coarse_sweeps: 200,
+            max_cycles: 40,
+            tol: 1e-8,
+        }
     }
 }
 
@@ -124,8 +130,19 @@ pub struct Multigrid {
 impl Multigrid {
     /// Build the hierarchy, coarsening by 2 while all dimensions stay even
     /// and at least 4 cells.
-    pub fn new(nx: usize, ny: usize, nz: usize, lx: f64, ly: f64, lz: f64, params: MgParams) -> Self {
-        assert!(nx >= 4 && ny >= 4 && nz >= 4, "grid too small for multigrid");
+    pub fn new(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        lx: f64,
+        ly: f64,
+        lz: f64,
+        params: MgParams,
+    ) -> Self {
+        assert!(
+            nx >= 4 && ny >= 4 && nz >= 4,
+            "grid too small for multigrid"
+        );
         let mut levels = Vec::new();
         let (mut cx, mut cy, mut cz) = (nx, ny, nz);
         loop {
@@ -177,7 +194,11 @@ impl Multigrid {
                 break;
             }
         }
-        MgSolve { phi, cycles, rel_residual: rel }
+        MgSolve {
+            phi,
+            cycles,
+            rel_residual: rel,
+        }
     }
 
     fn vcycle(&self, lvl: usize, phi: &mut [f64], f: &[f64]) {
@@ -373,9 +394,14 @@ mod tests {
                 for j in 0..n {
                     for i in 0..n {
                         let mut acc = 2.0 * v[lvl.idx(i, j, k)];
-                        for (di, dj, dk) in
-                            [(1i32, 0i32, 0i32), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)]
-                        {
+                        for (di, dj, dk) in [
+                            (1i32, 0i32, 0i32),
+                            (-1, 0, 0),
+                            (0, 1, 0),
+                            (0, -1, 0),
+                            (0, 0, 1),
+                            (0, 0, -1),
+                        ] {
                             let ii = Level::wrap(i as isize + di as isize, n);
                             let jj = Level::wrap(j as isize + dj as isize, n);
                             let kk = Level::wrap(k as isize + dk as isize, n);
@@ -388,7 +414,10 @@ mod tests {
             out
         };
         let rho = smooth(&smooth(&rho));
-        let f: Vec<f64> = rho.iter().map(|&r| 4.0 * std::f64::consts::PI * r).collect();
+        let f: Vec<f64> = rho
+            .iter()
+            .map(|&r| 4.0 * std::f64::consts::PI * r)
+            .collect();
         let mg = Multigrid::new(n, n, n, l, l, l, MgParams::default());
         let sol = mg.solve(&f);
         assert!(sol.rel_residual < 1e-8);
@@ -412,7 +441,11 @@ mod tests {
     fn vcycle_converges_fast() {
         // A healthy V-cycle contracts the residual by >~5x per cycle.
         let n = 32;
-        let params = MgParams { max_cycles: 8, tol: 1e-12, ..MgParams::default() };
+        let params = MgParams {
+            max_cycles: 8,
+            tol: 1e-12,
+            ..MgParams::default()
+        };
         let mg = Multigrid::new(n, n, n, 2.0, 2.0, 2.0, params);
         let mut rng = StdRng::seed_from_u64(32);
         let mut f: Vec<f64> = (0..n * n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();

@@ -47,7 +47,11 @@ impl<R: Real> KineticTridiag<R> {
     /// matching the hard-wall DC domain peripheries).
     pub fn new(n: usize, mass: R, dx: R) -> Self {
         let inv = R::ONE / (mass * dx * dx);
-        Self { diag: inv, offdiag: -(inv * R::HALF), n }
+        Self {
+            diag: inv,
+            offdiag: -(inv * R::HALF),
+            n,
+        }
     }
 
     /// Dense application `y = T x` for verification.
@@ -81,13 +85,7 @@ impl<R: Real> KineticTridiag<R> {
 /// `A_even + A_odd = T` exactly in the interior; boundary points that have no
 /// partner in a given parity receive a pure diagonal phase of their half
 /// share, preserving unitarity.
-pub fn apply_split_exp<R: Real>(
-    line: &mut [Complex<R>],
-    dt: R,
-    diag: R,
-    offdiag: R,
-    odd: bool,
-) {
+pub fn apply_split_exp<R: Real>(line: &mut [Complex<R>], dt: R, diag: R, offdiag: R, odd: bool) {
     let n = line.len();
     let half_diag = diag * R::HALF;
     let (d, o) = exp_2x2_symmetric(dt, half_diag, offdiag);
@@ -95,7 +93,7 @@ pub fn apply_split_exp<R: Real>(
     // Unpaired boundary points still carry their half-diagonal phase.
     let lone_phase = Complex::cis(-dt * half_diag);
     if start == 1 {
-        line[0] = line[0] * lone_phase;
+        line[0] *= lone_phase;
     }
     let mut i = start;
     while i + 1 < n {
@@ -106,7 +104,7 @@ pub fn apply_split_exp<R: Real>(
         i += 2;
     }
     if i < n {
-        line[i] = line[i] * lone_phase;
+        line[i] *= lone_phase;
     }
 }
 
@@ -222,7 +220,11 @@ mod tests {
         for _ in 0..500 {
             kinetic_step_1d(&mut psi, 0.05, &t);
         }
-        assert!((norm(&psi) - 1.0).abs() < 1e-12, "norm drifted: {}", norm(&psi));
+        assert!(
+            (norm(&psi) - 1.0).abs() < 1e-12,
+            "norm drifted: {}",
+            norm(&psi)
+        );
     }
 
     #[test]
@@ -250,7 +252,11 @@ mod tests {
         let mut psi = gaussian_packet(n, k0_per_dx);
         let centroid = |v: &[C64]| -> f64 {
             let w: f64 = v.iter().map(|z| z.norm_sqr()).sum();
-            v.iter().enumerate().map(|(i, z)| i as f64 * z.norm_sqr()).sum::<f64>() / w
+            v.iter()
+                .enumerate()
+                .map(|(i, z)| i as f64 * z.norm_sqr())
+                .sum::<f64>()
+                / w
         };
         let c0 = centroid(&psi);
         let dt = 0.05;

@@ -1,0 +1,98 @@
+//! Chrome-trace (Perfetto-loadable) JSON export.
+//!
+//! Layout: pid 1 is the host process (wall or counter clock, one lane per
+//! recording thread), pid 2 is the modeled device (roofline clock, one
+//! lane per stream). Open the file at `ui.perfetto.dev` or
+//! `chrome://tracing`.
+
+use std::io::Write as _;
+
+use crate::json::Json;
+use crate::trace::{Event, EventKind, Track};
+
+const HOST_PID: f64 = 1.0;
+const DEVICE_PID: f64 = 2.0;
+
+fn phase_code(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::Begin => "B",
+        EventKind::End => "E",
+        EventKind::Complete => "X",
+        EventKind::Instant => "i",
+    }
+}
+
+fn event_json(ev: &Event) -> Json {
+    let (pid, cat) = match ev.track {
+        Track::Host => (HOST_PID, "host"),
+        Track::Device { .. } => (DEVICE_PID, "device"),
+    };
+    let mut members = vec![
+        ("name".to_string(), Json::Str(ev.name.to_string())),
+        ("cat".to_string(), Json::Str(cat.to_string())),
+        ("ph".to_string(), Json::Str(phase_code(ev.kind).to_string())),
+        ("ts".to_string(), Json::Num(ev.ts_us)),
+        ("pid".to_string(), Json::Num(pid)),
+        ("tid".to_string(), Json::Num(ev.thread as f64)),
+    ];
+    if ev.kind == EventKind::Complete {
+        members.push(("dur".to_string(), Json::Num(ev.dur_us)));
+    }
+    if ev.kind == EventKind::Instant {
+        members.push(("s".to_string(), Json::Str("t".to_string())));
+    }
+    let mut args = Vec::new();
+    if ev.bytes > 0 {
+        args.push(("bytes".to_string(), Json::Num(ev.bytes as f64)));
+    }
+    if let Track::Device { stream } = ev.track {
+        args.push(("stream".to_string(), Json::Num(stream as f64)));
+    }
+    if ev.id != 0 {
+        args.push(("span_id".to_string(), Json::Num(ev.id as f64)));
+    }
+    if ev.parent != 0 {
+        args.push(("parent_id".to_string(), Json::Num(ev.parent as f64)));
+    }
+    if !args.is_empty() {
+        members.push(("args".to_string(), Json::Obj(args)));
+    }
+    Json::Obj(members)
+}
+
+fn metadata(pid: f64, name: &str) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str("process_name".to_string())),
+        ("ph".to_string(), Json::Str("M".to_string())),
+        ("pid".to_string(), Json::Num(pid)),
+        (
+            "args".to_string(),
+            Json::Obj(vec![("name".to_string(), Json::Str(name.to_string()))]),
+        ),
+    ])
+}
+
+/// Build the full trace document. `events` should already be in
+/// `(ts, seq)` order (as [`crate::trace::drain`] returns them); within
+/// each track the emitted timestamps are then monotonically ordered.
+pub fn chrome_trace(events: &[Event]) -> Json {
+    let mut items = vec![
+        metadata(HOST_PID, "host (wall clock)"),
+        metadata(DEVICE_PID, "device (modeled clock)"),
+    ];
+    items.extend(events.iter().map(event_json));
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(items)),
+        ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+    ])
+}
+
+/// Serialize `events` and write them to `path`.
+pub fn write_chrome_trace(
+    path: impl AsRef<std::path::Path>,
+    events: &[Event],
+) -> std::io::Result<()> {
+    let doc = chrome_trace(events).to_string();
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(doc.as_bytes())
+}

@@ -1,0 +1,76 @@
+//! Injectable timebase for host-track events.
+//!
+//! Two modes:
+//!
+//! * [`ClockMode::Wall`] — microseconds of wall time since the collector
+//!   was enabled. The right choice for real profiling runs.
+//! * [`ClockMode::Counter`] — a deterministic monotonic counter advancing
+//!   by a fixed step per read. The right choice for snapshot-tested
+//!   output, where raw wall-clock would make traces non-reproducible.
+//!
+//! Device-track events never consult this clock: their timestamps come
+//! from the roofline model's stream timelines, which are deterministic by
+//! construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Source of host timestamps.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Microseconds of wall time since the epoch (collector enable).
+    Wall,
+    /// Deterministic counter: each read advances by `step_us`.
+    Counter {
+        /// Microseconds the clock advances per read.
+        step_us: u64,
+    },
+}
+
+const MODE_WALL: u64 = 0;
+
+/// Encoded mode: 0 = wall, otherwise the counter step in microseconds.
+static MODE: AtomicU64 = AtomicU64::new(MODE_WALL);
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn epoch_cell() -> &'static Mutex<Option<Instant>> {
+    static EPOCH: OnceLock<Mutex<Option<Instant>>> = OnceLock::new();
+    EPOCH.get_or_init(|| Mutex::new(None))
+}
+
+/// Select the timebase. Call before `dcmesh_obs::enable()`.
+pub fn set_mode(mode: ClockMode) {
+    let enc = match mode {
+        ClockMode::Wall => MODE_WALL,
+        ClockMode::Counter { step_us } => step_us.max(1),
+    };
+    MODE.store(enc, Ordering::SeqCst);
+    COUNTER.store(0, Ordering::SeqCst);
+}
+
+/// Pin the wall epoch to "now" if it isn't pinned yet.
+pub(crate) fn ensure_epoch() {
+    let mut g = epoch_cell().lock().unwrap_or_else(|e| e.into_inner());
+    if g.is_none() {
+        *g = Some(Instant::now());
+    }
+}
+
+/// Forget the epoch and zero the counter (collector reset).
+pub(crate) fn reset() {
+    *epoch_cell().lock().unwrap_or_else(|e| e.into_inner()) = None;
+    COUNTER.store(0, Ordering::SeqCst);
+}
+
+/// Current host timestamp in microseconds under the active mode.
+pub fn now_us() -> f64 {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_WALL => {
+            ensure_epoch();
+            let g = epoch_cell().lock().unwrap_or_else(|e| e.into_inner());
+            g.expect("epoch pinned above").elapsed().as_secs_f64() * 1e6
+        }
+        step => COUNTER.fetch_add(step, Ordering::Relaxed) as f64,
+    }
+}

@@ -1,0 +1,79 @@
+//! `dcmesh-obs`: unified observability for the DC-MESH stack.
+//!
+//! Three pieces, mirroring what the paper's evaluation needed by hand
+//! (§IV: per-kernel breakdowns, Tables I–II, scaling efficiencies):
+//!
+//! 1. **Span tracing** — [`span!`] guards emit enter/exit events into
+//!    thread-local buffers that are merged at flush, so instrumentation
+//!    composes with rayon without lock contention. When the collector is
+//!    disabled (the default) every instrumentation point reduces to one
+//!    relaxed atomic load.
+//! 2. **Metrics registry** — [`metrics`]: counters, gauges, and
+//!    log₂-bucketed histograms (per-step latency distributions, comm
+//!    bytes, SCF residuals, multigrid V-cycle counts).
+//! 3. **Exporters** — [`chrome`]: Chrome-trace/Perfetto JSON with a host
+//!    wall-clock track (pid 1) and a modeled device-clock track (pid 2);
+//!    [`report`]: flat per-phase aggregation that callers render through
+//!    `dcmesh_core::metrics::Table`.
+//!
+//! Timestamps come from an injectable [`clock`]: wall-clock for real
+//! profiling, a deterministic counter for snapshot-tested output.
+//!
+//! This crate is a dependency leaf: it must not depend on any other
+//! dcmesh crate, because every layer of the stack links against it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub mod chrome;
+pub mod clock;
+pub mod json;
+pub mod local;
+pub mod metrics;
+pub mod report;
+pub mod span;
+pub mod trace;
+
+pub use local::StepRecorder;
+pub use span::SpanGuard;
+pub use trace::{Event, EventKind, Track};
+
+/// Master switch for the collector. Off by default.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether the collector is recording. This is the *only* cost an
+/// instrumentation point pays when tracing is off: one relaxed load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn the collector on. Call [`clock::set_mode`] first if you need a
+/// deterministic timebase.
+pub fn enable() {
+    clock::ensure_epoch();
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn the collector off. Already-buffered events stay until
+/// [`trace::drain`] or [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Disable the collector and discard all buffered events and metrics.
+pub fn reset() {
+    disable();
+    trace::clear();
+    metrics::clear();
+    clock::reset();
+}
+
+#[cfg(test)]
+mod tests {
+    /// Most coverage lives in `tests/obs.rs` (integration tests can own
+    /// the global collector); here we only pin that the gate is readable.
+    #[test]
+    fn collector_gate_is_readable() {
+        let _ = super::enabled();
+    }
+}

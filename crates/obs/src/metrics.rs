@@ -1,0 +1,198 @@
+//! Global metrics registry: counters, gauges, log₂ histograms.
+//!
+//! Everything is gated on [`crate::enabled`] — when the collector is off a
+//! recording call costs one relaxed atomic load and returns.
+//!
+//! Histogram buckets are powers of two: bucket `e` covers `[2^e, 2^(e+1))`.
+//! The bucket index is taken straight from the IEEE-754 exponent bits, so
+//! boundaries are *exact* at powers of two — `2.0` lands in bucket 1,
+//! the next float below it in bucket 0 — with none of the rounding slop a
+//! `log2().floor()` would introduce.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::enabled;
+
+/// Smallest tracked exponent; values below `2^MIN_EXP` underflow.
+pub const MIN_EXP: i32 = -64;
+/// Largest tracked exponent; values at or above `2^(MAX_EXP+1)` overflow.
+pub const MAX_EXP: i32 = 64;
+
+/// A log₂-bucketed histogram of positive values.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// `counts[i]` counts values in `[2^(MIN_EXP+i), 2^(MIN_EXP+i+1))`.
+    pub counts: Vec<u64>,
+    /// Values `<= 0` or below `2^MIN_EXP`.
+    pub underflow: u64,
+    /// Values `>= 2^(MAX_EXP+1)` (and non-finite ones).
+    pub overflow: u64,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: vec![0; (MAX_EXP - MIN_EXP + 1) as usize],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// Exponent `e` such that `v` is in `[2^e, 2^(e+1))`, read from the
+/// IEEE-754 exponent bits (exact at powers of two). `None` for values
+/// that are not finite positive normals/subnormals.
+pub fn bucket_exponent(v: f64) -> Option<i32> {
+    if !v.is_finite() || v <= 0.0 {
+        return None;
+    }
+    let biased = ((v.to_bits() >> 52) & 0x7ff) as i32;
+    if biased == 0 {
+        // Subnormal: below every bucket we track.
+        Some(i32::MIN)
+    } else {
+        Some(biased - 1023)
+    }
+}
+
+impl Histogram {
+    /// Record one value.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        if v.is_finite() {
+            self.sum += v;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        match bucket_exponent(v) {
+            None if v.is_finite() => self.underflow += 1, // v <= 0
+            None => self.overflow += 1,                   // NaN / inf
+            Some(e) if e < MIN_EXP => self.underflow += 1,
+            Some(e) if e > MAX_EXP => self.overflow += 1,
+            Some(e) => self.counts[(e - MIN_EXP) as usize] += 1,
+        }
+    }
+
+    /// Count in the bucket covering `[2^e, 2^(e+1))`.
+    pub fn bucket(&self, e: i32) -> u64 {
+        if (MIN_EXP..=MAX_EXP).contains(&e) {
+            self.counts[(e - MIN_EXP) as usize]
+        } else {
+            0
+        }
+    }
+}
+
+/// Latest-value metric with running extrema (e.g. the SCF residual per
+/// iteration).
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    /// Most recently set value.
+    pub last: f64,
+    /// Smallest value ever set.
+    pub min: f64,
+    /// Largest value ever set.
+    pub max: f64,
+    /// Number of times the gauge was set.
+    pub count: u64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self {
+            last: f64::NAN,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            count: 0,
+        }
+    }
+}
+
+/// Snapshot of every registered metric.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, Gauge>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+fn registry() -> &'static Mutex<MetricsSnapshot> {
+    static REG: OnceLock<Mutex<MetricsSnapshot>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(MetricsSnapshot::default()))
+}
+
+fn with_registry<T>(f: impl FnOnce(&mut MetricsSnapshot) -> T) -> T {
+    f(&mut registry().lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// Add `n` to the counter `name`.
+pub fn counter_add(name: &str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|r| match r.counters.get_mut(name) {
+        Some(c) => *c += n,
+        None => {
+            r.counters.insert(name.to_string(), n);
+        }
+    });
+}
+
+/// Set the gauge `name` to `v`.
+pub fn gauge_set(name: &str, v: f64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|r| {
+        let g = match r.gauges.get_mut(name) {
+            Some(g) => g,
+            None => r.gauges.entry(name.to_string()).or_default(),
+        };
+        g.last = v;
+        if v.is_finite() {
+            g.min = g.min.min(v);
+            g.max = g.max.max(v);
+        }
+        g.count += 1;
+    });
+}
+
+/// Record `v` into the histogram `name`.
+pub fn histogram_record(name: &str, v: f64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|r| {
+        let h = match r.histograms.get_mut(name) {
+            Some(h) => h,
+            None => r.histograms.entry(name.to_string()).or_default(),
+        };
+        h.record(v);
+    });
+}
+
+/// Clone the current state of every metric.
+pub fn snapshot() -> MetricsSnapshot {
+    with_registry(|r| r.clone())
+}
+
+/// Drop every registered metric.
+pub fn clear() {
+    with_registry(|r| *r = MetricsSnapshot::default());
+}

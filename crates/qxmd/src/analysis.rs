@@ -58,13 +58,13 @@ pub fn radial_distribution(
     let density_j = count_j as f64 / volume;
     let mut r_centers = Vec::with_capacity(bins);
     let mut g = Vec::with_capacity(bins);
-    for b in 0..bins {
+    for (b, &h) in hist.iter().enumerate().take(bins) {
         let r_lo = b as f64 * dr;
         let r_hi = r_lo + dr;
         let shell = 4.0 / 3.0 * std::f64::consts::PI * (r_hi.powi(3) - r_lo.powi(3));
         let ideal = count_i as f64 * density_j * shell;
         r_centers.push(r_lo + 0.5 * dr);
-        g.push(if ideal > 0.0 { hist[b] / ideal } else { 0.0 });
+        g.push(if ideal > 0.0 { h / ideal } else { 0.0 });
     }
     (r_centers, g)
 }
@@ -124,7 +124,9 @@ mod tests {
     #[test]
     fn rdf_of_perfect_crystal_peaks_at_bond_length() {
         let sc = Supercell::build(&PbTiO3Cell::cubic(), [3, 3, 3]);
-        let sim_box = SimBox { lengths: sc.box_lengths };
+        let sim_box = SimBox {
+            lengths: sc.box_lengths,
+        };
         // Ti-O first shell: a/2 = 3.7517 Bohr.
         let (r, g) = radial_distribution(&sc.atoms, &sim_box, Some((1, 2)), 6.0, 60);
         let (mut peak_r, mut peak_g) = (0.0, 0.0);
@@ -135,7 +137,10 @@ mod tests {
             }
         }
         let bond = PbTiO3Cell::cubic().a[0] / 2.0;
-        assert!((peak_r - bond).abs() < 0.15, "Ti-O peak at {peak_r}, bond {bond}");
+        assert!(
+            (peak_r - bond).abs() < 0.15,
+            "Ti-O peak at {peak_r}, bond {bond}"
+        );
         assert!(peak_g > 5.0, "crystal peak too weak: {peak_g}");
         // No density inside the bond (hard core).
         for (ri, gi) in r.iter().zip(&g) {

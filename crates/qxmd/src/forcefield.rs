@@ -44,9 +44,8 @@ impl SimBox {
     /// Wrap a position into the primary cell.
     pub fn wrap(&self, p: [f64; 3]) -> [f64; 3] {
         let mut out = p;
-        for ax in 0..3 {
-            let l = self.lengths[ax];
-            out[ax] -= l * (out[ax] / l).floor();
+        for (o, &l) in out.iter_mut().zip(&self.lengths) {
+            *o -= l * (*o / l).floor();
         }
         out
     }
@@ -103,12 +102,40 @@ impl PerovskiteFF {
             buckingham[j * n + i] = Some(b);
         };
         // Order-of-magnitude oxide parameters (Hartree/Bohr units).
-        set(0, 2, Buckingham { a: 45.0, rho: 0.65, c: 0.0 }); // Pb-O
-        set(1, 2, Buckingham { a: 85.0, rho: 0.55, c: 0.0 }); // Ti-O
-        set(2, 2, Buckingham { a: 510.0, rho: 0.28, c: 2.0 }); // O-O
-        // Minimum-image correctness requires the cutoff to stay inside the
-        // half-box; larger boxes use the full 14-Bohr physical cutoff.
-        let lmin = sim_box.lengths.iter().cloned().fold(f64::INFINITY, f64::min);
+        set(
+            0,
+            2,
+            Buckingham {
+                a: 45.0,
+                rho: 0.65,
+                c: 0.0,
+            },
+        ); // Pb-O
+        set(
+            1,
+            2,
+            Buckingham {
+                a: 85.0,
+                rho: 0.55,
+                c: 0.0,
+            },
+        ); // Ti-O
+        set(
+            2,
+            2,
+            Buckingham {
+                a: 510.0,
+                rho: 0.28,
+                c: 2.0,
+            },
+        ); // O-O
+           // Minimum-image correctness requires the cutoff to stay inside the
+           // half-box; larger boxes use the full 14-Bohr physical cutoff.
+        let lmin = sim_box
+            .lengths
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         let cutoff = 14.0f64.min(0.49 * lmin);
         Self {
             sim_box,
@@ -131,8 +158,7 @@ impl PerovskiteFF {
         let e_r = erfc(self.alpha * r) / r;
         let e_rc = erfc(self.alpha * rc) / rc;
         let de_rc = -erfc(self.alpha * rc) / (rc * rc)
-            - 2.0 * self.alpha / std::f64::consts::PI.sqrt()
-                * (-(self.alpha * rc).powi(2)).exp()
+            - 2.0 * self.alpha / std::f64::consts::PI.sqrt() * (-(self.alpha * rc).powi(2)).exp()
                 / rc;
         qq * (e_r - e_rc - de_rc * (r - rc))
     }
@@ -174,8 +200,8 @@ impl ForceProvider for PerovskiteFF {
                 }
                 energy += e;
                 // F_i = -dE/dr * dhat (d points from j to i).
-                for ax in 0..3 {
-                    let f = -de * d[ax] / r;
+                for (ax, &dax) in d.iter().enumerate() {
+                    let f = -de * dax / r;
                     atoms.atoms[i].force[ax] += f;
                     atoms.atoms[j].force[ax] -= f;
                 }
@@ -194,13 +220,17 @@ mod tests {
     fn small_crystal() -> (PerovskiteFF, AtomSet) {
         let cell = PbTiO3Cell::cubic();
         let sc = Supercell::build(&cell, [2, 2, 2]);
-        let ff = PerovskiteFF::pbtio3(SimBox { lengths: sc.box_lengths });
+        let ff = PerovskiteFF::pbtio3(SimBox {
+            lengths: sc.box_lengths,
+        });
         (ff, sc.atoms)
     }
 
     #[test]
     fn min_image_halves_box() {
-        let b = SimBox { lengths: [10.0, 10.0, 10.0] };
+        let b = SimBox {
+            lengths: [10.0, 10.0, 10.0],
+        };
         let d = b.min_image([9.5, 0.0, 0.0], [0.5, 0.0, 0.0]);
         assert!((d[0] + 1.0).abs() < 1e-12, "wrapped displacement {d:?}");
         let d2 = b.min_image([3.0, 0.0, 0.0], [1.0, 0.0, 0.0]);
@@ -236,6 +266,7 @@ mod tests {
         ff.compute(&mut atoms);
         let f_analytic = atoms.atoms[ti].force;
         let h = 1e-5;
+        #[allow(clippy::needless_range_loop)]
         for ax in 0..3 {
             let mut plus = atoms.clone();
             plus.atoms[ti].pos[ax] += h;
@@ -275,7 +306,11 @@ mod tests {
         atoms.clear_forces();
         let e_displaced = ff.compute(&mut atoms);
         // Restoring force points back toward the ideal site.
-        assert!(atoms.atoms[ti].force[0] < 0.0, "force {}", atoms.atoms[ti].force[0]);
+        assert!(
+            atoms.atoms[ti].force[0] < 0.0,
+            "force {}",
+            atoms.atoms[ti].force[0]
+        );
         // And the ideal lattice has lower energy.
         atoms.atoms[ti].pos[0] -= 0.3;
         atoms.clear_forces();
@@ -285,7 +320,9 @@ mod tests {
 
     #[test]
     fn coulomb_shifted_force_is_continuous_at_cutoff() {
-        let b = SimBox { lengths: [100.0; 3] };
+        let b = SimBox {
+            lengths: [100.0; 3],
+        };
         let ff = PerovskiteFF::pbtio3(b);
         let rc = ff.cutoff;
         let e = ff.coulomb_energy(4.0, rc - 1e-9);

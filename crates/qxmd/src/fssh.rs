@@ -121,15 +121,23 @@ impl FsshState {
         for _ in 0..self.cfg.substeps {
             let c0 = self.c.clone();
             let k1 = self.derivative(&c0, energies, nac);
-            let c1: Vec<C64> = c0.iter().zip(&k1).map(|(c, k)| *c + k.scale(h / 2.0)).collect();
+            let c1: Vec<C64> = c0
+                .iter()
+                .zip(&k1)
+                .map(|(c, k)| *c + k.scale(h / 2.0))
+                .collect();
             let k2 = self.derivative(&c1, energies, nac);
-            let c2: Vec<C64> = c0.iter().zip(&k2).map(|(c, k)| *c + k.scale(h / 2.0)).collect();
+            let c2: Vec<C64> = c0
+                .iter()
+                .zip(&k2)
+                .map(|(c, k)| *c + k.scale(h / 2.0))
+                .collect();
             let k3 = self.derivative(&c2, energies, nac);
             let c3: Vec<C64> = c0.iter().zip(&k3).map(|(c, k)| *c + k.scale(h)).collect();
             let k4 = self.derivative(&c3, energies, nac);
             for i in 0..n {
-                self.c[i] = c0[i]
-                    + (k1[i] + k2[i].scale(2.0) + k3[i].scale(2.0) + k4[i]).scale(h / 6.0);
+                self.c[i] =
+                    c0[i] + (k1[i] + k2[i].scale(2.0) + k3[i].scale(2.0) + k4[i]).scale(h / 6.0);
             }
         }
         // Fewest-switches hop decision.
@@ -173,9 +181,9 @@ impl FsshState {
 
 fn nac_antisymmetric(nac: &[Vec<f64>]) -> bool {
     let n = nac.len();
-    for i in 0..n {
-        for j in 0..n {
-            if (nac[i][j] + nac[j][i]).abs() > 1e-10 {
+    for (i, row) in nac.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate().take(n) {
+            if (v + nac[j][i]).abs() > 1e-10 {
                 return false;
             }
         }
@@ -195,14 +203,16 @@ pub fn nac_from_overlaps(
     assert_eq!(s_forward.cols(), n);
     assert_eq!(s_backward.rows(), n);
     let mut d = vec![vec![0.0; n]; n];
-    for j in 0..n {
-        for k in 0..n {
+    for (j, row) in d.iter_mut().enumerate() {
+        for (k, djk) in row.iter_mut().enumerate() {
             if j != k {
-                d[j][k] = (s_forward[(j, k)].re - s_backward[(j, k)].re) / (2.0 * dt);
+                *djk = (s_forward[(j, k)].re - s_backward[(j, k)].re) / (2.0 * dt);
             }
         }
     }
-    // Enforce exact antisymmetry against numerical noise.
+    // Enforce exact antisymmetry against numerical noise. Index form kept:
+    // the body reads/writes two distinct rows of `d` per iteration.
+    #[allow(clippy::needless_range_loop)]
     for j in 0..n {
         for k in j + 1..n {
             let a = 0.5 * (d[j][k] - d[k][j]);
@@ -335,9 +345,9 @@ mod tests {
         sb[(1, 0)] = Complex::from_real(0.15);
         sf[(2, 0)] = Complex::from_real(-0.1);
         let d = nac_from_overlaps(&sf, &sb, 0.5);
-        for i in 0..3 {
-            for j in 0..3 {
-                assert!((d[i][j] + d[j][i]).abs() < 1e-14);
+        for (i, row) in d.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v + d[j][i]).abs() < 1e-14);
             }
         }
         assert!(d[0][1] != 0.0);

@@ -29,13 +29,13 @@ pub mod fssh;
 pub mod md;
 pub mod nnff;
 pub mod pbtio3;
-pub mod qmd;
 pub mod polarization;
+pub mod qmd;
 
 pub use forcefield::{ForceField, PerovskiteFF};
 pub use fssh::{FsshConfig, FsshState};
 pub use md::{MdConfig, MdIntegrator};
 pub use nnff::{Mlp, NnForceField, TrainConfig};
 pub use pbtio3::{PbTiO3Cell, Supercell};
-pub use qmd::QmdForces;
 pub use polarization::{LkDynamics, PolarizationField};
+pub use qmd::QmdForces;

@@ -29,7 +29,10 @@ pub struct MdConfig {
 impl Default for MdConfig {
     fn default() -> Self {
         // 0.5 fs in atomic units.
-        Self { dt: dcmesh_math::phys::femtoseconds_to_au(0.5), thermostat: None }
+        Self {
+            dt: dcmesh_math::phys::femtoseconds_to_au(0.5),
+            thermostat: None,
+        }
     }
 }
 
@@ -49,7 +52,13 @@ impl<F: ForceProvider> MdIntegrator<F> {
     pub fn new(mut atoms: AtomSet, forces: F, cfg: MdConfig) -> Self {
         atoms.clear_forces();
         let potential = forces.compute(&mut atoms);
-        Self { atoms, forces, cfg, potential, steps: 0 }
+        Self {
+            atoms,
+            forces,
+            cfg,
+            potential,
+            steps: 0,
+        }
     }
 
     /// Current potential energy (Hartree).
@@ -113,13 +122,13 @@ impl<F: ForceProvider> MdIntegrator<F> {
         for a in &self.atoms.atoms {
             let m = self.atoms.species[a.species].mass;
             mtot += m;
-            for ax in 0..3 {
-                p[ax] += m * a.vel[ax];
+            for (pa, &v) in p.iter_mut().zip(&a.vel) {
+                *pa += m * v;
             }
         }
         for a in &mut self.atoms.atoms {
-            for ax in 0..3 {
-                a.vel[ax] -= p[ax] / mtot;
+            for (v, &pa) in a.vel.iter_mut().zip(&p) {
+                *v -= pa / mtot;
             }
         }
     }
@@ -164,7 +173,7 @@ impl<F: ForceProvider> MdIntegrator<F> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcmesh_tddft::{Atom, Species};
+    use dcmesh_tddft::Species;
 
     /// Harmonic springs binding each atom to its initial position.
     struct Harmonic {
@@ -176,8 +185,8 @@ mod tests {
         fn compute(&self, atoms: &mut AtomSet) -> f64 {
             let mut e = 0.0;
             for (a, anchor) in atoms.atoms.iter_mut().zip(&self.anchors) {
-                for ax in 0..3 {
-                    let d = a.pos[ax] - anchor[ax];
+                for (ax, &anc) in anchor.iter().enumerate() {
+                    let d = a.pos[ax] - anc;
                     e += 0.5 * self.k * d * d;
                     a.force[ax] -= self.k * d;
                 }
@@ -192,7 +201,14 @@ mod tests {
         set.push(0, [5.0, 0.2, -0.1]);
         let anchors = vec![[0.0, 0.0, 0.0], [5.0, 0.0, 0.0]];
         let forces = Harmonic { anchors, k: 0.5 };
-        MdIntegrator::new(set, forces, MdConfig { dt: 2.0, thermostat: None })
+        MdIntegrator::new(
+            set,
+            forces,
+            MdConfig {
+                dt: 2.0,
+                thermostat: None,
+            },
+        )
     }
 
     #[test]
@@ -216,9 +232,19 @@ mod tests {
         set.push(0, [1.0, 0.0, 0.0]);
         let m = set.species[0].mass;
         let k = 0.2;
-        let forces = Harmonic { anchors: vec![[0.0; 3]], k };
+        let forces = Harmonic {
+            anchors: vec![[0.0; 3]],
+            k,
+        };
         let dt = 1.0;
-        let mut md = MdIntegrator::new(set, forces, MdConfig { dt, thermostat: None });
+        let mut md = MdIntegrator::new(
+            set,
+            forces,
+            MdConfig {
+                dt,
+                thermostat: None,
+            },
+        );
         // Count zero crossings of x over many periods.
         let mut crossings = 0;
         let mut last = md.atoms.atoms[0].pos[0];
@@ -247,7 +273,10 @@ mod tests {
         }
         let anchors: Vec<[f64; 3]> = set.atoms.iter().map(|a| a.pos).collect();
         let forces = Harmonic { anchors, k: 0.1 };
-        let cfg = MdConfig { dt: 5.0, thermostat: Some((300.0, 10.0)) };
+        let cfg = MdConfig {
+            dt: 5.0,
+            thermostat: Some((300.0, 10.0)),
+        };
         let mut md = MdIntegrator::new(set, forces, cfg);
         md.initialize_velocities(50.0, 4);
         for _ in 0..3000 {
@@ -265,12 +294,12 @@ mod tests {
         let mut p = [0.0; 3];
         for a in &md.atoms.atoms {
             let m = md.atoms.species[a.species].mass;
-            for ax in 0..3 {
-                p[ax] += m * a.vel[ax];
+            for (pa, &v) in p.iter_mut().zip(&a.vel) {
+                *pa += m * v;
             }
         }
-        for ax in 0..3 {
-            assert!(p[ax].abs() < 1e-9, "COM momentum {p:?}");
+        for (ax, &pa) in p.iter().enumerate() {
+            assert!(pa.abs() < 1e-9, "COM momentum along axis {ax}: {p:?}");
         }
         assert!(md.temperature() > 0.0);
     }

@@ -39,7 +39,9 @@ struct Layer {
 impl Layer {
     fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
         let scale = (2.0 / (n_in + n_out) as f64).sqrt();
-        let w = (0..n_in * n_out).map(|_| rng.gen_range(-scale..scale)).collect();
+        let w = (0..n_in * n_out)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
         Self {
             w,
             b: vec![0.0; n_out],
@@ -56,9 +58,9 @@ impl Layer {
 
     fn forward(&self, x: &[f64]) -> Vec<f64> {
         let mut y = self.b.clone();
-        for o in 0..self.n_out {
+        for (o, yo) in y.iter_mut().enumerate() {
             let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
-            y[o] += row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
+            *yo += row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
         }
         y
     }
@@ -82,7 +84,10 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { lr: 3e-3, epochs: 400 }
+        Self {
+            lr: 3e-3,
+            epochs: 400,
+        }
     }
 }
 
@@ -143,10 +148,10 @@ impl Mlp {
             let a_in = activations[li].clone();
             let layer = &mut self.layers[li];
             // Accumulate parameter gradients.
-            for o in 0..layer.n_out {
-                layer.gb[o] += delta[o];
-                for i in 0..layer.n_in {
-                    layer.gw[o * layer.n_in + i] += delta[o] * a_in[i];
+            for (o, &dlo) in delta.iter().enumerate().take(layer.n_out) {
+                layer.gb[o] += dlo;
+                for (i, &ai) in a_in.iter().enumerate().take(layer.n_in) {
+                    layer.gw[o * layer.n_in + i] += dlo * ai;
                 }
             }
             if li == 0 {
@@ -154,9 +159,9 @@ impl Mlp {
             }
             // Propagate to the previous layer: dL/da_in then through tanh.
             let mut next = vec![0.0; layer.n_in];
-            for o in 0..layer.n_out {
+            for (o, &dlo) in delta.iter().enumerate().take(layer.n_out) {
                 for (i, nx) in next.iter_mut().enumerate() {
-                    *nx += layer.w[o * layer.n_in + i] * delta[o];
+                    *nx += layer.w[o * layer.n_in + i] * dlo;
                 }
             }
             let z_prev = &preacts[li - 1];
@@ -191,9 +196,9 @@ impl Mlp {
         for li in (0..self.layers.len()).rev() {
             let layer = &self.layers[li];
             let mut next = vec![0.0; layer.n_in];
-            for o in 0..layer.n_out {
+            for (o, &dlo) in delta.iter().enumerate().take(layer.n_out) {
                 for (i, nx) in next.iter_mut().enumerate() {
-                    *nx += layer.w[o * layer.n_in + i] * delta[o];
+                    *nx += layer.w[o * layer.n_in + i] * dlo;
                 }
             }
             if li > 0 {
@@ -284,7 +289,12 @@ pub struct Descriptors {
 impl Descriptors {
     /// A small default set suitable for perovskite bond lengths.
     pub fn perovskite(nspecies: usize) -> Self {
-        Self { centers: vec![3.0, 4.0, 5.5, 7.0], eta: 1.2, rcut: 9.0, nspecies }
+        Self {
+            centers: vec![3.0, 4.0, 5.5, 7.0],
+            eta: 1.2,
+            rcut: 9.0,
+            nspecies,
+        }
     }
 
     /// Descriptor length per atom: one-hot species + per-species radial set.
@@ -314,7 +324,7 @@ impl Descriptors {
         for (i, d) in out.iter_mut().enumerate() {
             d[atoms.atoms[i].species] = 1.0; // one-hot
         }
-        for i in 0..n {
+        for (i, oi) in out.iter_mut().enumerate() {
             for j in 0..n {
                 if i == j {
                     continue;
@@ -328,7 +338,7 @@ impl Descriptors {
                 let fc = self.fcut(r);
                 for (ci, &c) in self.centers.iter().enumerate() {
                     let g = (-self.eta * (r - c) * (r - c)).exp() * fc;
-                    out[i][self.nspecies + sj * k + ci] += g;
+                    oi[self.nspecies + sj * k + ci] += g;
                 }
             }
         }
@@ -354,12 +364,21 @@ impl NnForceField {
     /// half-box so the minimum-image convention stays single-valued (same
     /// constraint as the classical force field).
     pub fn new(mut descriptors: Descriptors, sim_box: SimBox, hidden: &[usize], seed: u64) -> Self {
-        let lmin = sim_box.lengths.iter().cloned().fold(f64::INFINITY, f64::min);
+        let lmin = sim_box
+            .lengths
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         descriptors.rcut = descriptors.rcut.min(0.49 * lmin);
         let mut widths = vec![descriptors.len()];
         widths.extend_from_slice(hidden);
         widths.push(1);
-        Self { mlp: Mlp::new(&widths, seed), descriptors, sim_box, fd_step: 1e-4 }
+        Self {
+            mlp: Mlp::new(&widths, seed),
+            descriptors,
+            sim_box,
+            fd_step: 1e-4,
+        }
     }
 
     /// Total predicted energy of a configuration.
@@ -420,7 +439,7 @@ impl NnForceField {
             .collect();
         let rcut = self.descriptors.rcut;
         let eta = self.descriptors.eta;
-        for i in 0..n {
+        for (i, gi) in grads.iter().enumerate().take(n) {
             for j in 0..n {
                 if i == j {
                     continue;
@@ -434,17 +453,17 @@ impl NnForceField {
                 }
                 let sj = atoms.atoms[j].species;
                 let fc = 0.5 * (1.0 + (std::f64::consts::PI * r / rcut).cos());
-                let dfc = -0.5 * std::f64::consts::PI / rcut
-                    * (std::f64::consts::PI * r / rcut).sin();
+                let dfc =
+                    -0.5 * std::f64::consts::PI / rcut * (std::f64::consts::PI * r / rcut).sin();
                 for (ci, &c) in self.descriptors.centers.iter().enumerate() {
                     let gauss = (-eta * (r - c) * (r - c)).exp();
                     // d/dr of gauss * fc.
                     let dg_dr = gauss * (dfc - 2.0 * eta * (r - c) * fc);
                     let feature = ns + sj * k + ci;
-                    let coeff = grads[i][feature] * dg_dr;
-                    for ax in 0..3 {
+                    let coeff = gi[feature] * dg_dr;
+                    for (ax, &dax) in dvec.iter().enumerate() {
                         // dvec points j -> i; dr/dpos_i = dvec/r.
-                        let dir = dvec[ax] / r;
+                        let dir = dax / r;
                         atoms.atoms[i].force[ax] -= coeff * dir;
                         atoms.atoms[j].force[ax] += coeff * dir;
                     }
@@ -492,7 +511,7 @@ mod tests {
         let x = vec![0.3, -0.7, 1.1];
         mlp.zero_grad();
         mlp.forward_backward(&x, 1.0); // dL/dy = 1 -> grads = dy/dtheta
-        // Check several weight gradients by finite differences.
+                                       // Check several weight gradients by finite differences.
         let h = 1e-6;
         for (li, oi) in [(0usize, 0usize), (0, 7), (1, 2)] {
             let g_analytic = mlp.layers[li].gw[oi];
@@ -517,7 +536,13 @@ mod tests {
                 (vec![x], (1.5 * x).sin())
             })
             .collect();
-        let hist = mlp.train(&data, &TrainConfig { lr: 5e-3, epochs: 1500 });
+        let hist = mlp.train(
+            &data,
+            &TrainConfig {
+                lr: 5e-3,
+                epochs: 1500,
+            },
+        );
         let first = hist[0];
         let last = *hist.last().unwrap();
         assert!(last < first * 0.01, "loss {first} -> {last}");
@@ -531,7 +556,9 @@ mod tests {
     fn descriptors_are_translation_invariant() {
         let cell = PbTiO3Cell::cubic();
         let sc = Supercell::build(&cell, [2, 2, 2]);
-        let sim_box = SimBox { lengths: sc.box_lengths };
+        let sim_box = SimBox {
+            lengths: sc.box_lengths,
+        };
         let desc = Descriptors::perovskite(3);
         let d0 = desc.compute(&sc.atoms, &sim_box);
         let mut shifted = sc.atoms.clone();
@@ -551,7 +578,9 @@ mod tests {
     fn descriptors_distinguish_species() {
         let cell = PbTiO3Cell::cubic();
         let sc = Supercell::build(&cell, [2, 2, 2]);
-        let sim_box = SimBox { lengths: sc.box_lengths };
+        let sim_box = SimBox {
+            lengths: sc.box_lengths,
+        };
         let desc = Descriptors::perovskite(3);
         let d = desc.compute(&sc.atoms, &sim_box);
         // One-hot prefix reflects the species.
@@ -561,7 +590,11 @@ mod tests {
         // A Pb and an O descriptor differ beyond the one-hot.
         let pb = &d[0];
         let o = &d[2];
-        let diff: f64 = pb[3..].iter().zip(&o[3..]).map(|(a, b)| (a - b).abs()).sum();
+        let diff: f64 = pb[3..]
+            .iter()
+            .zip(&o[3..])
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         assert!(diff > 0.1, "radial environments identical: {diff}");
     }
 
@@ -571,8 +604,12 @@ mod tests {
         // verify the NN loss drops and generalizes to a held-out config.
         let cell = PbTiO3Cell::cubic();
         let base = Supercell::build(&cell, [2, 2, 2]);
-        let sim_box = SimBox { lengths: base.box_lengths };
-        let ff = PerovskiteFF::pbtio3(SimBox { lengths: base.box_lengths });
+        let sim_box = SimBox {
+            lengths: base.box_lengths,
+        };
+        let ff = PerovskiteFF::pbtio3(SimBox {
+            lengths: base.box_lengths,
+        });
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(99);
@@ -592,13 +629,24 @@ mod tests {
         // Normalize labels: subtract the mean energy so the net fits the
         // fluctuation, not a huge offset.
         let emean = configs.iter().map(|(_, e)| e).sum::<f64>() / configs.len() as f64;
-        let train_set: Vec<(AtomSet, f64)> =
-            configs.iter().map(|(a, e)| (a.clone(), e - emean)).collect();
+        let train_set: Vec<(AtomSet, f64)> = configs
+            .iter()
+            .map(|(a, e)| (a.clone(), e - emean))
+            .collect();
         let mut nn = NnForceField::new(Descriptors::perovskite(3), sim_box, &[10], 5);
-        let hist = nn.train(&train_set, &TrainConfig { lr: 4e-3, epochs: 300 });
+        let hist = nn.train(
+            &train_set,
+            &TrainConfig {
+                lr: 4e-3,
+                epochs: 300,
+            },
+        );
         let first = hist[0];
         let last = *hist.last().unwrap();
-        assert!(last < first * 0.2, "training did not converge: {first} -> {last}");
+        assert!(
+            last < first * 0.2,
+            "training did not converge: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -614,7 +662,11 @@ mod tests {
             let mut xm = x.clone();
             xm[i] -= h;
             let fd = (mlp.forward(&xp) - mlp.forward(&xm)) / (2.0 * h);
-            assert!((fd - grad[i]).abs() < 1e-7, "input {i}: {fd} vs {}", grad[i]);
+            assert!(
+                (fd - grad[i]).abs() < 1e-7,
+                "input {i}: {fd} vs {}",
+                grad[i]
+            );
         }
     }
 
@@ -622,7 +674,9 @@ mod tests {
     fn analytic_forces_match_finite_difference() {
         let cell = PbTiO3Cell::cubic();
         let sc = Supercell::build(&cell, [2, 2, 2]);
-        let sim_box = SimBox { lengths: sc.box_lengths };
+        let sim_box = SimBox {
+            lengths: sc.box_lengths,
+        };
         let nn = NnForceField::new(Descriptors::perovskite(3), sim_box, &[8], 21);
         let mut atoms = sc.atoms.clone();
         atoms.atoms[1].pos[0] += 0.25;
@@ -650,7 +704,9 @@ mod tests {
     fn nnff_forces_are_finite_and_third_law_balanced() {
         let cell = PbTiO3Cell::cubic();
         let sc = Supercell::build(&cell, [2, 2, 2]);
-        let sim_box = SimBox { lengths: sc.box_lengths };
+        let sim_box = SimBox {
+            lengths: sc.box_lengths,
+        };
         let nn = NnForceField::new(Descriptors::perovskite(3), sim_box, &[8], 3);
         let mut atoms = sc.atoms.clone();
         atoms.atoms[1].pos[0] += 0.3;

@@ -23,7 +23,10 @@ impl PbTiO3Cell {
     /// Ideal cubic cell, a = 3.97 angstrom.
     pub fn cubic() -> Self {
         let a = angstrom_to_bohr(3.97);
-        Self { a: [a, a, a], ti_shift: [0.0; 3] }
+        Self {
+            a: [a, a, a],
+            ti_shift: [0.0; 3],
+        }
     }
 
     /// Tetragonal polar cell: c/a = 1.065, Ti displaced along +z by
@@ -31,7 +34,10 @@ impl PbTiO3Cell {
     pub fn tetragonal_polar() -> Self {
         let a = angstrom_to_bohr(3.90);
         let c = angstrom_to_bohr(4.156);
-        Self { a: [a, a, c], ti_shift: [0.0, 0.0, angstrom_to_bohr(0.17)] }
+        Self {
+            a: [a, a, c],
+            ti_shift: [0.0, 0.0, angstrom_to_bohr(0.17)],
+        }
     }
 
     /// Atoms per unit cell (Pb + Ti + 3 O).
@@ -65,7 +71,11 @@ pub struct Supercell {
 impl Supercell {
     /// Tile `cell` into an `nx x ny x nz` supercell.
     pub fn build(cell: &PbTiO3Cell, dims: [usize; 3]) -> Self {
-        let mut atoms = AtomSet::new(vec![Species::lead(), Species::titanium(), Species::oxygen()]);
+        let mut atoms = AtomSet::new(vec![
+            Species::lead(),
+            Species::titanium(),
+            Species::oxygen(),
+        ]);
         let (a, b, c) = (cell.a[0], cell.a[1], cell.a[2]);
         for ix in 0..dims[0] {
             for iy in 0..dims[1] {
@@ -252,15 +262,15 @@ mod tests {
         for ix in 0..6 {
             for iz in 0..6 {
                 let p = sc.cell_polarization(ix, 0, iz);
-                for ax in 0..3 {
-                    net[ax] += p[ax];
+                for (na, &pa) in net.iter_mut().zip(&p) {
+                    *na += pa;
                 }
                 mags += (p[0] * p[0] + p[2] * p[2]).sqrt();
             }
         }
         assert!(mags > 0.0, "vortex cells unpolarized");
-        for ax in 0..3 {
-            assert!(net[ax].abs() < 1e-10 * mags, "net P[{ax}] = {}", net[ax]);
+        for (ax, &na) in net.iter().enumerate() {
+            assert!(na.abs() < 1e-10 * mags, "net P[{ax}] = {na}");
         }
     }
 

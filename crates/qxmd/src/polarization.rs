@@ -12,9 +12,9 @@
 //!   `dP/dt = -Gamma dF/dP` in the double-well free energy
 //!   `F = sum_cells [-(alpha/2)(1 - s n_exc) P^2 + (beta/4) P^4 - E.P]
 //!   + (kappa/2) sum_<cells> |P_i - P_j|^2`, where `n_exc` is the
-//!   laser-induced excited-carrier density LFD reports: excitation screens
-//!   the double well, lowering the switching barrier — the mechanism behind
-//!   light-induced topological switching (refs [12, 35]).
+//!     laser-induced excited-carrier density LFD reports: excitation screens
+//!     the double well, lowering the switching barrier — the mechanism behind
+//!     light-induced topological switching (refs [12, 35]).
 
 use crate::pbtio3::Supercell;
 
@@ -46,14 +46,32 @@ impl PolarizationField {
                 pz[ix * nz + iz] = p[2];
             }
         }
-        Self { nx, nz, px, pz, cell: [sc.cell.a[0], sc.cell.a[2]] }
+        Self {
+            nx,
+            nz,
+            px,
+            pz,
+            cell: [sc.cell.a[0], sc.cell.a[2]],
+        }
     }
 
     /// Build directly from component arrays.
-    pub fn from_components(nx: usize, nz: usize, px: Vec<f64>, pz: Vec<f64>, cell: [f64; 2]) -> Self {
+    pub fn from_components(
+        nx: usize,
+        nz: usize,
+        px: Vec<f64>,
+        pz: Vec<f64>,
+        cell: [f64; 2],
+    ) -> Self {
         assert_eq!(px.len(), nx * nz);
         assert_eq!(pz.len(), nx * nz);
-        Self { nx, nz, px, pz, cell }
+        Self {
+            nx,
+            nz,
+            px,
+            pz,
+            cell,
+        }
     }
 
     /// Mean polarization vector `(Px, Pz)`.
@@ -119,7 +137,10 @@ impl PolarizationField {
     /// ASCII rendering of the field (one glyph per cell by angle) — the
     /// textual stand-in for Fig. 7's vector map.
     pub fn render_ascii(&self) -> String {
-        let glyphs = ['\u{2192}', '\u{2197}', '\u{2191}', '\u{2196}', '\u{2190}', '\u{2199}', '\u{2193}', '\u{2198}'];
+        let glyphs = [
+            '\u{2192}', '\u{2197}', '\u{2191}', '\u{2196}', '\u{2190}', '\u{2199}', '\u{2193}',
+            '\u{2198}',
+        ];
         let mut out = String::new();
         for iz in (0..self.nz).rev() {
             for ix in 0..self.nx {
@@ -129,8 +150,7 @@ impl PolarizationField {
                     out.push('.');
                 } else {
                     let ang = z.atan2(x); // angle in the x-z plane
-                    let sector = ((ang + std::f64::consts::PI)
-                        / (std::f64::consts::PI / 4.0))
+                    let sector = ((ang + std::f64::consts::PI) / (std::f64::consts::PI / 4.0))
                         .round() as usize
                         % 8;
                     // sector 0 corresponds to angle -pi (pointing -x).
@@ -229,10 +249,10 @@ impl LkDynamics {
                 // plus tetragonal anisotropy a' d(Px^2 Pz^2)/dP (screened
                 // alongside the well by the excited carriers).
                 let an = self.anisotropy * (a_eff / self.alpha).max(0.0);
-                let mut fx = -a_eff * px + self.beta * p2 * px - e_applied[0]
-                    + 2.0 * an * px * pz * pz;
-                let mut fz = -a_eff * pz + self.beta * p2 * pz - e_applied[1]
-                    + 2.0 * an * pz * px * px;
+                let mut fx =
+                    -a_eff * px + self.beta * p2 * px - e_applied[0] + 2.0 * an * px * pz * pz;
+                let mut fz =
+                    -a_eff * pz + self.beta * p2 * pz - e_applied[1] + 2.0 * an * pz * px * px;
                 // Gradient coupling (periodic neighbours in the plane).
                 let neighbors = [
                     ((ix + 1) % nx, iz),
@@ -290,7 +310,10 @@ mod tests {
         let gp = vortex_field(8, 1.0).toroidal_moment();
         let gm = vortex_field(8, -1.0).toroidal_moment();
         assert!(gp.abs() > 1e-6);
-        assert!((gp + gm).abs() < 1e-12 * gp.abs().max(1.0), "not odd under sense flip");
+        assert!(
+            (gp + gm).abs() < 1e-12 * gp.abs().max(1.0),
+            "not odd under sense flip"
+        );
         assert!(gp * gm < 0.0);
     }
 
@@ -331,7 +354,11 @@ mod tests {
             lk.step(0.01, [0.0, 0.0], 0.0);
         }
         let m = lk.field.mean();
-        assert!((m[1] - p0).abs() < 0.01 * p0, "relaxed to {} want {p0}", m[1]);
+        assert!(
+            (m[1] - p0).abs() < 0.01 * p0,
+            "relaxed to {} want {p0}",
+            m[1]
+        );
     }
 
     #[test]
@@ -354,7 +381,10 @@ mod tests {
         for _ in 0..8000 {
             strong.step(0.01, [0.0, -3.0 * ec], 0.0);
         }
-        assert!(strong.field.mean()[1] < 0.0, "strong field failed to switch");
+        assert!(
+            strong.field.mean()[1] < 0.0,
+            "strong field failed to switch"
+        );
         let mut weak = make();
         for _ in 0..8000 {
             weak.step(0.01, [0.0, -0.3 * ec], 0.0);
@@ -389,7 +419,10 @@ mod tests {
         for _ in 0..8000 {
             lit.step(0.01, bias, 0.8); // strong excitation: well nearly flat
         }
-        assert!(lit.field.mean()[1] < 0.0, "excitation failed to enable switching");
+        assert!(
+            lit.field.mean()[1] < 0.0,
+            "excitation failed to enable switching"
+        );
     }
 
     #[test]
@@ -431,7 +464,11 @@ mod tests {
             "photo-excited vortex not switched: {g0} -> {g_lit}"
         );
         // And the lit run ends mono-domain along the bias.
-        assert!(lit.field.mean()[1] < -0.5 * p0, "mean Pz {}", lit.field.mean()[1]);
+        assert!(
+            lit.field.mean()[1] < -0.5 * p0,
+            "mean Pz {}",
+            lit.field.mean()[1]
+        );
     }
 
     #[test]

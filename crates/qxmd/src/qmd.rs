@@ -33,7 +33,12 @@ pub struct QmdForces {
 impl QmdForces {
     /// New provider (cold start on the first call).
     pub fn new(mesh: Mesh3, scf_cfg: ScfConfig) -> Self {
-        Self { mesh, scf_cfg, warm: RefCell::new(None), last: RefCell::new(None) }
+        Self {
+            mesh,
+            scf_cfg,
+            warm: RefCell::new(None),
+            last: RefCell::new(None),
+        }
     }
 
     /// The most recent SCF result, if any force call has happened.
@@ -61,7 +66,13 @@ impl ForceProvider for QmdForces {
         let scf = self.solve(atoms);
         // Hellmann–Feynman forces from the converged density/orbitals,
         // periodic-consistent with the SCF's own electrostatics.
-        scf_consistent_forces(&self.mesh, atoms, &scf.density, &scf.orbitals, &scf.occupations);
+        scf_consistent_forces(
+            &self.mesh,
+            atoms,
+            &scf.density,
+            &scf.orbitals,
+            &scf.occupations,
+        );
         let e = scf.energies.total;
         *self.warm.borrow_mut() = Some(scf.orbitals.clone());
         *self.last.borrow_mut() = Some(scf);
@@ -137,7 +148,12 @@ mod tests {
         let (mesh, mut atoms) = h2_setup(2.5);
         // Force balance holds at SCF convergence (Hellmann-Feynman);
         // spend a bigger budget than the quick MD setting.
-        let cfg = ScfConfig { scf_iters: 16, eig_iters: 40, init_eig_iters: 200, ..quick_scf() };
+        let cfg = ScfConfig {
+            scf_iters: 16,
+            eig_iters: 40,
+            init_eig_iters: 200,
+            ..quick_scf()
+        };
         let forces = QmdForces::new(mesh, cfg);
         atoms.clear_forces();
         forces.compute(&mut atoms);
@@ -151,7 +167,10 @@ mod tests {
                 .map(|a| a.force[ax].abs())
                 .fold(0.0, f64::max)
                 .max(1e-3);
-            assert!(total.abs() < 0.2 * scale, "axis {ax}: net {total} scale {scale}");
+            assert!(
+                total.abs() < 0.2 * scale,
+                "axis {ax}: net {total} scale {scale}"
+            );
         }
     }
 
@@ -159,7 +178,14 @@ mod tests {
     fn bomd_trajectory_is_stable() {
         let (mesh, atoms) = h2_setup(2.0);
         let forces = QmdForces::new(mesh, quick_scf());
-        let mut md = MdIntegrator::new(atoms, forces, MdConfig { dt: 5.0, thermostat: None });
+        let mut md = MdIntegrator::new(
+            atoms,
+            forces,
+            MdConfig {
+                dt: 5.0,
+                thermostat: None,
+            },
+        );
         let e0 = md.total_energy();
         for _ in 0..5 {
             md.step();

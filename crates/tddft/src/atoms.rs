@@ -29,22 +29,50 @@ pub struct Species {
 impl Species {
     /// Model lead (Pb): 4 valence electrons (6s2 6p2).
     pub fn lead() -> Self {
-        Self { symbol: "Pb", z_val: 4.0, mass: 207.2 * AMU_IN_ME, rc_loc: 1.2, r_nl: 1.0, e_kb: 0.8 }
+        Self {
+            symbol: "Pb",
+            z_val: 4.0,
+            mass: 207.2 * AMU_IN_ME,
+            rc_loc: 1.2,
+            r_nl: 1.0,
+            e_kb: 0.8,
+        }
     }
 
     /// Model titanium (Ti): 4 valence electrons (3d2 4s2).
     pub fn titanium() -> Self {
-        Self { symbol: "Ti", z_val: 4.0, mass: 47.867 * AMU_IN_ME, rc_loc: 1.0, r_nl: 0.9, e_kb: 1.2 }
+        Self {
+            symbol: "Ti",
+            z_val: 4.0,
+            mass: 47.867 * AMU_IN_ME,
+            rc_loc: 1.0,
+            r_nl: 0.9,
+            e_kb: 1.2,
+        }
     }
 
     /// Model oxygen (O): 6 valence electrons.
     pub fn oxygen() -> Self {
-        Self { symbol: "O", z_val: 6.0, mass: 15.999 * AMU_IN_ME, rc_loc: 0.7, r_nl: 0.6, e_kb: -0.5 }
+        Self {
+            symbol: "O",
+            z_val: 6.0,
+            mass: 15.999 * AMU_IN_ME,
+            rc_loc: 0.7,
+            r_nl: 0.6,
+            e_kb: -0.5,
+        }
     }
 
     /// A light one-electron test species (hydrogen-like).
     pub fn hydrogen() -> Self {
-        Self { symbol: "H", z_val: 1.0, mass: 1.008 * AMU_IN_ME, rc_loc: 0.5, r_nl: 0.5, e_kb: 0.0 }
+        Self {
+            symbol: "H",
+            z_val: 1.0,
+            mass: 1.008 * AMU_IN_ME,
+            rc_loc: 0.5,
+            r_nl: 0.5,
+            e_kb: 0.0,
+        }
     }
 
     /// Local pseudopotential at distance `r` (Bohr):
@@ -138,7 +166,12 @@ pub struct Atom {
 impl Atom {
     /// An atom at rest.
     pub fn at(species: usize, pos: [f64; 3]) -> Self {
-        Self { species, pos, vel: [0.0; 3], force: [0.0; 3] }
+        Self {
+            species,
+            pos,
+            vel: [0.0; 3],
+            force: [0.0; 3],
+        }
     }
 }
 
@@ -154,7 +187,10 @@ pub struct AtomSet {
 impl AtomSet {
     /// Empty set with the given species table.
     pub fn new(species: Vec<Species>) -> Self {
-        Self { species, atoms: Vec::new() }
+        Self {
+            species,
+            atoms: Vec::new(),
+        }
     }
 
     /// Add an atom at rest; returns its index.
@@ -176,7 +212,10 @@ impl AtomSet {
 
     /// Total valence electron count.
     pub fn electron_count(&self) -> f64 {
-        self.atoms.iter().map(|a| self.species[a.species].z_val).sum()
+        self.atoms
+            .iter()
+            .map(|a| self.species[a.species].z_val)
+            .sum()
     }
 
     /// Number of doubly occupied orbitals needed (spin-restricted).
@@ -278,7 +317,11 @@ mod tests {
 
     #[test]
     fn electron_counting_pbtio3() {
-        let mut set = AtomSet::new(vec![Species::lead(), Species::titanium(), Species::oxygen()]);
+        let mut set = AtomSet::new(vec![
+            Species::lead(),
+            Species::titanium(),
+            Species::oxygen(),
+        ]);
         set.push(0, [0.0; 3]);
         set.push(1, [1.0; 3]);
         for i in 0..3 {
@@ -312,6 +355,7 @@ mod tests {
         let f_analytic = set.atoms[0].force;
         // Central finite difference along each axis.
         let h = 1e-5;
+        #[allow(clippy::needless_range_loop)]
         for ax in 0..3 {
             let mut plus = set.clone();
             plus.atoms[0].pos[ax] += h;

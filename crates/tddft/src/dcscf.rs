@@ -155,6 +155,7 @@ fn atoms_in_domain(global: &Mesh3, dom: &Domain, atoms: &AtomSet) -> AtomSet {
 
 /// Electron count owned by a domain = valence charge of atoms whose
 /// positions fall inside its *core* region.
+#[cfg_attr(not(test), allow(dead_code))]
 fn core_electrons(global: &Mesh3, dom: &Domain, atoms: &AtomSet) -> f64 {
     let cell = global.lengths();
     let core_lo = [
@@ -205,7 +206,11 @@ pub fn run_dc_scf(global: &Mesh3, atoms: &AtomSet, cfg: &DcScfConfig) -> DcScfRe
             let datoms = atoms_in_domain(global, dom, atoms);
             let mut orbitals = WfAos::<f64>::zeros(dom.mesh.clone(), cfg.norb_per_domain);
             orbitals.randomize(cfg.seed.wrapping_add(dom.id as u64));
-            Local { atoms: datoms, orbitals, values: vec![0.0; cfg.norb_per_domain] }
+            Local {
+                atoms: datoms,
+                orbitals,
+                values: vec![0.0; cfg.norb_per_domain],
+            }
         })
         .collect();
 
@@ -225,16 +230,16 @@ pub fn run_dc_scf(global: &Mesh3, atoms: &AtomSet, cfg: &DcScfConfig) -> DcScfRe
     let dv = global.dv();
     let mut rho_global = vec![0.0; global.len()];
     let mut residual_history = Vec::with_capacity(cfg.scf_iters);
-    #[allow(unused_assignments)]
-    let mut fermi_level = 0.0;
     let mut occupations_per_domain: Vec<Vec<f64>> =
         vec![vec![0.0; cfg.norb_per_domain]; decomposition.len()];
 
     for cycle in 0..cfg.scf_iters {
         // --- Global Fermi level over the union of domain spectra. ---
-        let all_values: Vec<f64> = locals.iter().flat_map(|l| l.values.iter().copied()).collect();
+        let all_values: Vec<f64> = locals
+            .iter()
+            .flat_map(|l| l.values.iter().copied())
+            .collect();
         let all_occ = fermi_occupations(&all_values, nelec_total, cfg.smearing);
-        fermi_level = estimate_fermi(&all_values, &all_occ);
         for (d, occs) in occupations_per_domain.iter_mut().enumerate() {
             let base = d * cfg.norb_per_domain;
             occs.copy_from_slice(&all_occ[base..base + cfg.norb_per_domain]);
@@ -268,6 +273,7 @@ pub fn run_dc_scf(global: &Mesh3, atoms: &AtomSet, cfg: &DcScfConfig) -> DcScfRe
             .sum::<f64>()
             .sqrt()
             * dv.sqrt();
+        dcmesh_obs::metrics::gauge_set("tddft.dcscf_residual", res);
         residual_history.push(res);
         if cycle == 0 {
             rho_global = rho_new;
@@ -278,7 +284,11 @@ pub fn run_dc_scf(global: &Mesh3, atoms: &AtomSet, cfg: &DcScfConfig) -> DcScfRe
         }
 
         // --- Global potential: multigrid electrostatics + local XC. ---
-        let rho_tot: Vec<f64> = rho_global.iter().zip(&rho_ion).map(|(e, i)| e - i).collect();
+        let rho_tot: Vec<f64> = rho_global
+            .iter()
+            .zip(&rho_ion)
+            .map(|(e, i)| e - i)
+            .collect();
         let v_es = hartree.solve(&rho_tot);
         let mut v_x = vec![0.0; global.len()];
         xc::xc_potential(&rho_global, &mut v_x);
@@ -298,15 +308,18 @@ pub fn run_dc_scf(global: &Mesh3, atoms: &AtomSet, cfg: &DcScfConfig) -> DcScfRe
 
     // Final occupations consistent with the *final* spectra (the loop's
     // occupations were computed before the last local solve).
-    {
-        let all_values: Vec<f64> = locals.iter().flat_map(|l| l.values.iter().copied()).collect();
+    let fermi_level = {
+        let all_values: Vec<f64> = locals
+            .iter()
+            .flat_map(|l| l.values.iter().copied())
+            .collect();
         let all_occ = fermi_occupations(&all_values, nelec_total, cfg.smearing);
-        fermi_level = estimate_fermi(&all_values, &all_occ);
         for (d, occs) in occupations_per_domain.iter_mut().enumerate() {
             let base = d * cfg.norb_per_domain;
             occs.copy_from_slice(&all_occ[base..base + cfg.norb_per_domain]);
         }
-    }
+        estimate_fermi(&all_values, &all_occ)
+    };
 
     let domains = decomposition
         .domains
@@ -370,7 +383,12 @@ mod tests {
     #[test]
     fn dc_scf_converges_and_conserves_electrons() {
         let (global, atoms) = two_atom_system();
-        let cfg = DcScfConfig { parts: [2, 1, 1], buffer: 2, norb_per_domain: 2, ..Default::default() };
+        let cfg = DcScfConfig {
+            parts: [2, 1, 1],
+            buffer: 2,
+            norb_per_domain: 2,
+            ..Default::default()
+        };
         let res = run_dc_scf(&global, &atoms, &cfg);
         assert_eq!(res.domains.len(), 2);
         assert!((res.electron_count() - 2.0).abs() < 1e-9);
@@ -382,7 +400,12 @@ mod tests {
     #[test]
     fn symmetric_system_gives_symmetric_domains() {
         let (global, atoms) = two_atom_system();
-        let cfg = DcScfConfig { parts: [2, 1, 1], buffer: 2, norb_per_domain: 2, ..Default::default() };
+        let cfg = DcScfConfig {
+            parts: [2, 1, 1],
+            buffer: 2,
+            norb_per_domain: 2,
+            ..Default::default()
+        };
         let res = run_dc_scf(&global, &atoms, &cfg);
         // Equivalent atoms in equivalent domains: eigenvalues match.
         let v0 = &res.domains[0].values;
@@ -433,8 +456,7 @@ mod tests {
             .sum::<f64>()
             .sqrt()
             * dv.sqrt();
-        let norm: f64 =
-            plain.density.iter().map(|x| x * x).sum::<f64>().sqrt() * dv.sqrt();
+        let norm: f64 = plain.density.iter().map(|x| x * x).sum::<f64>().sqrt() * dv.sqrt();
         assert!(diff / norm < 0.05, "relative density diff {}", diff / norm);
     }
 
@@ -480,7 +502,12 @@ mod tests {
     #[test]
     fn fermi_level_sits_between_homo_and_lumo() {
         let (global, atoms) = two_atom_system();
-        let cfg = DcScfConfig { parts: [2, 1, 1], buffer: 2, norb_per_domain: 3, ..Default::default() };
+        let cfg = DcScfConfig {
+            parts: [2, 1, 1],
+            buffer: 2,
+            norb_per_domain: 3,
+            ..Default::default()
+        };
         let res = run_dc_scf(&global, &atoms, &cfg);
         let (homo, lumo) = res.global_homo_lumo();
         assert!(homo <= res.fermi_level + 1e-9);

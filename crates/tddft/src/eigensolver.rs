@@ -13,7 +13,7 @@
 
 use dcmesh_grid::{Mesh3, WfAos};
 use dcmesh_math::gemm::{gemm, Op};
-use dcmesh_math::{linalg, Complex, C64, Matrix};
+use dcmesh_math::{linalg, Complex, Matrix, C64};
 
 use crate::hamiltonian::Hamiltonian;
 
@@ -66,7 +66,15 @@ pub fn rayleigh_ritz(h: &Hamiltonian, x: &mut WfAos<f64>, include_nl: bool) -> V
     let eig = linalg::eigh(&sh);
     // x <- x * V.
     let mut rotated = Matrix::zeros(xm.rows(), norb);
-    gemm(C64::one(), &xm, Op::None, &eig.vectors, Op::None, C64::zero(), &mut rotated);
+    gemm(
+        C64::one(),
+        &xm,
+        Op::None,
+        &eig.vectors,
+        Op::None,
+        C64::zero(),
+        &mut rotated,
+    );
     *x = WfAos::from_matrix(x.mesh().clone(), rotated);
     eig.values
 }
@@ -90,8 +98,7 @@ pub fn refine_states(h: &Hamiltonian, x: &mut WfAos<f64>, iters: usize) -> Eigen
     for _ in 0..iters {
         let hx = apply_block(h, x, true);
         // Gradient step per orbital: x_n <- x_n - tau (H x_n - eps_n x_n).
-        for n in 0..x.norb() {
-            let eps = values[n];
+        for (n, &eps) in values.iter().enumerate().take(x.norb()) {
             let hcol = hx.orbital(n).to_vec();
             let xcol = x.orbital_mut(n);
             for (xc, hc) in xcol.iter_mut().zip(&hcol) {
@@ -117,14 +124,21 @@ pub fn refine_states(h: &Hamiltonian, x: &mut WfAos<f64>, iters: usize) -> Eigen
             (r2 * dv).sqrt()
         })
         .collect();
-    EigenResult { values, orbitals: x.clone(), residuals }
+    EigenResult {
+        values,
+        orbitals: x.clone(),
+        residuals,
+    }
 }
 
 /// HOMO/LUMO eigenvalues given `nocc` doubly occupied orbitals.
 /// Returns `(e_homo, e_lumo)`; requires at least `nocc + 1` states.
 pub fn homo_lumo(values: &[f64], nocc: usize) -> (f64, f64) {
     assert!(nocc >= 1, "need at least one occupied orbital");
-    assert!(values.len() > nocc, "need at least one virtual orbital for LUMO");
+    assert!(
+        values.len() > nocc,
+        "need at least one virtual orbital for LUMO"
+    );
     (values[nocc - 1], values[nocc])
 }
 

@@ -54,12 +54,12 @@ pub fn local_pseudo_forces(mesh: &Mesh3, atoms: &mut AtomSet, rho: &[f64]) -> f6
             }
             // F_a = + integral rho v'(d) (r - R_a)/d dV.
             let g = rho_p * dv_local_dr(sp.z_val, sp.rc_loc, d) * dv / d;
-            for ax in 0..3 {
-                f[ax] += g * (p[ax] - ra[ax]);
+            for (ax, fa) in f.iter_mut().enumerate() {
+                *fa += g * (p[ax] - ra[ax]);
             }
         }
-        for ax in 0..3 {
-            atoms.atoms[ai].force[ax] += f[ax];
+        for (ax, &fa) in f.iter().enumerate() {
+            atoms.atoms[ai].force[ax] += fa;
         }
     }
     energy
@@ -94,8 +94,7 @@ pub fn nonlocal_forces(
         let ra = atoms.atoms[owner].pos;
         let inv_w2 = 1.0 / (sp.r_nl * sp.r_nl);
         let mut f = [0.0; 3];
-        for n in 0..orbitals.norb() {
-            let fn_occ = occupations[n];
+        for (n, &fn_occ) in occupations.iter().enumerate().take(orbitals.norb()) {
             if fn_occ == 0.0 {
                 continue;
             }
@@ -119,12 +118,12 @@ pub fn nonlocal_forces(
             }
             energy += fn_occ * proj.e_kb * c.norm_sqr();
             // F = - f E_kb * 2 Re(conj(c) grad c).
-            for ax in 0..3 {
-                f[ax] -= fn_occ * proj.e_kb * 2.0 * (c.conj() * gc[ax]).re;
+            for (fa, g) in f.iter_mut().zip(&gc) {
+                *fa -= fn_occ * proj.e_kb * 2.0 * (c.conj() * *g).re;
             }
         }
-        for ax in 0..3 {
-            atoms.atoms[owner].force[ax] += f[ax];
+        for (ax, &fa) in f.iter().enumerate() {
+            atoms.atoms[owner].force[ax] += fa;
         }
     }
     energy
@@ -160,9 +159,18 @@ fn grad_periodic(mesh: &Mesh3, field: &[f64], i: usize, j: usize, k: usize, ax: 
         (((p % n) + n) % n) as usize
     };
     let (ip, im) = match ax {
-        0 => (mesh.idx(wrap(i as isize + 1), j, k), mesh.idx(wrap(i as isize - 1), j, k)),
-        1 => (mesh.idx(i, wrap(j as isize + 1), k), mesh.idx(i, wrap(j as isize - 1), k)),
-        _ => (mesh.idx(i, j, wrap(k as isize + 1)), mesh.idx(i, j, wrap(k as isize - 1))),
+        0 => (
+            mesh.idx(wrap(i as isize + 1), j, k),
+            mesh.idx(wrap(i as isize - 1), j, k),
+        ),
+        1 => (
+            mesh.idx(i, wrap(j as isize + 1), k),
+            mesh.idx(i, wrap(j as isize - 1), k),
+        ),
+        _ => (
+            mesh.idx(i, j, wrap(k as isize + 1)),
+            mesh.idx(i, j, wrap(k as isize - 1)),
+        ),
     };
     (field[ip] - field[im]) / (2.0 * h)
 }
@@ -203,12 +211,12 @@ pub fn periodic_es_forces(mesh: &Mesh3, atoms: &mut AtomSet, v_es: &[f64]) {
                 continue;
             }
             let w = norm * (-r2 / (rc * rc)).exp() * dv;
-            for ax in 0..3 {
-                f[ax] += w * grad_periodic(mesh, v_es, i, j, k, ax);
+            for (ax, fa) in f.iter_mut().enumerate() {
+                *fa += w * grad_periodic(mesh, v_es, i, j, k, ax);
             }
         }
-        for ax in 0..3 {
-            atoms.atoms[ai].force[ax] += f[ax];
+        for (ax, &fa) in f.iter().enumerate() {
+            atoms.atoms[ai].force[ax] += fa;
         }
     }
 }
@@ -266,7 +274,10 @@ mod tests {
         local_pseudo_forces(&mesh, &mut atoms, &rho);
         let f = atoms.atoms[0].force;
         assert!(f[0] > 1e-4, "force not attractive: {f:?}");
-        assert!(f[1].abs() < 0.05 * f[0] && f[2].abs() < 0.05 * f[0], "asymmetry {f:?}");
+        assert!(
+            f[1].abs() < 0.05 * f[0] && f[2].abs() < 0.05 * f[0],
+            "asymmetry {f:?}"
+        );
     }
 
     #[test]
@@ -280,6 +291,7 @@ mod tests {
         local_pseudo_forces(&mesh, &mut atoms, &rho);
         let f = atoms.atoms[0].force;
         let h = 1e-4;
+        #[allow(clippy::needless_range_loop)]
         for ax in 0..3 {
             let mut ep_atoms = atoms.clone();
             ep_atoms.atoms[0].pos[ax] += h;
@@ -316,6 +328,7 @@ mod tests {
         nonlocal_forces(&mesh, &mut atoms, &orbitals, &occ);
         let f = atoms.atoms[0].force;
         let h = 1e-4;
+        #[allow(clippy::needless_range_loop)]
         for ax in 0..3 {
             let energy_at = |shift: f64| -> f64 {
                 let mut a2 = atoms.clone();

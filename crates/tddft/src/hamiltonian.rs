@@ -63,7 +63,12 @@ impl Hamiltonian {
     /// nonlocal channels.
     pub fn with_potential(mesh: Mesh3, v_loc: Vec<f64>) -> Self {
         assert_eq!(v_loc.len(), mesh.len());
-        Self { mesh, v_loc, projectors: Vec::new(), mass: 1.0 }
+        Self {
+            mesh,
+            v_loc,
+            projectors: Vec::new(),
+            mass: 1.0,
+        }
     }
 
     /// Build from atoms: local pseudopotential summed over atoms plus one
@@ -78,7 +83,12 @@ impl Hamiltonian {
             }
         }
         let projectors = build_projectors(&mesh, atoms);
-        Self { mesh, v_loc, projectors, mass: 1.0 }
+        Self {
+            mesh,
+            v_loc,
+            projectors,
+            mass: 1.0,
+        }
     }
 
     /// The mesh.
@@ -163,9 +173,14 @@ impl Hamiltonian {
     /// used as the gradient step scale in the eigensolver.
     pub fn spectral_bound(&self) -> f64 {
         let m = &self.mesh;
-        let kin = 2.0 / self.mass * (1.0 / (m.dx * m.dx) + 1.0 / (m.dy * m.dy) + 1.0 / (m.dz * m.dz));
+        let kin =
+            2.0 / self.mass * (1.0 / (m.dx * m.dx) + 1.0 / (m.dy * m.dy) + 1.0 / (m.dz * m.dz));
         let vmax = self.v_loc.iter().copied().fold(0.0f64, f64::max);
-        let nl: f64 = self.projectors.iter().map(|p| p.e_kb.abs()).fold(0.0, f64::max);
+        let nl: f64 = self
+            .projectors
+            .iter()
+            .map(|p| p.e_kb.abs())
+            .fold(0.0, f64::max);
         kin + vmax + nl
     }
 }
@@ -213,7 +228,10 @@ pub fn build_projectors(mesh: &Mesh3, atoms: &AtomSet) -> Vec<NonlocalProjector>
         for e in &mut entries {
             e.1 /= norm;
         }
-        out.push(NonlocalProjector { entries, e_kb: sp.e_kb });
+        out.push(NonlocalProjector {
+            entries,
+            e_kb: sp.e_kb,
+        });
     }
     out
 }
@@ -251,7 +269,10 @@ mod tests {
         h.apply(&b, &mut hb, true);
         let lhs = linalg::dotc(&b, &ha); // <b|H a>
         let rhs = linalg::dotc(&hb, &a); // <H b|a>
-        assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]
@@ -300,7 +321,12 @@ mod tests {
     fn projector_normalized() {
         let h = test_hamiltonian();
         let dv = h.mesh().dv();
-        let n2: f64 = h.projectors[0].entries.iter().map(|&(_, p)| p * p).sum::<f64>() * dv;
+        let n2: f64 = h.projectors[0]
+            .entries
+            .iter()
+            .map(|&(_, p)| p * p)
+            .sum::<f64>()
+            * dv;
         assert!((n2 - 1.0).abs() < 1e-12);
     }
 

@@ -21,7 +21,15 @@ impl HartreeSolver {
     /// Build the multigrid hierarchy for `mesh` (periodic cell).
     pub fn new(mesh: Mesh3) -> Self {
         let l = mesh.lengths();
-        let mg = Multigrid::new(mesh.nx, mesh.ny, mesh.nz, l[0], l[1], l[2], MgParams::default());
+        let mg = Multigrid::new(
+            mesh.nx,
+            mesh.ny,
+            mesh.nz,
+            l[0],
+            l[1],
+            l[2],
+            MgParams::default(),
+        );
         Self { mesh, mg }
     }
 
@@ -37,8 +45,15 @@ impl HartreeSolver {
     /// to a neutralizing background.
     pub fn solve(&self, rho: &[f64]) -> Vec<f64> {
         assert_eq!(rho.len(), self.mesh.len());
-        let f: Vec<f64> = rho.iter().map(|&r| 4.0 * std::f64::consts::PI * r).collect();
-        self.mg.solve(&f).phi
+        let _span = dcmesh_obs::span!("tddft.hartree_solve");
+        let f: Vec<f64> = rho
+            .iter()
+            .map(|&r| 4.0 * std::f64::consts::PI * r)
+            .collect();
+        let sol = self.mg.solve(&f);
+        dcmesh_obs::metrics::counter_add("tddft.mg_vcycles", sol.cycles as u64);
+        dcmesh_obs::metrics::gauge_set("tddft.mg_rel_residual", sol.rel_residual);
+        sol.phi
     }
 
     /// Hartree energy `1/2 integral rho v_H dV` of an electron density.

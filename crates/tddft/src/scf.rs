@@ -120,7 +120,10 @@ pub fn fermi_occupations(values: &[f64], nelec: f64, kt: f64) -> Vec<f64> {
         "not enough orbitals ({norb}) for {nelec} electrons"
     );
     let count = |mu: f64| -> f64 {
-        values.iter().map(|&e| 2.0 / (1.0 + ((e - mu) / kt).exp())).sum()
+        values
+            .iter()
+            .map(|&e| 2.0 / (1.0 + ((e - mu) / kt).exp()))
+            .sum()
     };
     let (mut lo, mut hi) = (
         values.iter().cloned().fold(f64::INFINITY, f64::min) - 50.0 * kt,
@@ -135,7 +138,10 @@ pub fn fermi_occupations(values: &[f64], nelec: f64, kt: f64) -> Vec<f64> {
         }
     }
     let mu = 0.5 * (lo + hi);
-    values.iter().map(|&e| 2.0 / (1.0 + ((e - mu) / kt).exp())).collect()
+    values
+        .iter()
+        .map(|&e| 2.0 / (1.0 + ((e - mu) / kt).exp()))
+        .collect()
 }
 
 /// Aufbau occupations: fill lowest orbitals with 2 electrons each; the
@@ -212,6 +218,7 @@ pub fn run_scf(mesh: &Mesh3, atoms: &AtomSet, cfg: &ScfConfig) -> ScfResult {
             .sum::<f64>()
             .sqrt()
             * dv.sqrt();
+        dcmesh_obs::metrics::gauge_set("tddft.scf_residual", res);
         residual_history.push(res);
         // Linear density mixing: rho_in <- (1-a) rho_in + a rho_out.
         for (ri, ro) in rho.iter_mut().zip(&rho_out) {
@@ -227,11 +234,11 @@ pub fn run_scf(mesh: &Mesh3, atoms: &AtomSet, cfg: &ScfConfig) -> ScfResult {
     let mut h_kin = Hamiltonian::with_potential(mesh.clone(), vec![0.0; mesh.len()]);
     h_kin.projectors.clear();
     let mut kinetic = 0.0;
-    for n in 0..cfg.norb {
-        if occupations[n] == 0.0 {
+    for (n, &occ) in occupations.iter().enumerate().take(cfg.norb) {
+        if occ == 0.0 {
             continue;
         }
-        kinetic += occupations[n] * h_kin.expectation(orbitals.orbital(n), false);
+        kinetic += occ * h_kin.expectation(orbitals.orbital(n), false);
     }
     let band: f64 = eig
         .values
@@ -299,14 +306,21 @@ mod tests {
         let res = run_scf(&mesh, &atoms, &cfg);
         let first = res.residual_history[0];
         let last = *res.residual_history.last().unwrap();
-        assert!(last < first, "density residual did not shrink: {first} -> {last}");
+        assert!(
+            last < first,
+            "density residual did not shrink: {first} -> {last}"
+        );
         assert!(last < 0.05, "final residual {last}");
     }
 
     #[test]
     fn electron_count_conserved_through_scf() {
         let (mesh, atoms) = oxygen_on_mesh();
-        let cfg = ScfConfig { norb: 4, scf_iters: 4, ..ScfConfig::default() };
+        let cfg = ScfConfig {
+            norb: 4,
+            scf_iters: 4,
+            ..ScfConfig::default()
+        };
         let res = run_scf(&mesh, &atoms, &cfg);
         let count: f64 = res.density.iter().sum::<f64>() * mesh.dv();
         assert!((count - 6.0).abs() < 1e-8, "electron count {count}");
@@ -315,7 +329,11 @@ mod tests {
     #[test]
     fn occupied_states_are_bound() {
         let (mesh, atoms) = oxygen_on_mesh();
-        let cfg = ScfConfig { norb: 5, scf_iters: 6, ..ScfConfig::default() };
+        let cfg = ScfConfig {
+            norb: 5,
+            scf_iters: 6,
+            ..ScfConfig::default()
+        };
         let res = run_scf(&mesh, &atoms, &cfg);
         // The deepest occupied state sits well below the cell-edge
         // potential (the periodic, mean-free analog of the vacuum level).
@@ -334,7 +352,11 @@ mod tests {
     #[test]
     fn energies_have_physical_signs() {
         let (mesh, atoms) = oxygen_on_mesh();
-        let cfg = ScfConfig { norb: 4, scf_iters: 5, ..ScfConfig::default() };
+        let cfg = ScfConfig {
+            norb: 4,
+            scf_iters: 5,
+            ..ScfConfig::default()
+        };
         let res = run_scf(&mesh, &atoms, &cfg);
         assert!(res.energies.kinetic > 0.0);
         assert!(res.energies.xc < 0.0);

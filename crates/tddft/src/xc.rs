@@ -61,7 +61,10 @@ pub fn v_c(rho: f64) -> f64 {
     if rs < 1.0 {
         let ln = rs.ln();
         // v_c = A ln rs + (B - A/3) + (2/3) C rs ln rs + (2D - C)/3 * rs
-        PZ_A * ln + (PZ_B - PZ_A / 3.0) + 2.0 / 3.0 * PZ_C * rs * ln + (2.0 * PZ_D - PZ_C) / 3.0 * rs
+        PZ_A * ln
+            + (PZ_B - PZ_A / 3.0)
+            + 2.0 / 3.0 * PZ_C * rs * ln
+            + (2.0 * PZ_D - PZ_C) / 3.0 * rs
     } else {
         let srs = rs.sqrt();
         let denom = 1.0 + PZ_BETA1 * srs + PZ_BETA2 * rs;

@@ -26,7 +26,11 @@ fn main() {
     println!("solving the ground state of a harmonic well (omega0 = {omega0} Ha)...");
     let h = Hamiltonian::with_potential(mesh.clone(), v.clone());
     let eig = eigensolver::lowest_states(&h, 1, 300, 5);
-    println!("E0 = {:.4} Ha (continuum: {:.4})\n", eig.values[0], 1.5 * omega0);
+    println!(
+        "E0 = {:.4} Ha (continuum: {:.4})\n",
+        eig.values[0],
+        1.5 * omega0
+    );
 
     println!("delta-kick + 1500 QD steps of field-free propagation...");
     let spec = delta_kick_spectrum(&mesh, &v, eig.orbitals, &[2.0], 0.04, 0.05, 1500, 0);

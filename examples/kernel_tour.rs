@@ -77,7 +77,13 @@ fn main() {
     for policy in [LaunchPolicy::Sync, LaunchPolicy::Async] {
         dev.reset_clock();
         for _ in 0..reps {
-            prop.apply_axis_alg5(&mut psi, Axis::X, StepFraction::Full, 8, Some((&dev, policy)));
+            prop.apply_axis_alg5(
+                &mut psi,
+                Axis::X,
+                StepFraction::Full,
+                8,
+                Some((&dev, policy)),
+            );
         }
         println!(
             "  modeled A100 time, {:?} launches{:<24} {:>9.3} ms",

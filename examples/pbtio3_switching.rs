@@ -37,7 +37,11 @@ fn main() {
         n_qd: 40,
         dt_md: dcmesh::math::phys::femtoseconds_to_au(0.25),
         build: dcmesh::lfd::BuildKind::GpuCublasPinned,
-        laser: Some(LaserPulse { e0: 1.2, omega: 0.8, duration: 10.0 }),
+        laser: Some(LaserPulse {
+            e0: 1.2,
+            omega: 0.8,
+            duration: 10.0,
+        }),
         flux_closure_amplitude: Some(0.3),
         scf_initial_state: false,
         ehrenfest_feedback: true,

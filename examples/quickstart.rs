@@ -19,7 +19,8 @@ fn main() {
     let mut v_loc = vec![0.0; mesh.len()];
     for (i, j, k) in mesh.iter_points() {
         let p = mesh.position(i, j, k);
-        let r2 = (p[0] - center[0]).powi(2) + (p[1] - center[1]).powi(2) + (p[2] - center[2]).powi(2);
+        let r2 =
+            (p[0] - center[0]).powi(2) + (p[1] - center[1]).powi(2) + (p[2] - center[2]).powi(2);
         v_loc[mesh.idx(i, j, k)] = 0.5 * r2;
     }
 
@@ -28,7 +29,11 @@ fn main() {
     let eig = eigensolver::lowest_states(&h, 4, 250, 42);
     println!("adiabatic eigenvalues (Hartree): {:?}", eig.values);
     let gap = eig.values[1] - eig.values[0];
-    println!("HOMO-LUMO gap: {:.4} Ha = {:.2} eV", gap, dcmesh::math::phys::hartree_to_ev(gap));
+    println!(
+        "HOMO-LUMO gap: {:.4} Ha = {:.2} eV",
+        gap,
+        dcmesh::math::phys::hartree_to_ev(gap)
+    );
 
     // 3. An LFD engine on the device-resident build, driven resonantly.
     let n_qd = 200;
@@ -42,7 +47,11 @@ fn main() {
         block_size: 4,
         build: BuildKind::GpuCublasPinned,
         delta_sci: 0.0,
-        laser: Some(LaserPulse { e0: 0.35, omega: gap, duration: n_qd as f64 * dt * 4.0 }),
+        laser: Some(LaserPulse {
+            e0: 0.35,
+            omega: gap,
+            duration: n_qd as f64 * dt * 4.0,
+        }),
         seed: 1,
     };
     let mut engine = LfdEngine::<f64>::with_initial_state(cfg, v_loc, eig.orbitals);

@@ -10,7 +10,10 @@ fn main() {
     println!("DC-MESH scaling study (simulated ranks, modeled Slingshot network)\n");
 
     println!("weak scaling — {} atoms/rank:", cfg.atoms_per_rank);
-    println!("{:>6} {:>9} {:>14} {:>11}", "ranks", "atoms", "t/step (s)", "efficiency");
+    println!(
+        "{:>6} {:>9} {:>14} {:>11}",
+        "ranks", "atoms", "t/step (s)", "efficiency"
+    );
     for p in weak_scaling(&cfg, &[4, 16, 64, 256, 1024]) {
         println!(
             "{:>6} {:>9} {:>14.3} {:>11.4}",
@@ -19,9 +22,16 @@ fn main() {
     }
 
     for atoms in [5120usize, 10240] {
-        let ranks: Vec<usize> = if atoms == 5120 { vec![64, 128, 256] } else { vec![128, 256, 512] };
+        let ranks: Vec<usize> = if atoms == 5120 {
+            vec![64, 128, 256]
+        } else {
+            vec![128, 256, 512]
+        };
         println!("\nstrong scaling — {atoms} atoms:");
-        println!("{:>6} {:>12} {:>14} {:>11}", "ranks", "atoms/rank", "t/step (s)", "efficiency");
+        println!(
+            "{:>6} {:>12} {:>14} {:>11}",
+            "ranks", "atoms/rank", "t/step (s)", "efficiency"
+        );
         for p in strong_scaling(&cfg, atoms, &ranks) {
             println!(
                 "{:>6} {:>12} {:>14.3} {:>11.4}",
@@ -34,8 +44,14 @@ fn main() {
     }
 
     println!("\nanalytic efficiency models (paper §IV-A):");
-    let weak_model = AnalyticEfficiency { alpha: 0.02, beta: 0.12 };
-    let strong_model = AnalyticEfficiency { alpha: 0.6, beta: 1.2 };
+    let weak_model = AnalyticEfficiency {
+        alpha: 0.02,
+        beta: 0.12,
+    };
+    let strong_model = AnalyticEfficiency {
+        alpha: 0.6,
+        beta: 1.2,
+    };
     println!(
         "  weak:   eta(n=40, P=1024) = {:.4}",
         weak_model.weak(40.0, 1024)

@@ -45,7 +45,10 @@ fn main() {
     }
 
     let frac = final_lower as f64 / ntraj as f64;
-    println!("trajectories relaxed to the lower surface: {final_lower}/{ntraj} ({:.0}%)", frac * 100.0);
+    println!(
+        "trajectories relaxed to the lower surface: {final_lower}/{ntraj} ({:.0}%)",
+        frac * 100.0
+    );
     println!("frustrated (energy-forbidden) hops rejected: {frustrated_total}");
     if !hop_times.is_empty() {
         let mean: f64 = hop_times.iter().sum::<f64>() / hop_times.len() as f64;

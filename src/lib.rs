@@ -5,5 +5,6 @@ pub use dcmesh_device as device;
 pub use dcmesh_grid as grid;
 pub use dcmesh_lfd as lfd;
 pub use dcmesh_math as math;
+pub use dcmesh_obs as obs;
 pub use dcmesh_qxmd as qxmd;
 pub use dcmesh_tddft as tddft;

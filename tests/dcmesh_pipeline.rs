@@ -70,7 +70,11 @@ fn vortex_toroidal_moment_is_weakened_by_excitation() {
     cfg.flux_closure_amplitude = Some(0.3);
     cfg.n_qd = 30;
     let mut lit_cfg = cfg.clone();
-    lit_cfg.laser = Some(LaserPulse { e0: 1.5, omega: 0.8, duration: 6.0 });
+    lit_cfg.laser = Some(LaserPulse {
+        e0: 1.5,
+        omega: 0.8,
+        duration: 6.0,
+    });
     let mut dark = DcMeshSim::new(cfg);
     let mut lit = DcMeshSim::new(lit_cfg);
     let (mut g_dark, mut g_lit) = (0.0, 0.0);
@@ -78,7 +82,10 @@ fn vortex_toroidal_moment_is_weakened_by_excitation() {
         g_dark = dark.md_step().toroidal_moment;
         g_lit = lit.md_step().toroidal_moment;
     }
-    assert!(g_dark.abs() > 1e-6, "vortex not visible in the dark run: {g_dark}");
+    assert!(
+        g_dark.abs() > 1e-6,
+        "vortex not visible in the dark run: {g_dark}"
+    );
     // Excitation screens the double well -> smaller spontaneous
     // polarization -> weaker vortex than the identical dark run.
     assert!(
@@ -92,7 +99,11 @@ fn field_free_and_lit_runs_diverge() {
     let mut dark_cfg = base_cfg();
     dark_cfg.n_qd = 25;
     let mut lit_cfg = dark_cfg.clone();
-    lit_cfg.laser = Some(LaserPulse { e0: 1.5, omega: 0.8, duration: 2.0 });
+    lit_cfg.laser = Some(LaserPulse {
+        e0: 1.5,
+        omega: 0.8,
+        duration: 2.0,
+    });
     let mut dark = DcMeshSim::new(dark_cfg);
     let mut lit = DcMeshSim::new(lit_cfg);
     let mut diverged = false;

@@ -40,8 +40,7 @@ fn eigenstate_acquires_correct_phase() {
     }
     let evolved = soa.to_aos();
     // Overlap <psi(0)|psi(t)> = exp(-i E t) up to Trotter error.
-    let overlap = linalg::dotc(orbitals.orbital(0), evolved.orbital(0))
-        .scale(mesh.dv());
+    let overlap = linalg::dotc(orbitals.orbital(0), evolved.orbital(0)).scale(mesh.dv());
     let expected_phase = -values[0] * dt * steps as f64;
     assert!(
         (overlap.abs() - 1.0).abs() < 5e-3,
@@ -50,7 +49,11 @@ fn eigenstate_acquires_correct_phase() {
     );
     let phase_err = (overlap.arg() - expected_phase).rem_euclid(2.0 * std::f64::consts::PI);
     let phase_err = phase_err.min(2.0 * std::f64::consts::PI - phase_err);
-    assert!(phase_err < 0.05, "phase error {phase_err} (E = {})", values[0]);
+    assert!(
+        phase_err < 0.05,
+        "phase error {phase_err} (E = {})",
+        values[0]
+    );
 }
 
 #[test]
@@ -69,13 +72,22 @@ fn all_build_variants_agree_on_a_physical_state() {
         seed: 5,
     };
     let reference = {
-        let mut e =
-            LfdEngine::<f64>::with_initial_state(make_cfg(BuildKind::CpuLoops), v.clone(), orbitals.clone());
+        let mut e = LfdEngine::<f64>::with_initial_state(
+            make_cfg(BuildKind::CpuLoops),
+            v.clone(),
+            orbitals.clone(),
+        );
         e.run_md_step();
         e.state_aos()
     };
-    for build in [BuildKind::CpuBlas, BuildKind::GpuBlas, BuildKind::GpuCublas, BuildKind::GpuCublasPinned] {
-        let mut e = LfdEngine::<f64>::with_initial_state(make_cfg(build), v.clone(), orbitals.clone());
+    for build in [
+        BuildKind::CpuBlas,
+        BuildKind::GpuBlas,
+        BuildKind::GpuCublas,
+        BuildKind::GpuCublasPinned,
+    ] {
+        let mut e =
+            LfdEngine::<f64>::with_initial_state(make_cfg(build), v.clone(), orbitals.clone());
         e.run_md_step();
         let diff = reference.max_abs_diff(&e.state_aos());
         assert!(diff < 1e-9, "{build:?} diverged by {diff}");

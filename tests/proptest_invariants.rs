@@ -38,8 +38,8 @@ proptest! {
             prop.apply_axis_alg3(&mut soa, axis, StepFraction::Full);
         }
         let after = soa.to_aos();
-        for n in 0..norb {
-            prop_assert!((after.orbital_norm(n) - before[n]).abs() < 1e-10);
+        for (n, &b) in before.iter().enumerate() {
+            prop_assert!((after.orbital_norm(n) - b).abs() < 1e-10);
         }
     }
 

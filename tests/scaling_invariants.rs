@@ -7,7 +7,11 @@ use dcmesh::core::scaling::{
 };
 
 fn quick_cfg() -> ScalingConfig {
-    ScalingConfig { n_qd: 20, global_solve_serial: 0.0004, ..ScalingConfig::default() }
+    ScalingConfig {
+        n_qd: 20,
+        global_solve_serial: 0.0004,
+        ..ScalingConfig::default()
+    }
 }
 
 #[test]
@@ -47,8 +51,16 @@ fn strong_scaling_degrades_faster_than_weak() {
 fn efficiency_definitions_are_consistent_with_metrics_module() {
     let cfg = quick_cfg();
     let pts = weak_scaling(&cfg, &[4, 64]);
-    let s_ref = Speed { atoms: pts[0].atoms, md_steps: 1, seconds: pts[0].sim_seconds };
-    let s_p = Speed { atoms: pts[1].atoms, md_steps: 1, seconds: pts[1].sim_seconds };
+    let s_ref = Speed {
+        atoms: pts[0].atoms,
+        md_steps: 1,
+        seconds: pts[0].sim_seconds,
+    };
+    let s_p = Speed {
+        atoms: pts[1].atoms,
+        md_steps: 1,
+        seconds: pts[1].sim_seconds,
+    };
     let eff = parallel_efficiency_weak(s_ref, 4, s_p, 64);
     assert!((eff - pts[1].efficiency).abs() < 1e-12);
 
@@ -69,9 +81,17 @@ fn throughput_speedup_in_figure4_band() {
 #[test]
 fn analytic_models_bracket_measured_curves() {
     let cfg = quick_cfg();
-    let m = AnalyticEfficiency { alpha: 0.02, beta: 0.12 };
+    let m = AnalyticEfficiency {
+        alpha: 0.02,
+        beta: 0.12,
+    };
     for p in weak_scaling(&cfg, &[4, 64, 256]) {
         let model = m.weak(cfg.atoms_per_rank as f64, p.ranks);
-        assert!((model - p.efficiency).abs() < 0.1, "P={}: {model} vs {}", p.ranks, p.efficiency);
+        assert!(
+            (model - p.efficiency).abs() < 0.1,
+            "P={}: {model} vs {}",
+            p.ranks,
+            p.efficiency
+        );
     }
 }

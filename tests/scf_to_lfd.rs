@@ -18,7 +18,12 @@ fn oxygen_system() -> (Mesh3, AtomSet) {
 #[test]
 fn scf_ground_state_is_stationary_under_lfd() {
     let (mesh, atoms) = oxygen_system();
-    let cfg = ScfConfig { norb: 5, scf_iters: 8, eig_iters: 30, ..ScfConfig::default() };
+    let cfg = ScfConfig {
+        norb: 5,
+        scf_iters: 8,
+        eig_iters: 30,
+        ..ScfConfig::default()
+    };
     let scf = run_scf(&mesh, &atoms, &cfg);
     let lfd_cfg = LfdConfig {
         mesh: mesh.clone(),
@@ -45,7 +50,12 @@ fn scf_ground_state_is_stationary_under_lfd() {
 #[test]
 fn laser_excites_scf_ground_state() {
     let (mesh, atoms) = oxygen_system();
-    let cfg = ScfConfig { norb: 5, scf_iters: 8, eig_iters: 30, ..ScfConfig::default() };
+    let cfg = ScfConfig {
+        norb: 5,
+        scf_iters: 8,
+        eig_iters: 30,
+        ..ScfConfig::default()
+    };
     let scf = run_scf(&mesh, &atoms, &cfg);
     let gap = scf.values[3] - scf.values[2]; // HOMO -> LUMO
     let n_qd = 150;
@@ -59,11 +69,18 @@ fn laser_excites_scf_ground_state() {
         block_size: 5,
         build: BuildKind::GpuCublasPinned,
         delta_sci: 0.0,
-        laser: Some(LaserPulse { e0: 0.5, omega: gap.abs().max(0.1), duration: n_qd as f64 * dt }),
+        laser: Some(LaserPulse {
+            e0: 0.5,
+            omega: gap.abs().max(0.1),
+            duration: n_qd as f64 * dt,
+        }),
         seed: 0,
     };
-    let mut lit =
-        LfdEngine::<f64>::with_initial_state(lfd_cfg.clone(), scf.v_eff.clone(), scf.orbitals.clone());
+    let mut lit = LfdEngine::<f64>::with_initial_state(
+        lfd_cfg.clone(),
+        scf.v_eff.clone(),
+        scf.orbitals.clone(),
+    );
     lit.run_md_step();
     lfd_cfg.laser = None;
     let mut dark = LfdEngine::<f64>::with_initial_state(lfd_cfg, scf.v_eff.clone(), scf.orbitals);

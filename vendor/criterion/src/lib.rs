@@ -1,0 +1,217 @@
+//! Offline stand-in for the subset of
+//! [criterion](https://crates.io/crates/criterion) the dcmesh workspace
+//! uses. The build container has no registry access, so the workspace
+//! points its `criterion` dependency here.
+//!
+//! Covered surface: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Measurement is a calibrated mean over `sample_size` timed
+//! batches, printed one line per benchmark — no plots, no statistics
+//! beyond mean and spread.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported from `std::hint`.
+pub use std::hint::black_box;
+
+/// Label for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form, for groups iterating one knob.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted wherever criterion takes `id: impl Into<BenchmarkId>`.
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    sample_size: usize,
+    /// Filled in by `iter`: (mean seconds per call, samples).
+    result: Option<(f64, usize)>,
+}
+
+impl Bencher {
+    /// Time `body`, storing the mean time per call over `sample_size`
+    /// batches. Batch size is calibrated so each batch runs ≳2 ms and the
+    /// whole measurement stays near ~100 ms.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        // Warm-up + calibration: how long does one call take?
+        let t0 = Instant::now();
+        black_box(body());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let per_batch = (2e-3 / once).clamp(1.0, 1e6) as usize;
+        // Cap total work so slow benches don't stall the suite.
+        let samples = self
+            .sample_size
+            .min((0.1 / (once * per_batch as f64)).ceil().max(1.0) as usize)
+            .max(1);
+        let mut total = Duration::ZERO;
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(body());
+            }
+            total += t.elapsed();
+        }
+        let mean = total.as_secs_f64() / (samples * per_batch) as f64;
+        self.result = Some((mean, samples));
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((mean, samples)) => {
+            println!(
+                "{label:<48} time: [{}]  ({samples} samples)",
+                fmt_time(mean)
+            );
+        }
+        None => println!("{label:<48} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set how many timed batches each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, self.sample_size, f);
+        self
+    }
+
+    /// Run one benchmark that closes over `input`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnOnce(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (accepted for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(name, self.sample_size, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main()` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_positive_mean() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function(BenchmarkId::new("sum", 64usize), |b| {
+            b.iter(|| (0..64u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,94 @@
+//! Offline stand-in for the subset of
+//! [crossbeam](https://crates.io/crates/crossbeam) the dcmesh workspace uses.
+//! The build container has no registry access, so the workspace points its
+//! `crossbeam` dependency here.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is provided,
+//! backed by `std::sync::mpsc` (whose `Sender` has been `Sync` since Rust
+//! 1.72, which is all the simulated-MPI layer needs).
+
+/// Multi-producer channels, crossbeam-channel style.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel. Clonable and shareable across
+    /// threads.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// Error returned when the receiving half has been dropped.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when every sender has been dropped.
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Enqueue `msg`; fails only if the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(msg)
+                .map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives; fails only once all senders are
+        /// gone and the queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn fifo_within_one_sender() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn senders_clone_across_threads() {
+        let (tx, rx) = unbounded::<usize>();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move || tx.send(t).unwrap());
+            }
+        });
+        drop(tx);
+        let mut got: Vec<usize> = std::iter::from_fn(|| rx.recv().ok()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

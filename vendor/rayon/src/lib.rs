@@ -1,0 +1,228 @@
+//! Offline stand-in for the subset of [rayon](https://crates.io/crates/rayon)
+//! the dcmesh workspace uses. The container this repo builds in has no
+//! registry access, so the workspace points its `rayon` dependency at this
+//! path crate instead.
+//!
+//! Semantics match rayon for the covered surface:
+//!
+//! * `slice.par_chunks_mut(n)` — contiguous chunks, `enumerate()` indices
+//!   equal the sequential chunk positions,
+//! * `(0..n).into_par_iter()` / `vec.into_par_iter()` / `vec.par_iter_mut()`,
+//! * `.for_each(..)` and `.map(..).collect::<C>()` (order-preserving),
+//! * `current_num_threads()`.
+//!
+//! Execution uses `std::thread::scope`: items are split into at most
+//! `current_num_threads()` contiguous batches, each batch runs on its own
+//! scoped thread, and results are concatenated in order. Panics in any task
+//! propagate to the caller, like rayon.
+
+use std::num::NonZeroUsize;
+
+/// Number of threads parallel operations may use (rayon's global-pool size;
+/// here, the machine's available parallelism).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `f` over `items` with order-preserving batching across scoped threads.
+fn run_parallel<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nthreads = current_num_threads().min(n);
+    if nthreads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let batch = n.div_ceil(nthreads);
+    let mut batches: Vec<Vec<T>> = Vec::with_capacity(nthreads);
+    let mut it = items.into_iter();
+    loop {
+        let b: Vec<T> = it.by_ref().take(batch).collect();
+        if b.is_empty() {
+            break;
+        }
+        batches.push(b);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|b| scope.spawn(move || b.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel task panicked"))
+            .collect()
+    })
+}
+
+/// A materialized parallel iterator over `items`.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParIter<T> {
+    /// Pair each item with its sequential index.
+    pub fn enumerate(self) -> IntoParIter<(usize, T)> {
+        IntoParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Consume every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        run_parallel(self.items, f);
+    }
+
+    /// Map items in parallel; finish with [`MapIter::collect`].
+    pub fn map<R, F>(self, f: F) -> MapIter<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        MapIter {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Adapter produced by [`IntoParIter::map`].
+pub struct MapIter<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> MapIter<T, F> {
+    /// Run the map in parallel and collect results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+        C: FromIterator<R>,
+    {
+        run_parallel(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Item type yielded by the parallel iterator.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> IntoParIter<usize> {
+        IntoParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+/// `par_iter_mut()` for mutable views over collections.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Item type (`&mut T`).
+    type Item: Send;
+    /// Parallel iterator of mutable references.
+    fn par_iter_mut(&'data mut self) -> IntoParIter<Self::Item>;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> IntoParIter<&'data mut T> {
+        IntoParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> IntoParIter<&'data mut T> {
+        IntoParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut()` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over contiguous mutable chunks of length
+    /// `chunk_size` (last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> IntoParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> IntoParIter<&mut [T]> {
+        IntoParIter {
+            items: self.chunks_mut(chunk_size.max(1)).collect(),
+        }
+    }
+}
+
+/// The traits rayon users import wholesale.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefMutIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_enumerate_in_order() {
+        let mut v = vec![0usize; 103];
+        v.par_chunks_mut(10).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x = i;
+            }
+        });
+        for (j, &x) in v.iter().enumerate() {
+            assert_eq!(x, j / 10);
+        }
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_item() {
+        let mut v: Vec<u32> = vec![1; 57];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panics_propagate() {
+        (0..4usize).into_par_iter().for_each(|i| {
+            if i == 3 {
+                panic!("boom");
+            }
+        });
+    }
+}
