@@ -26,7 +26,7 @@ use dcmesh_qxmd::{FsshConfig, FsshState, PerovskiteFF};
 use dcmesh_tddft::AtomSet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
+
 use std::cell::RefCell;
 
 /// Classical perovskite field plus per-atom external (Ehrenfest) forces
@@ -349,13 +349,11 @@ impl DcMeshSim {
         }
         drop(maxwell_span);
 
-        // --- LFD: N_QD electronic steps per domain, in parallel. ---
+        // --- LFD: N_QD electronic steps per domain, in parallel on the
+        // persistent pool (one claim per domain engine). ---
         let lfd_span = dcmesh_obs::span!("sim.lfd_propagation", parent = step_id);
-        let timings: Vec<dcmesh_lfd::KernelTimings> = self
-            .engines
-            .par_iter_mut()
-            .map(|e| e.run_md_step())
-            .collect();
+        let timings: Vec<dcmesh_lfd::KernelTimings> =
+            dcmesh_pool::global().map_mut(&mut self.engines, |_, e| e.run_md_step());
         let lfd_electron_s: f64 = timings.iter().map(|t| t.electron).sum();
         let lfd_nonlocal_s: f64 = timings.iter().map(|t| t.nonlocal).sum();
         let lfd_transfer_s: f64 = timings.iter().map(|t| t.transfer).sum();

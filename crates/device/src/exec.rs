@@ -3,20 +3,22 @@
 //! Paper §III-C offloads the stencil with a two-level hierarchy: coarse
 //! parallelism over (y-z plane x orbital-block) via `teams distribute
 //! collapse(3)` and fine parallelism over orbitals via `parallel for simd`.
-//! Here teams map to rayon tasks (each owning a disjoint chunk of the
-//! output — data-race freedom by construction) and the inner level maps to
-//! a plain vectorizable loop, which is exactly what `simd` asks of the
-//! compiler.
-
-use rayon::prelude::*;
+//! Here teams map to claim-loop tasks on the persistent `dcmesh-pool`
+//! executor (each owning a disjoint chunk of the output — data-race freedom
+//! by construction) and the inner level maps to a plain vectorizable loop,
+//! which is exactly what `simd` asks of the compiler. Dispatch is
+//! zero-allocation: launching a team grid costs a couple of atomic ops and
+//! a condvar broadcast, the host-side analogue of the paper's cheap
+//! repeated kernel launches over a resident device (§III-C).
 
 /// `#pragma omp target teams distribute`: run `body(team_index)` for every
-/// index in `0..num_teams`, in parallel.
+/// index in `0..num_teams`, in parallel on the persistent pool. One team
+/// per claim, so imbalanced teams are stolen by whichever worker frees up.
 pub fn teams_distribute<F>(num_teams: usize, body: F)
 where
     F: Fn(usize) + Sync + Send,
 {
-    (0..num_teams).into_par_iter().for_each(body);
+    dcmesh_pool::global().for_each_index_coarse(0..num_teams, body);
 }
 
 /// `teams distribute` over mutable chunks: splits `data` into `num_teams`
@@ -28,13 +30,7 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync + Send,
 {
-    if data.is_empty() || num_teams == 0 {
-        return;
-    }
-    let chunk = data.len().div_ceil(num_teams);
-    data.par_chunks_mut(chunk)
-        .enumerate()
-        .for_each(|(t, c)| body(t, c));
+    dcmesh_pool::global().for_each_chunk_mut(data, num_teams, body);
 }
 
 /// `#pragma omp parallel for simd` inside a team: a plain sequential loop

@@ -7,9 +7,11 @@
 //!
 //! 1. **Hierarchical offload** — `#pragma omp target teams distribute` over
 //!    coarse work items with nested `parallel for simd` over fine items
-//!    (paper §III-C). [`exec`] provides the same two-level structure on a
-//!    rayon pool: teams are data-parallel tasks owning disjoint output,
-//!    threads are the inner SIMD-style loop.
+//!    (paper §III-C). [`exec`] provides the same two-level structure on the
+//!    persistent `dcmesh-pool` executor: teams are claim-loop tasks owning
+//!    disjoint output, threads are the inner SIMD-style loop. Workers park
+//!    between launches, so a team-grid dispatch costs atomics + a condvar
+//!    broadcast instead of thread spawns.
 //! 2. **Persistent device data** — `OMPallocator` RAII mapping (paper
 //!    Alg. 6). [`alloc::DeviceVec`] calls `enter_data`/`exit_data` on
 //!    construction/drop and keeps wavefunctions device-resident across the
@@ -32,4 +34,4 @@ pub mod stream;
 pub use alloc::DeviceVec;
 pub use exec::{parallel_for, teams_distribute, teams_distribute_mut};
 pub use perf::{HardwareSpec, KernelWork, Precision, TransferKind};
-pub use stream::{Device, LaunchPolicy, StreamId};
+pub use stream::{Device, LaunchPolicy, NowaitScope, StreamId};

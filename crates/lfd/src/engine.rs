@@ -451,7 +451,16 @@ impl<R: Real> LfdEngine<R> {
 
                 let t1 = Instant::now();
                 let b1 = busy(dev_pair);
-                self.kin.step_optimized(psi, self.cfg.block_size, dev_pair);
+                match dev_pair {
+                    // Pinned/streams build: genuinely deferred `nowait`
+                    // launches — bodies run on the stream lane while the
+                    // host returns immediately; the scope settles them
+                    // before the potential half-step touches psi.
+                    Some((dev, LaunchPolicy::Async)) => dev.nowait_scope(|scope| {
+                        self.kin.step_nowait(psi, self.cfg.block_size, scope);
+                    }),
+                    _ => self.kin.step_optimized(psi, self.cfg.block_size, dev_pair),
+                }
                 let d1 = if modeled {
                     busy(dev_pair) - b1
                 } else {

@@ -7,16 +7,22 @@
 //! * [`gemm_naive`] — reference triple loop (the pre-BLAS "CPU OpenMP
 //!   Parallel" build of Table II uses the loop formulation).
 //! * [`gemm_blocked`] — cache-blocked sequential GEMM (the "BLAS" build).
-//! * [`gemm`] — blocked + rayon-parallel over column panels (the production
-//!   path; the device executor layers the cuBLAS roofline model on top).
+//! * [`gemm`] — blocked + parallel over column panels on the persistent
+//!   `dcmesh-pool` executor (the production path; the device executor
+//!   layers the cuBLAS roofline model on top).
 //!
 //! Matrices are column-major like BLAS, so a wavefunction matrix `Psi` with
 //! `Ngrid` rows (grid points) and `Norb` columns (orbitals) stores each
 //! orbital contiguously.
+//!
+//! Parallel dispatch is zero-allocation (no chunk lists, no spawned
+//! threads), and the arithmetic per output column is identical to the
+//! serial [`gemm_blocked`] ordering — the parallel paths are bitwise equal
+//! to their serial counterparts, which the tests assert.
 
 use crate::complex::Complex;
 use crate::real::Real;
-use rayon::prelude::*;
+use dcmesh_pool::global as pool;
 
 /// Transpose operation applied to a GEMM operand, mirroring BLAS `op(A)`.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -347,7 +353,7 @@ fn gemm_adjoint_fast<R: Real>(
 ) {
     debug_assert_eq!(ar, br);
     let k = ar;
-    c.par_chunks_mut(m).enumerate().for_each(|(j, ccol)| {
+    pool().for_each_chunks_of_mut(c, m, |j, ccol| {
         let bcol = &b[j * k..(j + 1) * k];
         for (i, cv) in ccol.iter_mut().enumerate() {
             let acol = &a[i * k..(i + 1) * k];
@@ -369,7 +375,7 @@ fn gemm_thin_k_fast<R: Real>(
     c: &mut [Complex<R>],
     _n: usize,
 ) {
-    c.par_chunks_mut(m).enumerate().for_each(|(j, ccol)| {
+    pool().for_each_chunks_of_mut(c, m, |j, ccol| {
         if beta != Complex::one() {
             for z in ccol.iter_mut() {
                 *z *= beta;
@@ -382,11 +388,12 @@ fn gemm_thin_k_fast<R: Real>(
     });
 }
 
-/// Production GEMM: blocked kernel parallelized over column panels with rayon.
+/// Production GEMM: blocked kernel parallelized over column panels on the
+/// persistent pool.
 ///
-/// Column panels of `C` are independent, so each rayon task owns a disjoint
-/// slice of the output — data-race freedom by construction, per the
-/// hpc-parallel guides. Two BLAS-2-flavored fast paths cover the shapes the
+/// Column panels of `C` are independent, so each claim-loop task owns a
+/// disjoint slice of the output — data-race freedom by construction, per
+/// the hpc-parallel guides. Two BLAS-2-flavored fast paths cover the shapes the
 /// nonlocal correction produces (`A^H B` with contiguous columns, and
 /// `C += A B` with a thin inner dimension).
 pub fn gemm<R: Real>(
@@ -419,43 +426,40 @@ pub fn gemm<R: Real>(
         return gemm_blocked(alpha, a, op_a, b, op_b, beta, c);
     }
     let rows = m;
-    c.data_mut()
-        .par_chunks_mut(rows * BLOCK.max(1))
-        .enumerate()
-        .for_each(|(panel, cpanel)| {
-            let j0 = panel * BLOCK;
-            let ncols = cpanel.len() / rows;
-            if beta != Complex::one() {
-                for z in cpanel.iter_mut() {
-                    *z *= beta;
-                }
+    pool().for_each_chunks_of_mut(c.data_mut(), rows * BLOCK.max(1), |panel, cpanel| {
+        let j0 = panel * BLOCK;
+        let ncols = cpanel.len() / rows;
+        if beta != Complex::one() {
+            for z in cpanel.iter_mut() {
+                *z *= beta;
             }
-            let mut apack: Vec<Complex<R>> = Vec::with_capacity(BLOCK * BLOCK);
-            let mut bcol: Vec<Complex<R>> = vec![Complex::zero(); BLOCK];
-            for p0 in (0..k).step_by(BLOCK) {
-                let p1 = (p0 + BLOCK).min(k);
-                let kw = p1 - p0;
-                for i0 in (0..m).step_by(BLOCK) {
-                    let i1 = (i0 + BLOCK).min(m);
-                    pack_a(a, op_a, i0, i1, p0, p1, &mut apack);
-                    for jj in 0..ncols {
-                        let j = j0 + jj;
-                        for (idx, p) in (p0..p1).enumerate() {
-                            bcol[idx] = b.op_at(op_b, p, j);
+        }
+        let mut apack: Vec<Complex<R>> = Vec::with_capacity(BLOCK * BLOCK);
+        let mut bcol: Vec<Complex<R>> = vec![Complex::zero(); BLOCK];
+        for p0 in (0..k).step_by(BLOCK) {
+            let p1 = (p0 + BLOCK).min(k);
+            let kw = p1 - p0;
+            for i0 in (0..m).step_by(BLOCK) {
+                let i1 = (i0 + BLOCK).min(m);
+                pack_a(a, op_a, i0, i1, p0, p1, &mut apack);
+                for jj in 0..ncols {
+                    let j = j0 + jj;
+                    for (idx, p) in (p0..p1).enumerate() {
+                        bcol[idx] = b.op_at(op_b, p, j);
+                    }
+                    let cc = &mut cpanel[jj * rows..(jj + 1) * rows];
+                    for (row, i) in (i0..i1).enumerate() {
+                        let ar = &apack[row * kw..(row + 1) * kw];
+                        let mut acc = Complex::zero();
+                        for (av, bv) in ar.iter().zip(&bcol[..kw]) {
+                            acc += *av * *bv;
                         }
-                        let cc = &mut cpanel[jj * rows..(jj + 1) * rows];
-                        for (row, i) in (i0..i1).enumerate() {
-                            let ar = &apack[row * kw..(row + 1) * kw];
-                            let mut acc = Complex::zero();
-                            for (av, bv) in ar.iter().zip(&bcol[..kw]) {
-                                acc += *av * *bv;
-                            }
-                            cc[i] += alpha * acc;
-                        }
+                        cc[i] += alpha * acc;
                     }
                 }
             }
-        });
+        }
+    });
 }
 
 /// Slice-based GEMM over raw column-major storage:
@@ -511,24 +515,21 @@ pub fn gemm_colmajor<R: Real>(
     // outer-product accumulation streaming A and B exactly once, with a
     // k-chunk tree reduction for parallelism.
     if op_a == Op::None && op_b == Op::ConjTrans && m * n <= 16384 && k >= 256 {
-        let chunk = k.div_ceil(rayon::current_num_threads().max(1)).max(256);
-        let partials: Vec<Vec<Complex<R>>> = (0..k)
-            .step_by(chunk)
-            .collect::<Vec<_>>()
-            .into_par_iter()
-            .map(|p0| {
-                let p1 = (p0 + chunk).min(k);
-                let mut part = vec![Complex::zero(); m * n];
-                for p in p0..p1 {
-                    let acol = &a[p * ar..p * ar + m];
-                    let bcol = &b[p * br..p * br + n];
-                    for (j, bv) in bcol.iter().enumerate() {
-                        axpy_unrolled(bv.conj(), acol, &mut part[j * m..(j + 1) * m]);
-                    }
+        let chunk = k.div_ceil(pool().size().max(1)).max(256);
+        let n_chunks = k.div_ceil(chunk);
+        let partials: Vec<Vec<Complex<R>>> = pool().map_index(n_chunks, |ci| {
+            let p0 = ci * chunk;
+            let p1 = (p0 + chunk).min(k);
+            let mut part = vec![Complex::zero(); m * n];
+            for p in p0..p1 {
+                let acol = &a[p * ar..p * ar + m];
+                let bcol = &b[p * br..p * br + n];
+                for (j, bv) in bcol.iter().enumerate() {
+                    axpy_unrolled(bv.conj(), acol, &mut part[j * m..(j + 1) * m]);
                 }
-                part
-            })
-            .collect();
+            }
+            part
+        });
         for (i, cv) in c.iter_mut().enumerate() {
             let mut acc = Complex::zero();
             for part in &partials {
@@ -541,7 +542,7 @@ pub fn gemm_colmajor<R: Real>(
     // Fast path: thin inner dimension (`C += A B`, the SoA rank update):
     // per output column, k contiguous axpys.
     if op_a == Op::None && op_b == Op::None && k <= 64 && k < m.max(n) {
-        c.par_chunks_mut(m).enumerate().for_each(|(j, ccol)| {
+        pool().for_each_chunks_of_mut(c, m, |j, ccol| {
             if beta != Complex::one() {
                 for z in ccol.iter_mut() {
                     *z *= beta;
@@ -555,47 +556,45 @@ pub fn gemm_colmajor<R: Real>(
         return;
     }
     // Parallelize over column panels of C (disjoint output).
-    c.par_chunks_mut(m * BLOCK.max(1))
-        .enumerate()
-        .for_each(|(panel, cpanel)| {
-            let j0 = panel * BLOCK;
-            let ncols = cpanel.len() / m;
-            if beta != Complex::one() {
-                for z in cpanel.iter_mut() {
-                    *z *= beta;
-                }
+    pool().for_each_chunks_of_mut(c, m * BLOCK.max(1), |panel, cpanel| {
+        let j0 = panel * BLOCK;
+        let ncols = cpanel.len() / m;
+        if beta != Complex::one() {
+            for z in cpanel.iter_mut() {
+                *z *= beta;
             }
-            let mut apack: Vec<Complex<R>> = Vec::with_capacity(BLOCK * BLOCK);
-            let mut bcol: Vec<Complex<R>> = vec![Complex::zero(); BLOCK];
-            for p0 in (0..k).step_by(BLOCK) {
-                let p1 = (p0 + BLOCK).min(k);
-                let kw = p1 - p0;
-                for i0 in (0..m).step_by(BLOCK) {
-                    let i1 = (i0 + BLOCK).min(m);
-                    apack.clear();
-                    for i in i0..i1 {
-                        for p in p0..p1 {
-                            apack.push(a_at(i, p));
-                        }
+        }
+        let mut apack: Vec<Complex<R>> = Vec::with_capacity(BLOCK * BLOCK);
+        let mut bcol: Vec<Complex<R>> = vec![Complex::zero(); BLOCK];
+        for p0 in (0..k).step_by(BLOCK) {
+            let p1 = (p0 + BLOCK).min(k);
+            let kw = p1 - p0;
+            for i0 in (0..m).step_by(BLOCK) {
+                let i1 = (i0 + BLOCK).min(m);
+                apack.clear();
+                for i in i0..i1 {
+                    for p in p0..p1 {
+                        apack.push(a_at(i, p));
                     }
-                    for jj in 0..ncols {
-                        let j = j0 + jj;
-                        for (idx, p) in (p0..p1).enumerate() {
-                            bcol[idx] = b_at(p, j);
+                }
+                for jj in 0..ncols {
+                    let j = j0 + jj;
+                    for (idx, p) in (p0..p1).enumerate() {
+                        bcol[idx] = b_at(p, j);
+                    }
+                    let ccol = &mut cpanel[jj * m..(jj + 1) * m];
+                    for (row, i) in (i0..i1).enumerate() {
+                        let arow = &apack[row * kw..(row + 1) * kw];
+                        let mut acc = Complex::zero();
+                        for (av, bv) in arow.iter().zip(&bcol[..kw]) {
+                            acc += *av * *bv;
                         }
-                        let ccol = &mut cpanel[jj * m..(jj + 1) * m];
-                        for (row, i) in (i0..i1).enumerate() {
-                            let arow = &apack[row * kw..(row + 1) * kw];
-                            let mut acc = Complex::zero();
-                            for (av, bv) in arow.iter().zip(&bcol[..kw]) {
-                                acc += *av * *bv;
-                            }
-                            ccol[i] += alpha * acc;
-                        }
+                        ccol[i] += alpha * acc;
                     }
                 }
             }
-        });
+        }
+    });
 }
 
 /// Matrix-vector product `y = op(A) x` (level-2 helper for small solvers).
@@ -695,6 +694,37 @@ mod tests {
         gemm_blocked(C64::one(), &a, Op::None, &b, Op::None, C64::zero(), &mut c1);
         gemm(C64::one(), &a, Op::None, &b, Op::None, C64::zero(), &mut c2);
         assert!(c1.max_abs_diff(&c2) < 1e-11);
+    }
+
+    #[test]
+    fn pool_parallel_gemm_is_bitwise_equal_to_serial() {
+        // The pool-parallel panel path performs the exact arithmetic
+        // sequence of the serial blocked kernel per output column, so the
+        // results must agree to the last bit regardless of pool size or
+        // chunk-claim order.
+        let mut rng = StdRng::seed_from_u64(7);
+        let (m, n, k) = (150, 130, 90);
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let mut serial = random_matrix(&mut rng, m, n);
+        let mut parallel = serial.clone();
+        let alpha = C64::new(0.7, -0.3);
+        let beta = C64::new(-0.2, 0.4);
+        gemm_blocked(alpha, &a, Op::None, &b, Op::None, beta, &mut serial);
+        gemm(alpha, &a, Op::None, &b, Op::None, beta, &mut parallel);
+        assert_eq!(serial.data(), parallel.data());
+        // Same property for the adjoint fast path vs its serial column loop.
+        let q = random_matrix(&mut rng, k, m);
+        let mut c_fast = random_matrix(&mut rng, m, n);
+        let c_ref = Matrix::from_fn(m, n, |i, j| {
+            let mut acc = C64::zero();
+            for p in 0..k {
+                acc += q[(p, i)].conj() * b[(p, j)];
+            }
+            alpha * acc + beta * c_fast[(i, j)]
+        });
+        gemm(alpha, &q, Op::ConjTrans, &b, Op::None, beta, &mut c_fast);
+        assert!(c_ref.max_abs_diff(&c_fast) < 1e-11);
     }
 
     #[test]

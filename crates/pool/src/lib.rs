@@ -1,0 +1,855 @@
+//! dcmesh-pool — persistent work-stealing executor for the LFD hot path.
+//!
+//! The paper's performance story (§III-C, Alg. 5; Table I) rests on cheap,
+//! repeated kernel launches over an execution resource that is *already
+//! there*: `teams distribute` over a resident GPU, with `nowait` enqueues
+//! costing almost nothing. This crate is the host-side analogue. Worker
+//! threads are created **once** (see [`global`]) and park on a condvar
+//! between calls; each dispatch hands out the index range by atomic
+//! chunk-claiming, so a call costs a couple of atomic ops and one condvar
+//! broadcast — no per-call heap allocation, no `Vec` of items, and no
+//! thread spawn/join.
+//!
+//! # Sizing
+//!
+//! Pool size is resolved once, at first use of [`global`], with precedence:
+//!
+//! 1. [`set_thread_override`] (the `--threads N` bench flag),
+//! 2. the `DCMESH_THREADS` environment variable,
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! A pool of size `n` runs jobs on `n - 1` parked workers *plus the calling
+//! thread*; `n = 1` means every dispatch runs inline with zero
+//! synchronization.
+//!
+//! # Dispatch protocol
+//!
+//! [`ThreadPool::for_each_index`] and friends publish a single erased job —
+//! a raw fat pointer to the caller's closure plus a [`JobCore`] of atomics
+//! living on the caller's stack — then participate in the claim loop
+//! themselves. Workers `fetch_add` over the index range to claim chunks;
+//! trailing chunks are therefore stolen dynamically by whichever thread is
+//! free (load balance for irregular bodies, counted by the `pool.steals`
+//! metric). The dispatching thread does not return until every chunk is
+//! claimed *and* every registered worker has exited the job, which is what
+//! makes the borrowed-closure erasure sound (the same blocking argument as
+//! `std::thread::scope`).
+//!
+//! Panics inside a body are caught on the worker, the first payload is
+//! kept, remaining chunks are cancelled, and the payload is re-raised on
+//! the caller — matching rayon semantics.
+//!
+//! A pool call from *inside* a worker (nested dispatch) runs inline and
+//! serially on that worker; it cannot deadlock.
+//!
+//! # Lanes
+//!
+//! [`Lane`] is the second half of the story: a persistent FIFO executor
+//! thread used by `dcmesh-device` to give `LaunchPolicy::Async` (`nowait`)
+//! launches a real deferred body per stream, settled at `synchronize`.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Sizing & the global pool
+// ---------------------------------------------------------------------------
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Programmatic pool-size override (the bench binaries' `--threads N` flag).
+///
+/// Takes precedence over `DCMESH_THREADS`. Only affects [`global`] if called
+/// before its first use; the global pool size is fixed once built.
+pub fn set_thread_override(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Resolve the configured pool size: override > `DCMESH_THREADS` >
+/// `available_parallelism()`, clamped to at least 1.
+pub fn configured_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var("DCMESH_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The process-wide pool. Built on first use with [`configured_threads`]
+/// workers; every subsequent call returns the same pool.
+pub fn global() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| ThreadPool::new(configured_threads()))
+}
+
+// ---------------------------------------------------------------------------
+// Raw-pointer plumbing
+// ---------------------------------------------------------------------------
+
+/// A `*mut T` + length pair that asserts `Send + Sync`.
+///
+/// # Safety contract
+///
+/// The *user* of this type guarantees that concurrent accesses derived from
+/// it are disjoint or serialized. Inside this crate it hands pairwise
+/// disjoint sub-slices to claim-loop participants; `dcmesh-lfd` uses it to
+/// enqueue successive sweep passes over one buffer on a single FIFO
+/// [`Lane`] (serial by construction).
+pub struct SlicePtr<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// Manual impls: the derive would add unwanted `T: Copy`/`T: Clone` bounds.
+impl<T> Copy for SlicePtr<T> {}
+impl<T> Clone for SlicePtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+unsafe impl<T: Send> Send for SlicePtr<T> {}
+unsafe impl<T: Send> Sync for SlicePtr<T> {}
+
+impl<T> SlicePtr<T> {
+    /// Capture a mutable slice as a raw parts pair.
+    pub fn new(slice: &mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// Length of the captured slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the captured slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reconstitute the mutable slice.
+    ///
+    /// # Safety
+    ///
+    /// The original allocation must still be live and no other reference to
+    /// any part of it may be active for the returned lifetime.
+    pub unsafe fn as_mut_slice<'a>(self) -> &'a mut [T] {
+        std::slice::from_raw_parts_mut(self.ptr, self.len)
+    }
+
+    /// Reconstitute a mutable reference to element `i` (bounds-checked).
+    ///
+    /// # Safety
+    ///
+    /// Same liveness requirement as [`Self::as_mut_slice`], and no other
+    /// reference to element `i` may be active for the returned lifetime.
+    pub unsafe fn get_mut<'a>(self, i: usize) -> &'a mut T {
+        assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+
+    /// Reconstitute a sub-slice `[lo, hi)`.
+    ///
+    /// # Safety
+    ///
+    /// Same liveness requirement as [`Self::as_mut_slice`], and accesses to
+    /// overlapping ranges must not be concurrent. `lo <= hi <= len` is
+    /// checked.
+    pub unsafe fn subslice_mut<'a>(self, lo: usize, hi: usize) -> &'a mut [T] {
+        assert!(lo <= hi && hi <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The job protocol
+// ---------------------------------------------------------------------------
+
+/// Per-dispatch state, allocated on the dispatching thread's stack.
+struct JobCore {
+    /// Next unclaimed index; claims are `fetch_add(grain)`.
+    next: AtomicUsize,
+    n_items: usize,
+    /// Indices claimed per atomic op.
+    grain: usize,
+    pool_size: usize,
+    panicked: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// Chunks executed (for the `pool.tasks` counter).
+    tasks: AtomicUsize,
+    /// Chunks executed by a thread other than the chunk's static owner.
+    steals: AtomicUsize,
+    /// Threads that entered the claim loop (pool-utilization gauge).
+    participants: AtomicUsize,
+}
+
+/// Lifetime-erased pointer to a job: the caller's closure plus its
+/// [`JobCore`], both on the caller's stack.
+///
+/// Soundness: the dispatching thread blocks until the claim range is
+/// exhausted and `active == 0` (no worker is still inside [`run_job`]), so
+/// neither pointer is dereferenced after `dispatch` returns.
+#[derive(Copy, Clone)]
+struct JobRef {
+    func: *const (dyn Fn(usize) + Sync),
+    core: *const JobCore,
+}
+
+unsafe impl Send for JobRef {}
+
+thread_local! {
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Set while a non-worker thread is inside `dispatch` (it participates
+    /// in the claim loop while holding the dispatch lock).
+    static IN_DISPATCH: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the current thread is a pool worker executing a job. Nested
+/// dispatches consult this to run inline instead of deadlocking.
+pub fn on_worker_thread() -> bool {
+    IN_POOL_WORKER.get()
+}
+
+/// Resets `IN_DISPATCH` even if the job body panics out of `dispatch`.
+struct DispatchFlagGuard;
+
+impl DispatchFlagGuard {
+    fn set() -> Self {
+        IN_DISPATCH.set(true);
+        DispatchFlagGuard
+    }
+}
+
+impl Drop for DispatchFlagGuard {
+    fn drop(&mut self) {
+        IN_DISPATCH.set(false);
+    }
+}
+
+/// Claim-loop body shared by workers and the dispatching thread.
+fn run_job(job: JobRef, participant: usize) {
+    // SAFETY: see `JobRef` — the dispatch protocol keeps both pointers live
+    // for as long as any participant is inside this function.
+    let core = unsafe { &*job.core };
+    let func = unsafe { &*job.func };
+    core.participants.fetch_add(1, Ordering::Relaxed);
+    loop {
+        if core.panicked.load(Ordering::Relaxed) {
+            // Cancel remaining chunks after a panic.
+            core.next.fetch_max(core.n_items, Ordering::AcqRel);
+            return;
+        }
+        let start = core.next.fetch_add(core.grain, Ordering::AcqRel);
+        if start >= core.n_items {
+            return;
+        }
+        let end = (start + core.grain).min(core.n_items);
+        core.tasks.fetch_add(1, Ordering::Relaxed);
+        // A chunk's static owner under round-robin assignment; executing it
+        // elsewhere counts as a (dynamic load-balancing) steal.
+        let chunk_idx = start / core.grain;
+        if chunk_idx % core.pool_size != participant % core.pool_size {
+            core.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            for i in start..end {
+                func(i);
+            }
+        }));
+        if let Err(payload) = result {
+            core.panicked.store(true, Ordering::SeqCst);
+            let mut slot = core.panic.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+struct State {
+    /// Bumped per dispatch so a worker joins each job at most once.
+    epoch: u64,
+    job: Option<JobRef>,
+    /// Workers currently inside `run_job` for the published job.
+    active: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between jobs.
+    work_cv: Condvar,
+    /// The dispatching thread parks here until `active == 0`.
+    done_cv: Condvar,
+}
+
+/// A persistent team of worker threads plus a zero-allocation dispatch API.
+///
+/// Most code should use the process-wide [`global`] pool; explicit
+/// construction exists for tests and tools that need a fixed size.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    /// Serializes concurrent dispatches from different threads; the pool
+    /// runs one job at a time.
+    dispatch_lock: Mutex<()>,
+    size: usize,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Build a pool of `size.max(1)` execution slots: `size - 1` parked
+    /// worker threads plus the dispatching thread.
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (0..size.saturating_sub(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dcmesh-pool-{i}"))
+                    .spawn(move || worker_loop(shared, i + 1))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            dispatch_lock: Mutex::new(()),
+            size,
+            workers,
+        }
+    }
+
+    /// Number of execution slots (workers + caller).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Default claim granularity: ~4 chunks per slot so trailing chunks can
+    /// be stolen without paying an atomic op per item.
+    fn grain_for(&self, n: usize) -> usize {
+        (n / (self.size * 4)).max(1)
+    }
+
+    /// Core dispatch: run `func(i)` for every `i in 0..n_items`, claiming
+    /// `grain` indices per atomic op. Blocks until all indices ran.
+    fn dispatch(&self, n_items: usize, grain: usize, func: &(dyn Fn(usize) + Sync)) {
+        if n_items == 0 {
+            return;
+        }
+        let grain = grain.max(1);
+        // Serial fast paths: degenerate pool, job no bigger than one chunk,
+        // or nested dispatch (from a worker, or from a caller thread that is
+        // already inside `dispatch` and holds the dispatch lock) — nested
+        // calls must run inline rather than wait on the pool.
+        if self.size <= 1 || n_items <= grain || IN_POOL_WORKER.get() || IN_DISPATCH.get() {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                for i in 0..n_items {
+                    func(i);
+                }
+            }));
+            if let Err(payload) = result {
+                resume_unwind(payload);
+            }
+            return;
+        }
+
+        let obs = dcmesh_obs::enabled();
+        let t0 = obs.then(Instant::now);
+        let _span = obs.then(|| dcmesh_obs::span!("pool.dispatch"));
+
+        let core = JobCore {
+            next: AtomicUsize::new(0),
+            n_items,
+            grain,
+            pool_size: self.size,
+            panicked: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            tasks: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
+            participants: AtomicUsize::new(0),
+        };
+        // SAFETY: lifetime erasure only — the fat-pointer layout is
+        // unchanged, and the dispatch protocol guarantees the pointee
+        // outlives every dereference (see `JobRef`).
+        let func: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(func)
+        };
+        let job = JobRef {
+            func,
+            core: &core as *const JobCore,
+        };
+        {
+            let _in_dispatch = DispatchFlagGuard::set();
+            let _serialize = self.dispatch_lock.lock().unwrap_or_else(|e| e.into_inner());
+            {
+                let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                st.epoch = st.epoch.wrapping_add(1);
+                st.job = Some(job);
+                self.shared.work_cv.notify_all();
+            }
+            // The dispatching thread is participant 0.
+            run_job(job, 0);
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            while st.active != 0 {
+                st = self
+                    .shared
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            // Retire the job before releasing the dispatch lock so late
+            // wakers see `None` and park again.
+            st.job = None;
+        }
+
+        if obs {
+            dcmesh_obs::metrics::counter_add(
+                "pool.tasks",
+                core.tasks.load(Ordering::Relaxed) as u64,
+            );
+            dcmesh_obs::metrics::counter_add(
+                "pool.steals",
+                core.steals.load(Ordering::Relaxed) as u64,
+            );
+            dcmesh_obs::metrics::gauge_set(
+                "pool.utilization",
+                core.participants.load(Ordering::Relaxed) as f64 / self.size as f64,
+            );
+            if let Some(t0) = t0 {
+                dcmesh_obs::metrics::histogram_record(
+                    "pool.dispatch_seconds",
+                    t0.elapsed().as_secs_f64(),
+                );
+            }
+        }
+
+        if core.panicked.load(Ordering::SeqCst) {
+            let payload = core
+                .panic
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .unwrap_or_else(|| Box::new("pool job panicked"));
+            resume_unwind(payload);
+        }
+    }
+
+    /// Run `f(i)` for every index in `range`, in parallel. Zero-allocation:
+    /// the range is never materialized.
+    pub fn for_each_index<F>(&self, range: Range<usize>, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let n = range.end.saturating_sub(range.start);
+        let start = range.start;
+        let grain = self.grain_for(n);
+        self.dispatch(n, grain, &|i| f(start + i));
+    }
+
+    /// Run `f(i)` for every index, one index per claim — for coarse bodies
+    /// (teams) where per-item stealing matters more than claim cost.
+    pub fn for_each_index_coarse<F>(&self, range: Range<usize>, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let n = range.end.saturating_sub(range.start);
+        let start = range.start;
+        self.dispatch(n, 1, &|i| f(start + i));
+    }
+
+    /// Split `data` into `n_teams` contiguous chunks of `ceil(len/n_teams)`
+    /// elements (OpenMP `teams distribute` boundaries; the last chunk may be
+    /// shorter) and run `f(team, chunk)` for each in parallel.
+    pub fn for_each_chunk_mut<T, F>(&self, data: &mut [T], n_teams: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if data.is_empty() || n_teams == 0 {
+            return;
+        }
+        let chunk_len = data.len().div_ceil(n_teams);
+        self.for_each_chunks_of_mut(data, chunk_len, f);
+    }
+
+    /// Split `data` into contiguous chunks of exactly `chunk_len` elements
+    /// (last may be shorter) and run `f(chunk_index, chunk)` for each in
+    /// parallel. One chunk per claim.
+    pub fn for_each_chunks_of_mut<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if data.is_empty() {
+            return;
+        }
+        let chunk_len = chunk_len.max(1);
+        let len = data.len();
+        let n_chunks = len.div_ceil(chunk_len);
+        let base = SlicePtr::new(data);
+        self.dispatch(n_chunks, 1, &move |t| {
+            let lo = t * chunk_len;
+            let hi = (lo + chunk_len).min(len);
+            // SAFETY: each t in 0..n_chunks is claimed exactly once and the
+            // [lo, hi) ranges are pairwise disjoint, so this is the only
+            // live reference to that sub-slice; `data` outlives dispatch.
+            let chunk = unsafe { base.subslice_mut(lo, hi) };
+            f(t, chunk);
+        });
+    }
+
+    /// Run `f(i, &mut data[i])` for every element in parallel.
+    pub fn for_each_mut<T, F>(&self, data: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        if data.is_empty() {
+            return;
+        }
+        let base = SlicePtr::new(data);
+        let grain = self.grain_for(base.len());
+        self.dispatch(base.len(), grain, &move |i| {
+            // SAFETY: each index is claimed exactly once → exclusive access.
+            f(i, unsafe { base.get_mut(i) });
+        });
+    }
+
+    /// Parallel map over `0..n`, collecting results in index order.
+    ///
+    /// Allocates only the output buffer. If a body panics, already-computed
+    /// results are leaked (not dropped) — memory-safe, matching the
+    /// cancel-on-panic dispatch semantics.
+    pub fn map_index<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+        out.resize_with(n, MaybeUninit::uninit);
+        let base = SlicePtr::new(&mut out);
+        let grain = self.grain_for(n);
+        self.dispatch(n, grain, &move |i| {
+            // SAFETY: exclusive slot per claimed index.
+            unsafe { base.get_mut(i).write(f(i)) };
+        });
+        // SAFETY: dispatch returned normally, so every slot was written
+        // exactly once; Vec<MaybeUninit<R>> and Vec<R> have identical layout.
+        let mut out = ManuallyDrop::new(out);
+        unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut R, n, out.capacity()) }
+    }
+
+    /// Parallel map over mutable elements, collecting `f(i, &mut data[i])`
+    /// results in index order.
+    pub fn map_mut<T, R, F>(&self, data: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        let n = data.len();
+        let base = SlicePtr::new(data);
+        self.map_index(n, move |i| {
+            // SAFETY: exclusive element per claimed index.
+            f(i, unsafe { base.get_mut(i) })
+        })
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, participant: usize) {
+    IN_POOL_WORKER.set(true);
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(job) = st.job {
+                    if st.epoch != seen_epoch {
+                        seen_epoch = st.epoch;
+                        st.active += 1;
+                        break job;
+                    }
+                }
+                st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        run_job(job, participant);
+        let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FIFO lanes for deferred (`nowait`) launches
+// ---------------------------------------------------------------------------
+
+type LaneTask = Box<dyn FnOnce() + Send + 'static>;
+
+struct LaneState {
+    queue: VecDeque<LaneTask>,
+    running: bool,
+    shutdown: bool,
+    panic: Option<Box<dyn Any + Send + 'static>>,
+}
+
+struct LaneShared {
+    state: Mutex<LaneState>,
+    task_cv: Condvar,
+    idle_cv: Condvar,
+}
+
+/// A persistent FIFO executor thread: tasks enqueued on a lane run one at a
+/// time, in order, off the enqueuing thread.
+///
+/// `dcmesh-device` keeps one lane per stream so `LaunchPolicy::Async`
+/// (`nowait`) launches execute as real deferred bodies, settled at
+/// `Device::synchronize()` / scope exit. Panics inside a task are captured
+/// and surfaced by [`Lane::wait_idle`].
+pub struct Lane {
+    shared: Arc<LaneShared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Lane {
+    /// Spawn a lane thread named `name`.
+    pub fn new(name: &str) -> Self {
+        let shared = Arc::new(LaneShared {
+            state: Mutex::new(LaneState {
+                queue: VecDeque::new(),
+                running: false,
+                shutdown: false,
+                panic: None,
+            }),
+            task_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+        });
+        let handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(name.to_string())
+                .spawn(move || lane_loop(shared))
+                .expect("failed to spawn lane thread")
+        };
+        Self {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Append a task to the lane's FIFO queue and return immediately.
+    pub fn enqueue(&self, task: LaneTask) {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.queue.push_back(task);
+        self.shared.task_cv.notify_one();
+    }
+
+    /// Tasks enqueued but not yet started.
+    pub fn pending(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
+    }
+
+    /// Block until the queue is empty and no task is running; returns the
+    /// first captured panic payload, if any task panicked since the last
+    /// call.
+    pub fn wait_idle(&self) -> Option<Box<dyn Any + Send + 'static>> {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !st.queue.is_empty() || st.running {
+            st = self
+                .shared
+                .idle_cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        st.panic.take()
+    }
+}
+
+impl Drop for Lane {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.shutdown = true;
+            self.shared.task_cv.notify_all();
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Lane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lane")
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+fn lane_loop(shared: Arc<LaneShared>) {
+    loop {
+        let task = {
+            let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(task) = st.queue.pop_front() {
+                    st.running = true;
+                    break task;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.task_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(task));
+        let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Err(payload) = result {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        st.running = false;
+        if st.queue.is_empty() {
+            shared.idle_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn for_each_index_covers_range_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.for_each_index(0..1000, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_index_respects_range_start() {
+        let pool = ThreadPool::new(3);
+        let sum = AtomicU64::new(0);
+        pool.for_each_index(10..20, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (10..20).sum::<u64>());
+    }
+
+    #[test]
+    fn chunk_mut_matches_openmp_boundaries() {
+        let pool = ThreadPool::new(4);
+        let mut v = vec![0usize; 103];
+        // ceil(103/10) = 11-element chunks, last chunk 4 long.
+        pool.for_each_chunk_mut(&mut v, 10, |t, chunk| {
+            for x in chunk.iter_mut() {
+                *x = t + 1;
+            }
+        });
+        for (j, &x) in v.iter().enumerate() {
+            assert_eq!(x, j / 11 + 1);
+        }
+    }
+
+    #[test]
+    fn map_index_preserves_order() {
+        let pool = ThreadPool::new(4);
+        let out = pool.map_index(777, |i| i * 3);
+        assert_eq!(out, (0..777).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_mut_returns_in_order_and_mutates() {
+        let pool = ThreadPool::new(4);
+        let mut v: Vec<u32> = (0..57).collect();
+        let out = pool.map_mut(&mut v, |i, x| {
+            *x += 1;
+            i as u32 + *x
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+        assert_eq!(out, (0..57).map(|i| 2 * i + 1).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn lane_runs_fifo_and_waits_idle() {
+        let lane = Lane::new("test-lane");
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..16 {
+            let log = Arc::clone(&log);
+            lane.enqueue(Box::new(move || log.lock().unwrap().push(i)));
+        }
+        assert!(lane.wait_idle().is_none());
+        assert_eq!(*log.lock().unwrap(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lane_captures_panics() {
+        let lane = Lane::new("test-lane-panic");
+        lane.enqueue(Box::new(|| panic!("lane boom")));
+        let payload = lane.wait_idle().expect("panic captured");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "lane boom");
+        // The lane survives a panicking task.
+        lane.enqueue(Box::new(|| {}));
+        assert!(lane.wait_idle().is_none());
+    }
+}

@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test --workspace -q =="
 cargo test --workspace -q
 
+echo "== cargo bench --workspace --no-run =="
+cargo bench --workspace --no-run
+
+echo "== pool tests at DCMESH_THREADS=2 =="
+DCMESH_THREADS=2 cargo test -q -p dcmesh-pool -p dcmesh-device -p dcmesh-lfd
+
 echo "All checks passed."

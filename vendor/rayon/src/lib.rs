@@ -1,80 +1,161 @@
 //! Offline stand-in for the subset of [rayon](https://crates.io/crates/rayon)
-//! the dcmesh workspace uses. The container this repo builds in has no
-//! registry access, so the workspace points its `rayon` dependency at this
-//! path crate instead.
+//! the dcmesh workspace uses — now a thin facade over the persistent
+//! executor in `dcmesh-pool`.
+//!
+//! The original shim spawned and joined fresh OS threads via
+//! `std::thread::scope` on every call and materialized every index range
+//! into a `Vec`. All execution now routes to [`dcmesh_pool::global`]: one
+//! set of worker threads for the whole process, parked on a condvar
+//! between calls, with work handed out by atomic chunk-claiming.
 //!
 //! Semantics match rayon for the covered surface:
 //!
 //! * `slice.par_chunks_mut(n)` — contiguous chunks, `enumerate()` indices
 //!   equal the sequential chunk positions,
-//! * `(0..n).into_par_iter()` / `vec.into_par_iter()` / `vec.par_iter_mut()`,
+//! * `(0..n).into_par_iter()` — **zero-allocation**: the range is
+//!   dispatched directly, never collected into a `Vec<usize>`,
+//! * `vec.into_par_iter()` / `vec.par_iter_mut()` / `slice.par_iter_mut()`,
 //! * `.for_each(..)` and `.map(..).collect::<C>()` (order-preserving),
-//! * `current_num_threads()`.
+//! * `current_num_threads()` — the persistent pool's size
+//!   (`--threads` override > `DCMESH_THREADS` > `available_parallelism`).
 //!
-//! Execution uses `std::thread::scope`: items are split into at most
-//! `current_num_threads()` contiguous batches, each batch runs on its own
-//! scoped thread, and results are concatenated in order. Panics in any task
-//! propagate to the caller, like rayon.
+//! Panics in any task propagate to the caller, like rayon. One divergence
+//! worth knowing: if a task panics mid-job in a consuming iterator
+//! (`vec.into_par_iter()`), items not yet processed are leaked rather than
+//! dropped — memory-safe, but drop-order-sensitive code should not panic
+//! inside parallel bodies.
 
-use std::num::NonZeroUsize;
+use dcmesh_pool::{global, SlicePtr};
+use std::mem::ManuallyDrop;
 
-/// Number of threads parallel operations may use (rayon's global-pool size;
-/// here, the machine's available parallelism).
+/// Number of threads parallel operations may use — the persistent pool's
+/// execution-slot count.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    global().size()
 }
 
-/// Run `f` over `items` with order-preserving batching across scoped threads.
-fn run_parallel<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
+// ---------------------------------------------------------------------------
+// Ranges — dispatched without materialization
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `start..end`, dispatched as an index range.
+pub struct RangeParIter {
+    start: usize,
+    end: usize,
+}
+
+impl RangeParIter {
+    /// Run `f` for every index in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync + Send,
+    {
+        global().for_each_index(self.start..self.end, f);
     }
-    let nthreads = current_num_threads().min(n);
-    if nthreads <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let batch = n.div_ceil(nthreads);
-    let mut batches: Vec<Vec<T>> = Vec::with_capacity(nthreads);
-    let mut it = items.into_iter();
-    loop {
-        let b: Vec<T> = it.by_ref().take(batch).collect();
-        if b.is_empty() {
-            break;
+
+    /// Pair each index with its sequential position (for `start == 0`
+    /// ranges the pair is `(i, i)`).
+    pub fn enumerate(self) -> RangeEnumParIter {
+        RangeEnumParIter {
+            start: self.start,
+            end: self.end,
         }
-        batches.push(b);
     }
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = batches
-            .into_iter()
-            .map(|b| scope.spawn(move || b.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("parallel task panicked"))
-            .collect()
-    })
+
+    /// Map indices in parallel; finish with [`RangeMapIter::collect`].
+    pub fn map<R, F>(self, f: F) -> RangeMapIter<F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync + Send,
+    {
+        RangeMapIter {
+            start: self.start,
+            end: self.end,
+            f,
+        }
+    }
 }
 
-/// A materialized parallel iterator over `items`.
-pub struct IntoParIter<T> {
+/// Adapter produced by [`RangeParIter::enumerate`].
+pub struct RangeEnumParIter {
+    start: usize,
+    end: usize,
+}
+
+impl RangeEnumParIter {
+    /// Run `f((position, index))` for every index in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, usize)) + Sync + Send,
+    {
+        let start = self.start;
+        global().for_each_index(0..self.end.saturating_sub(start), move |pos| {
+            f((pos, start + pos))
+        });
+    }
+}
+
+/// Adapter produced by [`RangeParIter::map`].
+pub struct RangeMapIter<F> {
+    start: usize,
+    end: usize,
+    f: F,
+}
+
+impl<F> RangeMapIter<F> {
+    /// Run the map in parallel and collect results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync + Send,
+        C: FromIterator<R>,
+    {
+        let start = self.start;
+        let f = self.f;
+        global()
+            .map_index(self.end.saturating_sub(start), move |i| f(start + i))
+            .into_iter()
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Owned collections
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over an owned `Vec<T>`.
+pub struct VecParIter<T> {
     items: Vec<T>,
 }
 
-impl<T: Send> IntoParIter<T> {
+/// Move every element out of `items` by claimed index, then free the buffer
+/// without dropping elements. If `f` panics, unprocessed elements (and the
+/// buffer) are leaked — memory-safe, see the crate docs.
+fn consume_in_parallel<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync + Send,
+{
+    let mut items = ManuallyDrop::new(items);
+    let n = items.len();
+    let base = SlicePtr::new(&mut items);
+    let out = global().map_index(n, move |i| {
+        // SAFETY: each index is claimed exactly once, so each element is
+        // moved out exactly once.
+        let item = unsafe { std::ptr::read(base.get_mut(i) as *mut T) };
+        f(i, item)
+    });
+    // SAFETY: all elements were moved out above; reconstituting with len 0
+    // frees the allocation without double-dropping them.
+    drop(unsafe { Vec::from_raw_parts(items.as_mut_ptr(), 0, items.capacity()) });
+    out
+}
+
+impl<T: Send> VecParIter<T> {
     /// Pair each item with its sequential index.
-    pub fn enumerate(self) -> IntoParIter<(usize, T)> {
-        IntoParIter {
-            items: self.items.into_iter().enumerate().collect(),
-        }
+    pub fn enumerate(self) -> VecEnumParIter<T> {
+        VecEnumParIter { items: self.items }
     }
 
     /// Consume every item in parallel.
@@ -82,29 +163,44 @@ impl<T: Send> IntoParIter<T> {
     where
         F: Fn(T) + Sync + Send,
     {
-        run_parallel(self.items, f);
+        consume_in_parallel(self.items, move |_, item| f(item));
     }
 
-    /// Map items in parallel; finish with [`MapIter::collect`].
-    pub fn map<R, F>(self, f: F) -> MapIter<T, F>
+    /// Map items in parallel; finish with [`VecMapIter::collect`].
+    pub fn map<R, F>(self, f: F) -> VecMapIter<T, F>
     where
         R: Send,
         F: Fn(T) -> R + Sync + Send,
     {
-        MapIter {
+        VecMapIter {
             items: self.items,
             f,
         }
     }
 }
 
-/// Adapter produced by [`IntoParIter::map`].
-pub struct MapIter<T, F> {
+/// Adapter produced by [`VecParIter::enumerate`].
+pub struct VecEnumParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> VecEnumParIter<T> {
+    /// Consume every `(index, item)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, T)) + Sync + Send,
+    {
+        consume_in_parallel(self.items, move |i, item| f((i, item)));
+    }
+}
+
+/// Adapter produced by [`VecParIter::map`].
+pub struct VecMapIter<T, F> {
     items: Vec<T>,
     f: F,
 }
 
-impl<T: Send, F> MapIter<T, F> {
+impl<T: Send, F> VecMapIter<T, F> {
     /// Run the map in parallel and collect results in input order.
     pub fn collect<R, C>(self) -> C
     where
@@ -112,31 +208,157 @@ impl<T: Send, F> MapIter<T, F> {
         F: Fn(T) -> R + Sync + Send,
         C: FromIterator<R>,
     {
-        run_parallel(self.items, self.f).into_iter().collect()
+        let f = self.f;
+        consume_in_parallel(self.items, move |_, item| f(item))
+            .into_iter()
+            .collect()
     }
 }
+
+// ---------------------------------------------------------------------------
+// Mutable views
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator of `&mut T` over a slice.
+pub struct SliceMutParIter<'data, T> {
+    data: &'data mut [T],
+}
+
+impl<'data, T: Send> SliceMutParIter<'data, T> {
+    /// Run `f(&mut item)` for every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync + Send,
+    {
+        global().for_each_mut(self.data, move |_, x| f(x));
+    }
+
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> SliceMutEnumParIter<'data, T> {
+        SliceMutEnumParIter { data: self.data }
+    }
+
+    /// Map elements in parallel; finish with [`SliceMutMapIter::collect`].
+    pub fn map<R, F>(self, f: F) -> SliceMutMapIter<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&mut T) -> R + Sync + Send,
+    {
+        SliceMutMapIter { data: self.data, f }
+    }
+}
+
+/// Adapter produced by [`SliceMutParIter::enumerate`].
+pub struct SliceMutEnumParIter<'data, T> {
+    data: &'data mut [T],
+}
+
+impl<'data, T: Send> SliceMutEnumParIter<'data, T> {
+    /// Run `f((index, &mut item))` for every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync + Send,
+    {
+        global().for_each_mut(self.data, move |i, x| f((i, x)));
+    }
+}
+
+/// Adapter produced by [`SliceMutParIter::map`].
+pub struct SliceMutMapIter<'data, T, F> {
+    data: &'data mut [T],
+    f: F,
+}
+
+impl<'data, T: Send, F> SliceMutMapIter<'data, T, F> {
+    /// Run the map in parallel and collect results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&mut T) -> R + Sync + Send,
+        C: FromIterator<R>,
+    {
+        let f = self.f;
+        global()
+            .map_mut(self.data, move |_, x| f(x))
+            .into_iter()
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutable chunks
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over contiguous mutable chunks of a slice.
+pub struct ChunksMutParIter<'data, T> {
+    data: &'data mut [T],
+    chunk_size: usize,
+}
+
+impl<'data, T: Send> ChunksMutParIter<'data, T> {
+    /// Run `f(chunk)` for every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync + Send,
+    {
+        global().for_each_chunks_of_mut(self.data, self.chunk_size, move |_, c| f(c));
+    }
+
+    /// Pair each chunk with its sequential position.
+    pub fn enumerate(self) -> ChunksMutEnumParIter<'data, T> {
+        ChunksMutEnumParIter {
+            data: self.data,
+            chunk_size: self.chunk_size,
+        }
+    }
+}
+
+/// Adapter produced by [`ChunksMutParIter::enumerate`].
+pub struct ChunksMutEnumParIter<'data, T> {
+    data: &'data mut [T],
+    chunk_size: usize,
+}
+
+impl<'data, T: Send> ChunksMutEnumParIter<'data, T> {
+    /// Run `f((chunk_index, chunk))` for every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync + Send,
+    {
+        global().for_each_chunks_of_mut(self.data, self.chunk_size, move |t, c| f((t, c)));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------------
 
 /// `into_par_iter()` for owned collections and ranges.
 pub trait IntoParallelIterator {
     /// Item type yielded by the parallel iterator.
     type Item: Send;
+    /// Concrete parallel-iterator type.
+    type Iter;
     /// Convert into a parallel iterator.
-    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
 }
 
 impl IntoParallelIterator for std::ops::Range<usize> {
     type Item = usize;
-    fn into_par_iter(self) -> IntoParIter<usize> {
-        IntoParIter {
-            items: self.collect(),
+    type Iter = RangeParIter;
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter {
+            start: self.start,
+            end: self.end.max(self.start),
         }
     }
 }
 
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
-    fn into_par_iter(self) -> IntoParIter<T> {
-        IntoParIter { items: self }
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
     }
 }
 
@@ -144,25 +366,25 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
 pub trait IntoParallelRefMutIterator<'data> {
     /// Item type (`&mut T`).
     type Item: Send;
+    /// Concrete parallel-iterator type.
+    type Iter;
     /// Parallel iterator of mutable references.
-    fn par_iter_mut(&'data mut self) -> IntoParIter<Self::Item>;
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
 }
 
 impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
     type Item = &'data mut T;
-    fn par_iter_mut(&'data mut self) -> IntoParIter<&'data mut T> {
-        IntoParIter {
-            items: self.iter_mut().collect(),
-        }
+    type Iter = SliceMutParIter<'data, T>;
+    fn par_iter_mut(&'data mut self) -> SliceMutParIter<'data, T> {
+        SliceMutParIter { data: self }
     }
 }
 
 impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
     type Item = &'data mut T;
-    fn par_iter_mut(&'data mut self) -> IntoParIter<&'data mut T> {
-        IntoParIter {
-            items: self.iter_mut().collect(),
-        }
+    type Iter = SliceMutParIter<'data, T>;
+    fn par_iter_mut(&'data mut self) -> SliceMutParIter<'data, T> {
+        SliceMutParIter { data: self }
     }
 }
 
@@ -170,13 +392,14 @@ impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
 pub trait ParallelSliceMut<T: Send> {
     /// Parallel iterator over contiguous mutable chunks of length
     /// `chunk_size` (last chunk may be shorter).
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> IntoParIter<&mut [T]>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutParIter<'_, T>;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> IntoParIter<&mut [T]> {
-        IntoParIter {
-            items: self.chunks_mut(chunk_size.max(1)).collect(),
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutParIter<'_, T> {
+        ChunksMutParIter {
+            data: self,
+            chunk_size: chunk_size.max(1),
         }
     }
 }
@@ -189,6 +412,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn chunks_enumerate_in_order() {
@@ -214,6 +438,36 @@ mod tests {
         let mut v: Vec<u32> = vec![1; 57];
         v.par_iter_mut().for_each(|x| *x += 1);
         assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn par_iter_mut_map_collect_in_order() {
+        let mut v: Vec<u32> = (0..64).collect();
+        let out: Vec<u32> = v.par_iter_mut().map(|x| *x * 10).collect();
+        assert_eq!(out, (0..64).map(|x| x * 10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn vec_into_par_iter_consumes_each_once() {
+        let hits: Vec<AtomicUsize> = (0..200).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..200).collect();
+        items.into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn range_enumerate_positions_match() {
+        let hits: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+        (5..55usize)
+            .into_par_iter()
+            .enumerate()
+            .for_each(|(pos, i)| {
+                assert_eq!(i, pos + 5);
+                hits[pos].fetch_add(1, Ordering::Relaxed);
+            });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
     #[test]
