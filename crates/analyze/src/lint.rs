@@ -1,0 +1,401 @@
+//! Source-level hygiene lint for the repo's concurrency invariants.
+//!
+//! A deliberately lightweight, text-based scanner (no syn, no external
+//! deps — the build environment is offline) that walks the workspace
+//! sources and enforces the rules `cargo` cannot express per-path:
+//!
+//! 1. **undocumented-unsafe** — every `unsafe` block or `unsafe impl`
+//!    must carry a `// SAFETY:` comment on the same line or within the
+//!    preceding comment block; every `unsafe fn` declaration must have a
+//!    `# Safety` doc section (or a `// SAFETY:` comment). This backstops
+//!    `clippy::undocumented_unsafe_blocks` for the vendored shims and
+//!    for target configurations clippy does not visit.
+//! 2. **thread-spawn** — `thread::spawn` is allowed only inside
+//!    `crates/pool` (the one owner of execution resources) and
+//!    `crates/analyze` (the explorer must create controlled threads).
+//!    Everything else must go through the pool, or scoped helpers.
+//! 3. **wall-clock** — `Instant::now` is banned in kernel crates (math,
+//!    grid, device, comm, tddft, qxmd): kernels are timed by the
+//!    `dcmesh-obs` span layer and the modeled device clock; ad-hoc
+//!    timers there skew the roofline accounting. Driver layers (lfd
+//!    engine, core simulation, bench) and `crates/obs` itself may read
+//!    wall clocks.
+//! 4. **static-mut** — `static mut` is banned everywhere; use atomics,
+//!    `OnceLock`, or interior mutability.
+//!
+//! Comments and string literals are stripped before matching, so rule
+//! text inside docs (like this paragraph) does not trip the scanner.
+//! Paths containing `/fixtures/` are skipped — they hold deliberately
+//! failing inputs for the negative-path tests.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose sources must not read wall clocks (rule 3).
+const KERNEL_CRATES: [&str; 6] = [
+    "crates/math",
+    "crates/grid",
+    "crates/device",
+    "crates/comm",
+    "crates/tddft",
+    "crates/qxmd",
+];
+
+/// Directories scanned relative to the workspace root.
+const SCAN_ROOTS: [&str; 5] = ["crates", "vendor/rayon", "src", "tests", "examples"];
+
+/// Which invariant a finding violates.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// `unsafe` without a safety comment/doc section.
+    UndocumentedUnsafe,
+    /// `thread::spawn` outside the executor crates.
+    ThreadSpawn,
+    /// `Instant::now` inside a kernel crate.
+    WallClock,
+    /// `static mut` anywhere.
+    StaticMut,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rule::UndocumentedUnsafe => "undocumented-unsafe",
+            Rule::ThreadSpawn => "thread-spawn",
+            Rule::WallClock => "wall-clock",
+            Rule::StaticMut => "static-mut",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One lint violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Path relative to the workspace root.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Strip `//` comments and the contents of string literals from one
+/// line, so pattern matching only sees code. Byte-string and raw-string
+/// edge cases degrade to over-stripping, which is safe (no false
+/// positives; the tree does not hide the banned patterns in raw strings).
+fn code_only(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    let mut in_char = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    let _ = chars.next();
+                }
+                '"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        if in_char {
+            match c {
+                '\\' => {
+                    let _ = chars.next();
+                }
+                '\'' => in_char = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '/' if chars.peek() == Some(&'/') => break, // comment tail
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            // A lifetime tick (`'a`) vs. a char literal: treat a quote
+            // followed by an alphanumeric + non-quote as a lifetime.
+            '\'' => {
+                let next_is_alpha = chars
+                    .peek()
+                    .map(|n| n.is_alphanumeric() || *n == '_')
+                    .unwrap_or(false);
+                if next_is_alpha {
+                    // Look ahead two: 'x' is a char literal, 'xy a lifetime.
+                    let mut clone = chars.clone();
+                    let _ = clone.next();
+                    if clone.peek() == Some(&'\'') {
+                        in_char = true;
+                    }
+                }
+                out.push('\'');
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Does `code` contain `unsafe` as a standalone keyword?
+fn has_unsafe_keyword(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find("unsafe") {
+        let at = start + pos;
+        let before_ok = at == 0 || !bytes[at - 1].is_ascii_alphanumeric() && bytes[at - 1] != b'_';
+        let after = at + "unsafe".len();
+        let after_ok =
+            after >= bytes.len() || !bytes[after].is_ascii_alphanumeric() && bytes[after] != b'_';
+        if before_ok && after_ok {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+/// How many preceding lines may carry the `SAFETY:` comment.
+const SAFETY_LOOKBACK: usize = 6;
+
+/// Scan one file's contents. `rel_path` (workspace-relative, `/`
+/// separators) selects the path-dependent rules.
+pub fn scan_source(rel_path: &str, contents: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let lines: Vec<&str> = contents.lines().collect();
+    let in_pool_or_analyze =
+        rel_path.starts_with("crates/pool/") || rel_path.starts_with("crates/analyze/");
+    let in_kernel_crate = KERNEL_CRATES
+        .iter()
+        .any(|k| rel_path.starts_with(&format!("{k}/")));
+    let is_obs = rel_path.starts_with("crates/obs/");
+
+    let spawn_pat = ["thread", "spawn"].join("::"); // avoid self-matching
+    let instant_pat = ["Instant", "now"].join("::");
+    let static_mut_pat = ["static", "mut "].join(" ");
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let code = code_only(raw);
+
+        if code.contains(&static_mut_pat) {
+            findings.push(Finding {
+                path: rel_path.to_string(),
+                line: line_no,
+                rule: Rule::StaticMut,
+                message: "mutable statics are banned; use atomics or OnceLock".into(),
+            });
+        }
+
+        if !in_pool_or_analyze && code.contains(&spawn_pat) {
+            findings.push(Finding {
+                path: rel_path.to_string(),
+                line: line_no,
+                rule: Rule::ThreadSpawn,
+                message: "raw thread spawns belong to crates/pool; dispatch through the pool"
+                    .into(),
+            });
+        }
+
+        if in_kernel_crate && !is_obs && code.contains(&instant_pat) {
+            findings.push(Finding {
+                path: rel_path.to_string(),
+                line: line_no,
+                rule: Rule::WallClock,
+                message: "kernel crates must not read wall clocks; use dcmesh-obs spans".into(),
+            });
+        }
+
+        if has_unsafe_keyword(&code) && !unsafe_is_documented(&lines, idx, raw) {
+            findings.push(Finding {
+                path: rel_path.to_string(),
+                line: line_no,
+                rule: Rule::UndocumentedUnsafe,
+                message: "missing SAFETY comment (or `# Safety` doc for an unsafe fn)".into(),
+            });
+        }
+    }
+    findings
+}
+
+/// Is the `unsafe` at `lines[idx]` covered by a safety comment?
+///
+/// Accepted evidence, searching the same line then up to
+/// [`SAFETY_LOOKBACK`] preceding lines without leaving the contiguous
+/// comment/attribute block above the item:
+/// * a `SAFETY:` line comment (the clippy convention), or
+/// * a `# Safety` doc heading for `unsafe fn` declarations (which may
+///   sit further up, above the attributes and other doc text — for fn
+///   declarations the whole contiguous doc block is searched).
+fn unsafe_is_documented(lines: &[&str], idx: usize, raw: &str) -> bool {
+    if raw.contains("SAFETY:") {
+        return true;
+    }
+    let code = code_only(raw);
+    let is_fn_decl = code.contains("unsafe fn");
+    // Walk upward through the contiguous comment/attribute block.
+    let mut steps = 0;
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let above = lines[i].trim_start();
+        let is_annotation = above.starts_with("//") || above.starts_with('#') || above.is_empty();
+        if above.contains("SAFETY:") {
+            return true;
+        }
+        if is_fn_decl && above.contains("# Safety") {
+            return true;
+        }
+        if is_fn_decl {
+            // Doc blocks for fns may be long; keep climbing while still
+            // inside docs/attributes.
+            if !is_annotation {
+                return false;
+            }
+        } else {
+            if !above.starts_with("//") {
+                return false;
+            }
+            steps += 1;
+            if steps >= SAFETY_LOOKBACK {
+                return false;
+            }
+        }
+    }
+    false
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping fixtures and
+/// build artifacts.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name == "target" || name == "fixtures" || name.starts_with('.') {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Scan the workspace rooted at `root`; returns every finding.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for sub in SCAN_ROOTS {
+        collect_rs(&root.join(sub), &mut files);
+    }
+    let mut findings = Vec::new();
+    for file in files {
+        let contents = std::fs::read_to_string(&file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(scan_source(&rel, &contents));
+    }
+    Ok(findings)
+}
+
+/// Locate the workspace root: walk up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(s) = std::fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documented_unsafe_passes() {
+        let src = "fn f() {\n    // SAFETY: disjoint by construction.\n    \
+                   let x = unsafe { *p };\n}\n";
+        assert!(scan_source("crates/pool/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_unsafe_flagged() {
+        let src = "fn f() {\n    let x = unsafe { *p };\n}\n";
+        let f = scan_source("crates/pool/src/lib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::UndocumentedUnsafe);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn unsafe_fn_doc_section_accepted() {
+        let src = "/// Does a thing.\n///\n/// # Safety\n///\n/// Caller keeps `p` live.\n\
+                   #[inline]\npub unsafe fn f(p: *mut u8) {}\n";
+        assert!(scan_source("crates/pool/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_comment_or_string_ignored() {
+        let src = "// this mentions unsafe in prose\nlet s = \"unsafe words\";\n";
+        assert!(scan_source("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn spawn_rule_scoped_to_pool_and_analyze() {
+        let line = format!(
+            "let h = std::{}(|| {{}});\n",
+            ["thread", "spawn"].join("::")
+        );
+        assert!(scan_source("crates/pool/src/lib.rs", &line).is_empty());
+        assert!(scan_source("crates/analyze/src/sched.rs", &line).is_empty());
+        let f = scan_source("crates/lfd/src/engine.rs", &line);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::ThreadSpawn);
+    }
+
+    #[test]
+    fn wall_clock_rule_only_in_kernel_crates() {
+        let line = format!("let t = {}();\n", ["Instant", "now"].join("::"));
+        assert!(scan_source("crates/lfd/src/engine.rs", &line).is_empty());
+        assert!(scan_source("crates/obs/src/clock.rs", &line).is_empty());
+        let f = scan_source("crates/math/src/gemm.rs", &line);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::WallClock);
+    }
+
+    #[test]
+    fn static_mut_flagged_everywhere() {
+        let line = format!("{}COUNTER: u64 = 0;\n", ["static", "mut "].join(" "));
+        let f = scan_source("crates/obs/src/lib.rs", &line);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::StaticMut);
+    }
+}

@@ -1,0 +1,321 @@
+//! Instrumented synchronization primitives for schedule-explorable code.
+//!
+//! Drop-in (minus lock poisoning, which the pool never relied on)
+//! replacements for `std::sync::{Mutex, Condvar}`, the protocol atomics,
+//! and thread spawn/join. Outside an active [`crate::sched`] exploration
+//! every operation delegates straight to `std` after one relaxed load of
+//! the explorer flag — the hot-path cost contract is identical to a
+//! disabled `dcmesh-obs` span. Under exploration, each operation becomes
+//! a scheduling point and blocking routes through the explorer so it can
+//! enumerate interleavings and detect deadlocks.
+//!
+//! Only the operations `dcmesh-pool` actually uses are wrapped; extend as
+//! protocols grow rather than speculatively.
+
+use crate::sched;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering;
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+macro_rules! atomic_wrapper {
+    ($name:ident, $std:ty, $prim:ty) => {
+        /// Explorer-aware wrapper over the corresponding `std` atomic:
+        /// each operation is a scheduling point under exploration, a
+        /// plain delegate otherwise.
+        #[derive(Debug, Default)]
+        pub struct $name($std);
+
+        impl $name {
+            /// New atomic holding `v`.
+            pub const fn new(v: $prim) -> Self {
+                Self(<$std>::new(v))
+            }
+
+            /// Atomic load (scheduling point under exploration).
+            #[inline]
+            pub fn load(&self, order: Ordering) -> $prim {
+                sched::yield_point();
+                self.0.load(order)
+            }
+
+            /// Atomic store (scheduling point under exploration).
+            #[inline]
+            pub fn store(&self, v: $prim, order: Ordering) {
+                sched::yield_point();
+                self.0.store(v, order);
+            }
+
+            /// Atomic fetch-add (scheduling point under exploration).
+            #[inline]
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                sched::yield_point();
+                self.0.fetch_add(v, order)
+            }
+
+            /// Atomic fetch-max (scheduling point under exploration).
+            #[inline]
+            pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                sched::yield_point();
+                self.0.fetch_max(v, order)
+            }
+        }
+    };
+}
+
+atomic_wrapper!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+atomic_wrapper!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+/// Explorer-aware `AtomicBool` (separate because `fetch_max` on bools is
+/// not part of the std surface we mirror).
+#[derive(Debug, Default)]
+pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+impl AtomicBool {
+    /// New atomic holding `v`.
+    pub const fn new(v: bool) -> Self {
+        Self(std::sync::atomic::AtomicBool::new(v))
+    }
+
+    /// Atomic load (scheduling point under exploration).
+    #[inline]
+    pub fn load(&self, order: Ordering) -> bool {
+        sched::yield_point();
+        self.0.load(order)
+    }
+
+    /// Atomic store (scheduling point under exploration).
+    #[inline]
+    pub fn store(&self, v: bool, order: Ordering) {
+        sched::yield_point();
+        self.0.store(v, order);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex + Condvar
+// ---------------------------------------------------------------------------
+
+/// Explorer-aware mutex. Unlike `std::sync::Mutex`, `lock` does not
+/// surface poisoning: a lock whose holder panicked is simply re-entered
+/// (`into_inner` semantics), which is what the pool's protocols want —
+/// their guarded state stays consistent across body panics by design.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T> {
+    /// `ManuallyDrop` so [`Condvar::wait`] can take the std guard out and
+    /// hand it to the real condvar on the uncontrolled path.
+    inner: ManuallyDrop<std::sync::MutexGuard<'a, T>>,
+    lock: &'a Mutex<T>,
+    /// Acquired through the explorer: releasing must wake blocked peers.
+    controlled: bool,
+}
+
+impl<T> Mutex<T> {
+    /// New mutex holding `v`.
+    pub const fn new(v: T) -> Self {
+        Self(std::sync::Mutex::new(v))
+    }
+
+    /// Stable key identifying this mutex to the explorer.
+    fn key(&self) -> usize {
+        &self.0 as *const _ as *const () as usize
+    }
+
+    /// Acquire the lock (scheduling point; never observes poison).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if sched::is_active() {
+            if let Some((ctrl, tid)) = sched::current() {
+                loop {
+                    ctrl.on_yield(tid);
+                    match self.0.try_lock() {
+                        Ok(g) => {
+                            return MutexGuard {
+                                inner: ManuallyDrop::new(g),
+                                lock: self,
+                                controlled: true,
+                            };
+                        }
+                        Err(std::sync::TryLockError::Poisoned(e)) => {
+                            return MutexGuard {
+                                inner: ManuallyDrop::new(e.into_inner()),
+                                lock: self,
+                                controlled: true,
+                            };
+                        }
+                        Err(std::sync::TryLockError::WouldBlock) => {
+                            ctrl.block_on_lock(tid, self.key());
+                        }
+                    }
+                }
+            }
+        }
+        MutexGuard {
+            inner: ManuallyDrop::new(self.0.lock().unwrap_or_else(|e| e.into_inner())),
+            lock: self,
+            controlled: false,
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("MutexGuard").field(&**self).finish()
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: the std guard is dropped exactly once: here, or not at
+        // all when `Condvar::wait` took it out and `mem::forget` us.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        if self.controlled {
+            if let Some((ctrl, _tid)) = sched::current() {
+                ctrl.lock_released(self.lock.key());
+            }
+        }
+    }
+}
+
+/// Explorer-aware condition variable. Wakeups are exact under
+/// exploration (no spurious wakeups are injected); predicate loops are
+/// still required, and the explorer will find schedules where a notify
+/// fires before the waiter parks.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// New condition variable.
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    fn key(&self) -> usize {
+        &self.0 as *const _ as *const () as usize
+    }
+
+    /// Release `guard`'s mutex, wait for a notification, re-acquire.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let lock = guard.lock;
+        if guard.controlled {
+            if let Some((ctrl, tid)) = sched::current() {
+                // Model the atomic release-and-wait: between dropping the
+                // std guard and parking as a waiter no other controlled
+                // thread can run (we still hold the processor).
+                // SAFETY: `mem::forget(guard)` below ensures the std
+                // guard is not dropped a second time.
+                unsafe { ManuallyDrop::drop(&mut guard.inner) };
+                std::mem::forget(guard);
+                ctrl.lock_released(lock.key());
+                ctrl.condvar_wait(tid, self.key());
+                return lock.lock();
+            }
+        }
+        // SAFETY: `mem::forget(guard)` below ensures the std guard is not
+        // dropped a second time.
+        let std_guard = unsafe { ManuallyDrop::take(&mut guard.inner) };
+        std::mem::forget(guard);
+        let reacquired = self.0.wait(std_guard).unwrap_or_else(|e| e.into_inner());
+        MutexGuard {
+            inner: ManuallyDrop::new(reacquired),
+            lock,
+            controlled: false,
+        }
+    }
+
+    /// Wake one waiter (the lowest-tid one, deterministically, under
+    /// exploration).
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+        if sched::is_active() {
+            if let Some((ctrl, _)) = sched::current() {
+                ctrl.condvar_notify(self.key(), false);
+            }
+        }
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+        if sched::is_active() {
+            if let Some((ctrl, _)) = sched::current() {
+                ctrl.condvar_notify(self.key(), true);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+enum HandleInner {
+    Std(std::thread::JoinHandle<()>),
+    Controlled {
+        tid: usize,
+        ctrl: &'static crate::sched::Controller,
+        os: std::thread::JoinHandle<()>,
+    },
+}
+
+/// Join handle for a thread created with [`spawn_named`].
+pub struct JoinHandle(HandleInner);
+
+impl std::fmt::Debug for JoinHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").finish_non_exhaustive()
+    }
+}
+
+impl JoinHandle {
+    /// Wait for the thread to finish. Panics from the thread are reported
+    /// through the explorer under exploration and swallowed here.
+    pub fn join(self) -> std::thread::Result<()> {
+        match self.0 {
+            HandleInner::Std(h) => h.join(),
+            HandleInner::Controlled { tid, ctrl, os } => {
+                if let Some((c, self_tid)) = sched::current() {
+                    debug_assert!(std::ptr::eq(c, ctrl));
+                    c.join_thread(self_tid, tid);
+                }
+                os.join()
+            }
+        }
+    }
+}
+
+/// Spawn a named thread. Under exploration on a controlled thread, the
+/// child registers with the explorer before this returns (so schedules
+/// are deterministic) and runs only when granted; otherwise this is
+/// `std::thread::Builder::new().name(..).spawn(..)`.
+pub fn spawn_named(name: &str, f: impl FnOnce() + Send + 'static) -> JoinHandle {
+    if sched::is_active() {
+        if let Some((ctrl, _tid)) = sched::current() {
+            let (tid, os) = ctrl.spawn_controlled(name, Box::new(f));
+            return JoinHandle(HandleInner::Controlled { tid, ctrl, os });
+        }
+    }
+    let h = std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(f)
+        .expect("failed to spawn thread");
+    JoinHandle(HandleInner::Std(h))
+}

@@ -1,0 +1,18 @@
+// Deliberately unhygienic source used by the lint negative-path test.
+// This file lives under `fixtures/` so the workspace scan skips it; the
+// test feeds it to the scanner directly and asserts every rule fires.
+
+static mut HITS: u64 = 0;
+
+pub fn touch(p: *mut u64) {
+    let _v = unsafe { *p };
+}
+
+pub fn spawn_off() {
+    let h = std::thread::spawn(|| {});
+    let _ = h.join();
+}
+
+pub fn time_it() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,56 @@
+//! Negative-path and whole-tree checks for the lint gate.
+
+use dcmesh_analyze::lint::{self, Rule};
+use std::path::PathBuf;
+
+fn fixture() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad_unsafe.rs");
+    std::fs::read_to_string(path).expect("fixture readable")
+}
+
+#[test]
+fn fixture_trips_every_rule() {
+    // Scanned as if it lived in a kernel crate, the fixture must trip
+    // all four rules.
+    let findings = lint::scan_source("crates/math/src/bad.rs", &fixture());
+    let hit = |r: Rule| findings.iter().filter(|f| f.rule == r).count();
+    assert_eq!(hit(Rule::StaticMut), 1, "{findings:?}");
+    assert_eq!(hit(Rule::UndocumentedUnsafe), 1, "{findings:?}");
+    assert_eq!(hit(Rule::ThreadSpawn), 1, "{findings:?}");
+    assert_eq!(hit(Rule::WallClock), 1, "{findings:?}");
+}
+
+#[test]
+fn fixture_findings_carry_locations() {
+    let findings = lint::scan_source("crates/math/src/bad.rs", &fixture());
+    let sm = findings
+        .iter()
+        .find(|f| f.rule == Rule::StaticMut)
+        .expect("static-mut finding");
+    assert_eq!(sm.path, "crates/math/src/bad.rs");
+    assert!(sm.line >= 1);
+    // Display form is what the CI log shows; keep it grep-able.
+    let shown = format!("{sm}");
+    assert!(shown.contains("crates/math/src/bad.rs:"), "{shown}");
+    assert!(shown.contains("static-mut"), "{shown}");
+}
+
+#[test]
+fn workspace_tree_is_clean_and_skips_fixtures() {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = lint::find_workspace_root(&manifest).expect("workspace root");
+    let findings = lint::scan_workspace(&root).expect("scan");
+    assert!(
+        !findings.iter().any(|f| f.path.contains("fixtures")),
+        "fixtures must be excluded from the workspace scan"
+    );
+    assert!(
+        findings.is_empty(),
+        "lint violations in tree:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,152 @@
+//! Unit tests for the vector-clock shadow-access detector. These drive
+//! the hook API directly (no pool); the end-to-end seeded-overlap test
+//! through the real executor lives in `crates/pool/tests/racecheck.rs`.
+//!
+//! The registry is process-global, so every test serializes on one lock
+//! and resets before running.
+
+use dcmesh_analyze::race;
+use std::sync::{Mutex, OnceLock};
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn unordered_overlap_is_flagged() {
+    let _g = serial();
+    race::force_enable();
+    race::reset();
+    let buf = vec![0u8; 64];
+    let lo = buf.as_ptr() as usize;
+    let ((), violations) = race::capture(|| {
+        let a = std::thread::Builder::new()
+            .name("writer-a".into())
+            .spawn(move || race::record_write(lo, lo + 32, "seed-a"))
+            .unwrap();
+        let b = std::thread::Builder::new()
+            .name("writer-b".into())
+            .spawn(move || race::record_write(lo + 16, lo + 48, "seed-b"))
+            .unwrap();
+        a.join().unwrap();
+        b.join().unwrap();
+        race::settle("test.unordered");
+    });
+    assert_eq!(violations.len(), 1, "exactly one overlap was seeded");
+    let v = &violations[0];
+    assert_eq!(v.settle, "test.unordered");
+    assert_eq!(v.overlap, (lo + 16, lo + 32));
+    let labels = [v.labels.0, v.labels.1];
+    assert!(labels.contains(&"seed-a") && labels.contains(&"seed-b"));
+    drop(buf);
+}
+
+#[test]
+fn fork_join_edge_orders_writes() {
+    let _g = serial();
+    race::force_enable();
+    race::reset();
+    let buf = vec![0u8; 64];
+    let lo = buf.as_ptr() as usize;
+    let ((), violations) = race::capture(|| {
+        // Writer A writes, then forks; writer B joins the packet before
+        // writing the same range — a proper launch edge, no race.
+        race::record_write(lo, lo + 32, "first");
+        let pkt = race::fork();
+        let b = std::thread::spawn(move || {
+            race::join(&pkt);
+            race::record_write(lo + 16, lo + 48, "second");
+        });
+        b.join().unwrap();
+        race::settle("test.ordered");
+    });
+    assert!(violations.is_empty(), "hb edge missed: {:?}", violations);
+    drop(buf);
+}
+
+#[test]
+fn disjoint_concurrent_writes_are_clean() {
+    let _g = serial();
+    race::force_enable();
+    race::reset();
+    let buf = vec![0u8; 64];
+    let lo = buf.as_ptr() as usize;
+    let ((), violations) = race::capture(|| {
+        let a = std::thread::spawn(move || race::record_write(lo, lo + 32, "left"));
+        let b = std::thread::spawn(move || race::record_write(lo + 32, lo + 64, "right"));
+        a.join().unwrap();
+        b.join().unwrap();
+        race::settle("test.disjoint");
+    });
+    assert!(violations.is_empty(), "false positive: {:?}", violations);
+    drop(buf);
+}
+
+#[test]
+fn overlap_across_settles_within_window_is_caught() {
+    let _g = serial();
+    race::force_enable();
+    race::reset();
+    let buf = vec![0u8; 64];
+    let lo = buf.as_ptr() as usize;
+    let ((), violations) = race::capture(|| {
+        let a = std::thread::spawn(move || race::record_write(lo, lo + 8, "early"));
+        a.join().unwrap();
+        race::settle("test.window.first"); // entry moves to the retained window
+        let b = std::thread::spawn(move || race::record_write(lo + 4, lo + 12, "late"));
+        b.join().unwrap();
+        race::settle("test.window.second");
+    });
+    assert_eq!(violations.len(), 1, "retained window lost the access");
+    assert_eq!(violations[0].settle, "test.window.second");
+    drop(buf);
+}
+
+#[test]
+fn claim_discards_stale_state_for_reused_addresses() {
+    let _g = serial();
+    race::force_enable();
+    race::reset();
+    let buf = vec![0u8; 64];
+    let lo = buf.as_ptr() as usize;
+    let ((), violations) = race::capture(|| {
+        // Simulate the one-test-per-thread harness pattern: thread A
+        // writes and exits, the allocation is "reused", and thread B —
+        // with no happens-before edge to A — writes the same addresses.
+        let a = std::thread::spawn(move || race::record_write(lo, lo + 32, "old-owner"));
+        a.join().unwrap();
+        race::settle("test.claim.first"); // A's entry enters the window
+                                          // A new exclusive owner claims the middle of the range (as
+                                          // `SlicePtr::new` does from its `&mut [T]`); only the trimmed
+                                          // flanks of the stale entry survive.
+        race::claim(lo + 8, lo + 24);
+        let b = std::thread::spawn(move || race::record_write(lo + 8, lo + 24, "new-owner"));
+        b.join().unwrap();
+        race::settle("test.claim.second");
+        // The untrimmed flanks still participate: an unordered write
+        // overlapping [lo, lo+8) must still be caught.
+        let c = std::thread::spawn(move || race::record_write(lo, lo + 4, "flank"));
+        c.join().unwrap();
+        race::settle("test.claim.third");
+    });
+    assert_eq!(violations.len(), 1, "got: {violations:?}");
+    assert_eq!(violations[0].settle, "test.claim.third");
+    let labels = [violations[0].labels.0, violations[0].labels.1];
+    assert!(labels.contains(&"old-owner") && labels.contains(&"flank"));
+    drop(buf);
+}
+
+#[test]
+fn empty_ranges_are_ignored() {
+    let _g = serial();
+    race::force_enable();
+    race::reset();
+    let ((), violations) = race::capture(|| {
+        race::record_write(0x1000, 0x1000, "zst");
+        race::settle("test.empty");
+    });
+    assert!(violations.is_empty());
+}

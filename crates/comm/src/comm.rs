@@ -26,6 +26,7 @@ struct Message {
 const COLLECTIVE_TAG_BASE: u64 = 1 << 60;
 
 /// The communicator world; spawns one OS thread per rank.
+#[derive(Debug)]
 pub struct World;
 
 impl World {
@@ -92,6 +93,15 @@ pub struct Rank {
     clock: f64,
     net: NetworkModel,
     collective_seq: u64,
+}
+
+impl std::fmt::Debug for Rank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rank")
+            .field("id", &self.id)
+            .field("size", &self.size)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Rank {

@@ -64,6 +64,12 @@ pub struct Table {
     rows: Vec<Vec<String>>,
 }
 
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table").finish_non_exhaustive()
+    }
+}
+
 impl Table {
     /// New table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {

@@ -38,6 +38,12 @@ pub struct EhrenfestFF {
     external: RefCell<Vec<[f64; 3]>>,
 }
 
+impl std::fmt::Debug for EhrenfestFF {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EhrenfestFF").finish_non_exhaustive()
+    }
+}
+
 impl EhrenfestFF {
     /// Wrap a classical field with zeroed external forces for `natoms`.
     pub fn new(classical: PerovskiteFF, natoms: usize) -> Self {
@@ -169,6 +175,15 @@ pub struct DcMeshSim {
     md_steps: u64,
     /// Previous per-domain dipole moments (for the polarization current).
     prev_dipole: Vec<f64>,
+}
+
+impl std::fmt::Debug for DcMeshSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DcMeshSim")
+            .field("time", &self.time)
+            .field("md_steps", &self.md_steps)
+            .finish_non_exhaustive()
+    }
 }
 
 impl DcMeshSim {

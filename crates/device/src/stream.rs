@@ -387,6 +387,12 @@ pub struct NowaitScope<'scope, 'env: 'scope> {
     _env: PhantomData<&'env mut &'env ()>,
 }
 
+impl std::fmt::Debug for NowaitScope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NowaitScope").finish_non_exhaustive()
+    }
+}
+
 impl<'scope, 'env> NowaitScope<'scope, 'env> {
     /// The device this scope defers onto.
     pub fn device(&self) -> &'env Device {
@@ -627,6 +633,42 @@ mod tests {
         d.nowait_scope(|scope| {
             scope.launch_named("k", StreamId(0), LaunchPolicy::Async, work(64), || {});
         });
+    }
+
+    #[test]
+    fn deferred_body_panic_reraises_at_synchronize() {
+        // A panic in a deferred body must surface at the *first* settle
+        // point — an explicit mid-scope synchronize() — not silently wait
+        // for scope exit; and consuming it there must not re-trip the
+        // scope-exit drain.
+        let d = Device::a100();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            d.nowait_scope(|scope| {
+                scope.launch_named("k", StreamId(0), LaunchPolicy::Async, work(64), || {
+                    panic!("sync boom");
+                });
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    scope.device().synchronize();
+                }))
+                .expect_err("synchronize must re-raise the deferred panic");
+                let msg = caught.downcast_ref::<&str>().copied().unwrap_or_default();
+                assert_eq!(msg, "sync boom");
+            });
+        }));
+        assert!(
+            result.is_ok(),
+            "payload already consumed at synchronize(); scope exit must not re-panic"
+        );
+        // The device (and its lanes) remain usable afterwards.
+        let hit = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        d.nowait_scope(|scope| {
+            let h = Arc::clone(&hit);
+            scope.launch_named("k", StreamId(0), LaunchPolicy::Async, work(64), move || {
+                h.store(true, std::sync::atomic::Ordering::SeqCst);
+            });
+        });
+        d.synchronize();
+        assert!(hit.load(std::sync::atomic::Ordering::SeqCst));
     }
 
     #[test]

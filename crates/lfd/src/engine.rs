@@ -192,6 +192,14 @@ pub struct LfdEngine<R: Real> {
     pub occupations: Vec<R>,
 }
 
+impl<R: Real> std::fmt::Debug for LfdEngine<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LfdEngine")
+            .field("time", &self.time)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<R: Real> LfdEngine<R> {
     /// Build the engine with a synthetic orthonormal initial state and a
     /// local potential `v_loc` (pass zeros for free propagation).

@@ -127,6 +127,12 @@ pub struct Multigrid {
     params: MgParams,
 }
 
+impl std::fmt::Debug for Multigrid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Multigrid").finish_non_exhaustive()
+    }
+}
+
 impl Multigrid {
     /// Build the hierarchy, coarsening by 2 while all dimensions stay even
     /// and at least 4 cells.

@@ -33,6 +33,12 @@ pub struct SpanGuard {
     live: Option<LiveSpan>,
 }
 
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard").finish_non_exhaustive()
+    }
+}
+
 struct LiveSpan {
     name: Cow<'static, str>,
     id: u64,

@@ -47,6 +47,22 @@
 //! [`Lane`] is the second half of the story: a persistent FIFO executor
 //! thread used by `dcmesh-device` to give `LaunchPolicy::Async` (`nowait`)
 //! launches a real deferred body per stream, settled at `synchronize`.
+//!
+//! # Checked concurrency
+//!
+//! The protocols above are machine-checked rather than argued in comments:
+//!
+//! * Every mutex, condvar, protocol atomic, and thread in this crate comes
+//!   from [`dcmesh_analyze::sync`], so the launch/steal/park, lane
+//!   enqueue/settle, and panic re-raise state machines run under the
+//!   schedule explorer in `tests/modelcheck.rs` — every interleaving
+//!   within a preemption bound, on the real code. When no explorer is
+//!   active the wrappers cost one relaxed atomic load per operation.
+//! * Dispatches and lanes carry [`dcmesh_analyze::race`] vector-clock
+//!   edges (launch fork → participant join; participant completion fork →
+//!   settle join), and the [`SlicePtr`] accessors log their byte ranges
+//!   when `DCMESH_RACECHECK=1`. At each settle point (dispatch return,
+//!   [`Lane::wait_idle`]) overlapping unordered writes panic the caller.
 
 use std::any::Any;
 use std::cell::Cell;
@@ -54,9 +70,12 @@ use std::collections::VecDeque;
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+use dcmesh_analyze::race;
+use dcmesh_analyze::sync::{spawn_named, AtomicBool, AtomicUsize, Condvar, JoinHandle, Mutex};
 
 // ---------------------------------------------------------------------------
 // Sizing & the global pool
@@ -110,7 +129,9 @@ pub fn global() -> &'static ThreadPool {
 /// it are disjoint or serialized. Inside this crate it hands pairwise
 /// disjoint sub-slices to claim-loop participants; `dcmesh-lfd` uses it to
 /// enqueue successive sweep passes over one buffer on a single FIFO
-/// [`Lane`] (serial by construction).
+/// [`Lane`] (serial by construction). Under `DCMESH_RACECHECK=1` that
+/// promise is checked: every accessor logs its byte range to the shadow
+/// race detector, and unordered overlaps panic at the next settle point.
 pub struct SlicePtr<T> {
     ptr: *mut T,
     len: usize,
@@ -124,12 +145,35 @@ impl<T> Clone for SlicePtr<T> {
     }
 }
 
+impl<T> std::fmt::Debug for SlicePtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlicePtr")
+            .field("ptr", &self.ptr)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+// SAFETY: SlicePtr is a lifetime-erased `&mut [T]`. Sending it (and the
+// `&SlicePtr` copies the dispatch closures capture) across threads is sound
+// for `T: Send` because every dereference happens through the unsafe
+// accessors below, whose callers promise disjoint-or-serialized access —
+// the same contract that makes `&mut [T]: Send` usable from `scope` spawns.
 unsafe impl<T: Send> Send for SlicePtr<T> {}
+// SAFETY: sharing `&SlicePtr` grants no access by itself (all accessors
+// take `self` by copy and are unsafe); see the Send justification above.
 unsafe impl<T: Send> Sync for SlicePtr<T> {}
 
 impl<T> SlicePtr<T> {
     /// Capture a mutable slice as a raw parts pair.
     pub fn new(slice: &mut [T]) -> Self {
+        if race::enabled() {
+            // The `&mut` borrow proves exclusive ownership of the range:
+            // discard stale shadow state so a reallocation at the same
+            // address is not compared against its previous owner's writes.
+            let base = slice.as_mut_ptr() as usize;
+            race::claim(base, base + std::mem::size_of_val(slice));
+        }
         Self {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
@@ -146,6 +190,17 @@ impl<T> SlicePtr<T> {
         self.len == 0
     }
 
+    /// Shadow-log a write to elements `[lo, hi)` when the race detector is
+    /// armed. One relaxed load when it is not.
+    #[inline]
+    fn shadow_write(&self, lo: usize, hi: usize, label: &'static str) {
+        if race::enabled() {
+            let base = self.ptr as usize;
+            let size = std::mem::size_of::<T>();
+            race::record_write(base + lo * size, base + hi * size, label);
+        }
+    }
+
     /// Reconstitute the mutable slice.
     ///
     /// # Safety
@@ -153,7 +208,9 @@ impl<T> SlicePtr<T> {
     /// The original allocation must still be live and no other reference to
     /// any part of it may be active for the returned lifetime.
     pub unsafe fn as_mut_slice<'a>(self) -> &'a mut [T] {
-        std::slice::from_raw_parts_mut(self.ptr, self.len)
+        self.shadow_write(0, self.len, "sliceptr.as_mut_slice");
+        // SAFETY: caller upholds liveness and exclusivity (see above).
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
     }
 
     /// Reconstitute a mutable reference to element `i` (bounds-checked).
@@ -164,7 +221,10 @@ impl<T> SlicePtr<T> {
     /// reference to element `i` may be active for the returned lifetime.
     pub unsafe fn get_mut<'a>(self, i: usize) -> &'a mut T {
         assert!(i < self.len);
-        &mut *self.ptr.add(i)
+        self.shadow_write(i, i + 1, "sliceptr.get_mut");
+        // SAFETY: `i < len` was just checked; caller upholds liveness and
+        // exclusivity of element `i` (see above).
+        unsafe { &mut *self.ptr.add(i) }
     }
 
     /// Reconstitute a sub-slice `[lo, hi)`.
@@ -176,7 +236,10 @@ impl<T> SlicePtr<T> {
     /// checked.
     pub unsafe fn subslice_mut<'a>(self, lo: usize, hi: usize) -> &'a mut [T] {
         assert!(lo <= hi && hi <= self.len);
-        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+        self.shadow_write(lo, hi, "sliceptr.subslice_mut");
+        // SAFETY: bounds were just checked; caller upholds liveness and
+        // non-overlap of concurrent ranges (see above).
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo) }
     }
 }
 
@@ -195,11 +258,15 @@ struct JobCore {
     panicked: AtomicBool,
     panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
     /// Chunks executed (for the `pool.tasks` counter).
-    tasks: AtomicUsize,
+    tasks: std::sync::atomic::AtomicUsize,
     /// Chunks executed by a thread other than the chunk's static owner.
-    steals: AtomicUsize,
+    steals: std::sync::atomic::AtomicUsize,
     /// Threads that entered the claim loop (pool-utilization gauge).
-    participants: AtomicUsize,
+    participants: std::sync::atomic::AtomicUsize,
+    /// Launch-edge packet each participant joins on entry (racecheck only).
+    race_launch: Option<race::Packet>,
+    /// Completion packets the dispatcher joins before settling.
+    race_done: std::sync::Mutex<Vec<race::Packet>>,
 }
 
 /// Lifetime-erased pointer to a job: the caller's closure plus its
@@ -214,6 +281,10 @@ struct JobRef {
     core: *const JobCore,
 }
 
+// SAFETY: the pointees live on the dispatching thread's stack for the whole
+// dispatch, the closure is `Sync` (shared calls are fine), and `JobCore` is
+// all atomics/locks; the dispatch protocol (dispatcher blocks until every
+// participant exits `run_job`) bounds every dereference. See `JobRef` docs.
 unsafe impl Send for JobRef {}
 
 thread_local! {
@@ -249,18 +320,22 @@ impl Drop for DispatchFlagGuard {
 fn run_job(job: JobRef, participant: usize) {
     // SAFETY: see `JobRef` — the dispatch protocol keeps both pointers live
     // for as long as any participant is inside this function.
-    let core = unsafe { &*job.core };
-    let func = unsafe { &*job.func };
+    let (core, func) = unsafe { (&*job.core, &*job.func) };
     core.participants.fetch_add(1, Ordering::Relaxed);
+    if let Some(pkt) = &core.race_launch {
+        // Everything the dispatcher did before publishing the job
+        // happens-before this participant's writes.
+        race::join(pkt);
+    }
     loop {
         if core.panicked.load(Ordering::Relaxed) {
             // Cancel remaining chunks after a panic.
             core.next.fetch_max(core.n_items, Ordering::AcqRel);
-            return;
+            break;
         }
         let start = core.next.fetch_add(core.grain, Ordering::AcqRel);
         if start >= core.n_items {
-            return;
+            break;
         }
         let end = (start + core.grain).min(core.n_items);
         core.tasks.fetch_add(1, Ordering::Relaxed);
@@ -277,11 +352,19 @@ fn run_job(job: JobRef, participant: usize) {
         }));
         if let Err(payload) = result {
             core.panicked.store(true, Ordering::SeqCst);
-            let mut slot = core.panic.lock().unwrap_or_else(|e| e.into_inner());
+            let mut slot = core.panic.lock();
             if slot.is_none() {
                 *slot = Some(payload);
             }
         }
+    }
+    if core.race_launch.is_some() {
+        // This participant's writes happen-before the dispatcher's settle.
+        let done = race::fork();
+        core.race_done
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(done);
     }
 }
 
@@ -316,7 +399,15 @@ pub struct ThreadPool {
     /// runs one job at a time.
     dispatch_lock: Mutex<()>,
     size: usize,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    workers: Vec<JoinHandle>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("size", &self.size)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ThreadPool {
@@ -337,10 +428,9 @@ impl ThreadPool {
         let workers = (0..size.saturating_sub(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("dcmesh-pool-{i}"))
-                    .spawn(move || worker_loop(shared, i + 1))
-                    .expect("failed to spawn pool worker")
+                spawn_named(&format!("dcmesh-pool-{i}"), move || {
+                    worker_loop(shared, i + 1)
+                })
             })
             .collect();
         Self {
@@ -379,6 +469,12 @@ impl ThreadPool {
                     func(i);
                 }
             }));
+            if race::enabled() && !IN_POOL_WORKER.get() && !IN_DISPATCH.get() {
+                // Single-threaded writes cannot race, but settling here
+                // drains the shadow logs so a long serial phase does not
+                // accumulate them (and bounds address-reuse exposure).
+                race::settle("pool.dispatch.serial");
+            }
             if let Err(payload) = result {
                 resume_unwind(payload);
             }
@@ -396,9 +492,11 @@ impl ThreadPool {
             pool_size: self.size,
             panicked: AtomicBool::new(false),
             panic: Mutex::new(None),
-            tasks: AtomicUsize::new(0),
-            steals: AtomicUsize::new(0),
-            participants: AtomicUsize::new(0),
+            tasks: std::sync::atomic::AtomicUsize::new(0),
+            steals: std::sync::atomic::AtomicUsize::new(0),
+            participants: std::sync::atomic::AtomicUsize::new(0),
+            race_launch: race::enabled().then(race::fork),
+            race_done: std::sync::Mutex::new(Vec::new()),
         };
         // SAFETY: lifetime erasure only — the fat-pointer layout is
         // unchanged, and the dispatch protocol guarantees the pointee
@@ -412,26 +510,33 @@ impl ThreadPool {
         };
         {
             let _in_dispatch = DispatchFlagGuard::set();
-            let _serialize = self.dispatch_lock.lock().unwrap_or_else(|e| e.into_inner());
+            let _serialize = self.dispatch_lock.lock();
             {
-                let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                let mut st = self.shared.state.lock();
                 st.epoch = st.epoch.wrapping_add(1);
                 st.job = Some(job);
                 self.shared.work_cv.notify_all();
             }
             // The dispatching thread is participant 0.
             run_job(job, 0);
-            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            let mut st = self.shared.state.lock();
             while st.active != 0 {
-                st = self
-                    .shared
-                    .done_cv
-                    .wait(st)
-                    .unwrap_or_else(|e| e.into_inner());
+                st = self.shared.done_cv.wait(st);
             }
             // Retire the job before releasing the dispatch lock so late
             // wakers see `None` and park again.
             st.job = None;
+        }
+
+        if core.race_launch.is_some() {
+            // Join every participant's completion packet, then check the
+            // whole region for unordered overlapping writes.
+            let done =
+                std::mem::take(&mut *core.race_done.lock().unwrap_or_else(|e| e.into_inner()));
+            for pkt in &done {
+                race::join(pkt);
+            }
+            race::settle("pool.dispatch");
         }
 
         if obs {
@@ -459,7 +564,6 @@ impl ThreadPool {
             let payload = core
                 .panic
                 .lock()
-                .unwrap_or_else(|e| e.into_inner())
                 .take()
                 .unwrap_or_else(|| Box::new("pool job panicked"));
             resume_unwind(payload);
@@ -565,9 +669,9 @@ impl ThreadPool {
             // SAFETY: exclusive slot per claimed index.
             unsafe { base.get_mut(i).write(f(i)) };
         });
+        let mut out = ManuallyDrop::new(out);
         // SAFETY: dispatch returned normally, so every slot was written
         // exactly once; Vec<MaybeUninit<R>> and Vec<R> have identical layout.
-        let mut out = ManuallyDrop::new(out);
         unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut R, n, out.capacity()) }
     }
 
@@ -591,7 +695,7 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            let mut st = self.shared.state.lock();
             st.shutdown = true;
             self.shared.work_cv.notify_all();
         }
@@ -606,7 +710,7 @@ fn worker_loop(shared: Arc<Shared>, participant: usize) {
     let mut seen_epoch = 0u64;
     loop {
         let job = {
-            let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            let mut st = shared.state.lock();
             loop {
                 if st.shutdown {
                     return;
@@ -618,11 +722,11 @@ fn worker_loop(shared: Arc<Shared>, participant: usize) {
                         break job;
                     }
                 }
-                st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                st = shared.work_cv.wait(st);
             }
         };
         run_job(job, participant);
-        let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = shared.state.lock();
         st.active -= 1;
         if st.active == 0 {
             shared.done_cv.notify_all();
@@ -641,6 +745,9 @@ struct LaneState {
     running: bool,
     shutdown: bool,
     panic: Option<Box<dyn Any + Send + 'static>>,
+    /// Completion packets forked by the lane thread after each task;
+    /// joined (and settled) by [`Lane::wait_idle`]. Racecheck only.
+    race_done: Vec<race::Packet>,
 }
 
 struct LaneShared {
@@ -658,7 +765,7 @@ struct LaneShared {
 /// and surfaced by [`Lane::wait_idle`].
 pub struct Lane {
     shared: Arc<LaneShared>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    handle: Option<JoinHandle>,
 }
 
 impl Lane {
@@ -670,16 +777,14 @@ impl Lane {
                 running: false,
                 shutdown: false,
                 panic: None,
+                race_done: Vec::new(),
             }),
             task_cv: Condvar::new(),
             idle_cv: Condvar::new(),
         });
         let handle = {
             let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(name.to_string())
-                .spawn(move || lane_loop(shared))
-                .expect("failed to spawn lane thread")
+            spawn_named(name, move || lane_loop(shared))
         };
         Self {
             shared,
@@ -689,41 +794,56 @@ impl Lane {
 
     /// Append a task to the lane's FIFO queue and return immediately.
     pub fn enqueue(&self, task: LaneTask) {
-        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        let task = if race::enabled() {
+            // Launch edge: the enqueuer's history happens-before the body.
+            let pkt = race::fork();
+            let wrapped: LaneTask = Box::new(move || {
+                race::join(&pkt);
+                task();
+            });
+            wrapped
+        } else {
+            task
+        };
+        let mut st = self.shared.state.lock();
         st.queue.push_back(task);
         self.shared.task_cv.notify_one();
     }
 
     /// Tasks enqueued but not yet started.
     pub fn pending(&self) -> usize {
-        self.shared
-            .state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .queue
-            .len()
+        self.shared.state.lock().queue.len()
     }
 
     /// Block until the queue is empty and no task is running; returns the
     /// first captured panic payload, if any task panicked since the last
     /// call.
+    ///
+    /// This is a race-detector settle point: with `DCMESH_RACECHECK=1` the
+    /// lane bodies' shadowed writes are checked (and the check can panic)
+    /// before the payload is returned.
     pub fn wait_idle(&self) -> Option<Box<dyn Any + Send + 'static>> {
-        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
-        while !st.queue.is_empty() || st.running {
-            st = self
-                .shared
-                .idle_cv
-                .wait(st)
-                .unwrap_or_else(|e| e.into_inner());
+        let (payload, done) = {
+            let mut st = self.shared.state.lock();
+            while !st.queue.is_empty() || st.running {
+                st = self.shared.idle_cv.wait(st);
+            }
+            (st.panic.take(), std::mem::take(&mut st.race_done))
+        };
+        if race::enabled() {
+            for pkt in &done {
+                race::join(pkt);
+            }
+            race::settle("pool.lane");
         }
-        st.panic.take()
+        payload
     }
 }
 
 impl Drop for Lane {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            let mut st = self.shared.state.lock();
             st.shutdown = true;
             self.shared.task_cv.notify_all();
         }
@@ -744,7 +864,7 @@ impl std::fmt::Debug for Lane {
 fn lane_loop(shared: Arc<LaneShared>) {
     loop {
         let task = {
-            let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            let mut st = shared.state.lock();
             loop {
                 if let Some(task) = st.queue.pop_front() {
                     st.running = true;
@@ -753,15 +873,19 @@ fn lane_loop(shared: Arc<LaneShared>) {
                 if st.shutdown {
                     return;
                 }
-                st = shared.task_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                st = shared.task_cv.wait(st);
             }
         };
         let result = catch_unwind(AssertUnwindSafe(task));
-        let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = shared.state.lock();
         if let Err(payload) = result {
             if st.panic.is_none() {
                 st.panic = Some(payload);
             }
+        }
+        if race::enabled() {
+            // Completion edge: this body's writes happen-before wait_idle.
+            st.race_done.push(race::fork());
         }
         st.running = false;
         if st.queue.is_empty() {
@@ -835,10 +959,10 @@ mod tests {
         let log = Arc::new(Mutex::new(Vec::new()));
         for i in 0..16 {
             let log = Arc::clone(&log);
-            lane.enqueue(Box::new(move || log.lock().unwrap().push(i)));
+            lane.enqueue(Box::new(move || log.lock().push(i)));
         }
         assert!(lane.wait_idle().is_none());
-        assert_eq!(*log.lock().unwrap(), (0..16).collect::<Vec<_>>());
+        assert_eq!(*log.lock(), (0..16).collect::<Vec<_>>());
     }
 
     #[test]
@@ -851,5 +975,30 @@ mod tests {
         // The lane survives a panicking task.
         lane.enqueue(Box::new(|| {}));
         assert!(lane.wait_idle().is_none());
+    }
+
+    #[test]
+    fn nested_dispatch_panic_reraises_and_pool_survives() {
+        // A panic thrown from a *nested* (inline-on-worker) dispatch must
+        // cross both dispatch layers and leave the pool usable.
+        let pool = ThreadPool::new(4);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each_index_coarse(0..8, |i| {
+                pool.for_each_index_coarse(100..108, |j| {
+                    if i == 3 && j == 104 {
+                        panic!("nested boom");
+                    }
+                });
+            });
+        }))
+        .expect_err("panic must re-raise through both dispatch layers");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "nested boom");
+        // Pool still works afterwards.
+        let sum = AtomicU64::new(0);
+        pool.for_each_index(0..100, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..100).sum::<u64>());
     }
 }

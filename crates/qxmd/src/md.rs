@@ -47,6 +47,14 @@ pub struct MdIntegrator<F> {
     steps: u64,
 }
 
+impl<F> std::fmt::Debug for MdIntegrator<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MdIntegrator")
+            .field("steps", &self.steps)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<F: ForceProvider> MdIntegrator<F> {
     /// Create the integrator; computes initial forces.
     pub fn new(mut atoms: AtomSet, forces: F, cfg: MdConfig) -> Self {

@@ -30,6 +30,12 @@ pub struct QmdForces {
     last: RefCell<Option<ScfResult>>,
 }
 
+impl std::fmt::Debug for QmdForces {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QmdForces").finish_non_exhaustive()
+    }
+}
+
 impl QmdForces {
     /// New provider (cold start on the first call).
     pub fn new(mesh: Mesh3, scf_cfg: ScfConfig) -> Self {

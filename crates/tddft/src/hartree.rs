@@ -17,6 +17,12 @@ pub struct HartreeSolver {
     mg: Multigrid,
 }
 
+impl std::fmt::Debug for HartreeSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HartreeSolver").finish_non_exhaustive()
+    }
+}
+
 impl HartreeSolver {
     /// Build the multigrid hierarchy for `mesh` (periodic cell).
     pub fn new(mesh: Mesh3) -> Self {

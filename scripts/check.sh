@@ -19,4 +19,12 @@ cargo bench --workspace --no-run
 echo "== pool tests at DCMESH_THREADS=2 =="
 DCMESH_THREADS=2 cargo test -q -p dcmesh-pool -p dcmesh-device -p dcmesh-lfd
 
+echo "== unsafe-hygiene lint gate =="
+cargo run -q -p dcmesh-analyze --bin lint
+
+echo "== concurrency suites under the shadow-access race detector =="
+# --test-threads=1: shadow intervals are raw addresses, so unrelated
+# tests must not interleave reallocations (see crates/analyze/src/race.rs).
+DCMESH_RACECHECK=1 cargo test -q -p dcmesh-pool -p dcmesh-device -p dcmesh-lfd -- --test-threads=1
+
 echo "All checks passed."

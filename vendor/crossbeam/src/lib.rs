@@ -62,6 +62,22 @@ pub mod channel {
     }
 }
 
+// Opaque Debug impls: these types hold closures or raw parallel-iterator
+// state with no useful field rendering; the workspace denies public types
+// without Debug.
+
+impl<T> std::fmt::Debug for channel::Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sender").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for channel::Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Receiver").finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel::unbounded;

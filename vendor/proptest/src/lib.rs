@@ -248,6 +248,22 @@ pub mod prelude {
     pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
 }
 
+// Opaque Debug impls: these types hold closures or raw parallel-iterator
+// state with no useful field rendering; the workspace denies public types
+// without Debug.
+
+impl<S, F> std::fmt::Debug for Map<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Map").finish_non_exhaustive()
+    }
+}
+
+impl<S> std::fmt::Debug for collection::VecStrategy<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VecStrategy").finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;

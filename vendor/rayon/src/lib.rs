@@ -409,6 +409,78 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefMutIterator, ParallelSliceMut};
 }
 
+// Opaque Debug impls: these types hold closures or raw parallel-iterator
+// state with no useful field rendering; the workspace denies public types
+// without Debug.
+
+impl std::fmt::Debug for RangeParIter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RangeParIter").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for RangeEnumParIter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RangeEnumParIter").finish_non_exhaustive()
+    }
+}
+
+impl<F> std::fmt::Debug for RangeMapIter<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RangeMapIter").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for VecParIter<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VecParIter").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for VecEnumParIter<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VecEnumParIter").finish_non_exhaustive()
+    }
+}
+
+impl<T, F> std::fmt::Debug for VecMapIter<T, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VecMapIter").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for SliceMutParIter<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SliceMutParIter").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for SliceMutEnumParIter<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SliceMutEnumParIter")
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T, F> std::fmt::Debug for SliceMutMapIter<'_, T, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SliceMutMapIter").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for ChunksMutParIter<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunksMutParIter").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for ChunksMutEnumParIter<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunksMutEnumParIter")
+            .finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
