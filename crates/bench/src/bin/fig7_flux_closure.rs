@@ -6,12 +6,14 @@
 //! reports the polarization vector field (ASCII + CSV) and the
 //! toroidal-moment time series that tracks the topological switching.
 
+use dcmesh_bench::BenchArgs;
 use dcmesh_core::{DcMeshConfig, DcMeshSim};
 use dcmesh_lfd::LaserPulse;
 use dcmesh_qxmd::pbtio3::{PbTiO3Cell, Supercell};
 use dcmesh_qxmd::polarization::{LkDynamics, PolarizationField};
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("Fig. 7 reproduction — flux-closure domain and laser-induced switching\n");
 
     // --- The static flux-closure structure (the Fig. 7 rendering). ---
@@ -56,20 +58,45 @@ fn main() {
         ehrenfest_feedback: false,
         seed: 7,
     };
-    let mut sim = DcMeshSim::new(cfg);
-    println!("running coupled DC-MESH: 12 MD steps x 40 QD steps, fs pulse on a vortex...");
+    // `--restore PATH` resumes a prior run's trajectory bitwise;
+    // `--checkpoint PATH` (+ `--checkpoint-every N`) snapshots this one.
+    let mut sim = match &args.restore {
+        Some(path) => {
+            let sim = DcMeshSim::restore_from_checkpoint(cfg, path)
+                .unwrap_or_else(|e| panic!("cannot restore from {}: {e}", path.display()));
+            println!(
+                "restored checkpoint {} at MD step {}",
+                path.display(),
+                sim.md_steps()
+            );
+            sim
+        }
+        None => DcMeshSim::new(cfg),
+    };
+    let total_steps = 12;
+    println!(
+        "running coupled DC-MESH: {total_steps} MD steps x 40 QD steps, fs pulse on a vortex..."
+    );
     println!("step  t(fs)    excited   G_y        <Pz>      hops");
-    for s in 0..12 {
+    while sim.md_steps() < total_steps {
         let r = sim.md_step();
         println!(
             "{:>4}  {:>6.3}  {:>8.4}  {:>9.5}  {:>8.5}  {:>4}",
-            s + 1,
+            sim.md_steps(),
             r.time_fs,
             r.excited_population,
             r.toroidal_moment,
             r.mean_polarization[1],
             r.hops
         );
+        if let Some(path) = &args.checkpoint {
+            let every = args.checkpoint_every.max(1);
+            if sim.md_steps().is_multiple_of(every) {
+                sim.save_checkpoint(path)
+                    .unwrap_or_else(|e| panic!("cannot checkpoint to {}: {e}", path.display()));
+                println!("      checkpointed -> {}", path.display());
+            }
+        }
     }
 
     // --- The switching mechanism in isolation (LK + excitation). ---

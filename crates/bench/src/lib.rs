@@ -40,11 +40,19 @@ pub struct BenchArgs {
     /// Worker-thread count for the persistent pool (`--threads N`).
     /// Precedence: `--threads` > `DCMESH_THREADS` > `available_parallelism`.
     pub threads: Option<usize>,
+    /// Write a checkpoint every N MD steps (`--checkpoint-every N`, 0 =
+    /// off). Only meaningful to drivers that run a [`dcmesh_core::DcMeshSim`].
+    pub checkpoint_every: u64,
+    /// Checkpoint file path (`--checkpoint PATH`).
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from this checkpoint file before stepping (`--restore PATH`).
+    pub restore: Option<PathBuf>,
 }
 
 impl BenchArgs {
     /// Parse `--full`, `--scale X`, `--quick`, `--trace PATH`, `--report`,
-    /// `--deterministic`, `--threads N` from `std::env::args`.
+    /// `--deterministic`, `--threads N`, `--checkpoint-every N`,
+    /// `--checkpoint PATH`, `--restore PATH` from `std::env::args`.
     pub fn parse() -> Self {
         Self::parse_with_default(0.25)
     }
@@ -58,6 +66,9 @@ impl BenchArgs {
             report: false,
             deterministic: false,
             threads: None,
+            checkpoint_every: 0,
+            checkpoint: None,
+            restore: None,
         };
         let mut it = args.iter().skip(1);
         while let Some(a) = it.next() {
@@ -82,9 +93,25 @@ impl BenchArgs {
                             .expect("--threads requires a positive integer"),
                     );
                 }
+                "--checkpoint-every" => {
+                    parsed.checkpoint_every = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--checkpoint-every requires a step count");
+                }
+                "--checkpoint" => {
+                    parsed.checkpoint = Some(PathBuf::from(
+                        it.next().expect("--checkpoint requires a path"),
+                    ));
+                }
+                "--restore" => {
+                    parsed.restore =
+                        Some(PathBuf::from(it.next().expect("--restore requires a path")));
+                }
                 other => panic!(
                     "unknown argument: {other} (use --full | --quick | --scale X | \
-                     --trace PATH | --report | --deterministic | --threads N)"
+                     --trace PATH | --report | --deterministic | --threads N | \
+                     --checkpoint-every N | --checkpoint PATH | --restore PATH)"
                 ),
             }
         }
@@ -339,6 +366,9 @@ mod tests {
             report: false,
             deterministic: false,
             threads: None,
+            checkpoint_every: 0,
+            checkpoint: None,
+            restore: None,
         }
     }
 

@@ -6,17 +6,48 @@
 //! simulated clock: `advance()` adds *measured* local compute time, and
 //! every communication operation adds *modeled* network time from
 //! [`NetworkModel`], so a laptop reproduces full-machine timing structure.
+//!
+//! ## Failure handling
+//!
+//! Production campaigns lose ranks, so the fabric must fail loudly rather
+//! than hang. Three mechanisms work together:
+//!
+//! * Every rank thread runs under `catch_unwind`; a panic marks the rank
+//!   failed in the shared world control block, and [`World::try_run`]
+//!   reports *which* rank died (with its panic message) instead of
+//!   deadlocking the survivors.
+//! * Receives are deadline-bounded: [`Rank::try_recv`] polls in short
+//!   chunks, checking the failed-rank flags between chunks, and returns a
+//!   typed [`CommError`] on peer failure or deadline expiry
+//!   (`DCMESH_COMM_DEADLINE_MS`, default 5000). Messages a rank managed to
+//!   send before dying still deliver — queued data outranks failure flags.
+//! * Messages carry per-sender sequence numbers; receivers drop duplicates
+//!   (windowed dedup), which is what makes the duplicate fault in
+//!   `dcmesh-ckpt`'s [`dcmesh_ckpt::fault::FaultPlan`] recoverable.
+//!
+//! Fault injection hooks (drop/delay/duplicate/kill) live on the send path
+//! and cost one relaxed atomic load when no plan is installed.
 
 use crate::network::NetworkModel;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use dcmesh_ckpt::fault::{self, MessageAction};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// A message between ranks: payload of f64 words plus the sender's clock.
 /// `logical_bytes` lets scaling drivers model full-size transfers without
-/// materializing the data.
+/// materializing the data. `seq` is unique per sender and drives duplicate
+/// suppression on the receive side.
 #[derive(Clone, Debug)]
 struct Message {
     from: usize,
     tag: u64,
+    seq: u64,
     payload: Vec<f64>,
     clock: f64,
     logical_bytes: Option<u64>,
@@ -24,6 +55,135 @@ struct Message {
 
 /// Internal tag namespace for collectives (user tags must stay below).
 const COLLECTIVE_TAG_BASE: u64 = 1 << 60;
+
+/// Receive poll granularity. The deadline is accumulated from these
+/// chunks rather than read off a wall clock (kernel crates are
+/// wall-clock-free; see the lint regime).
+const POLL_MS: u64 = 1;
+
+/// Default receive deadline when `DCMESH_COMM_DEADLINE_MS` is unset.
+const DEFAULT_DEADLINE_MS: u64 = 5000;
+
+/// How many recent sender sequence numbers each rank remembers for
+/// duplicate suppression.
+const DEDUP_WINDOW: usize = 64;
+
+/// A typed communication failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// A peer rank died (panicked) while this rank was communicating.
+    RankFailed {
+        /// The rank that failed.
+        rank: usize,
+    },
+    /// No matching message arrived within the receive deadline.
+    Timeout {
+        /// Sender the receive was waiting on.
+        from: usize,
+        /// Tag the receive was waiting on.
+        tag: u64,
+        /// How long the receive polled before giving up, in milliseconds.
+        waited_ms: u64,
+    },
+    /// The channel closed without a recorded rank failure.
+    Disconnected,
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::RankFailed { rank } => write!(f, "rank {rank} failed"),
+            CommError::Timeout {
+                from,
+                tag,
+                waited_ms,
+            } => write!(
+                f,
+                "receive from rank {from} (tag {tag}) timed out after {waited_ms} ms"
+            ),
+            CommError::Disconnected => write!(f, "communication channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// One or more ranks failed during a [`World::try_run`].
+#[derive(Clone, Debug)]
+pub struct WorldError {
+    /// `(rank, panic message)` for every failed rank, ordered by rank id.
+    pub failures: Vec<(usize, String)>,
+}
+
+impl fmt::Display for WorldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} rank(s) failed:", self.failures.len())?;
+        for (rank, reason) in &self.failures {
+            write!(f, "\n  rank {rank}: {reason}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for WorldError {}
+
+/// Shared world state: which ranks have failed, and why. Ranks poll the
+/// flags between receive chunks, so a dead peer surfaces as a typed error
+/// within one poll interval instead of a deadlock.
+#[derive(Debug)]
+struct WorldCtrl {
+    failed: Vec<AtomicBool>,
+    reasons: Mutex<Vec<Option<String>>>,
+}
+
+impl WorldCtrl {
+    fn new(nranks: usize) -> Self {
+        Self {
+            failed: (0..nranks).map(|_| AtomicBool::new(false)).collect(),
+            reasons: Mutex::new(vec![None; nranks]),
+        }
+    }
+
+    fn mark_failed(&self, rank: usize, reason: String) {
+        {
+            let mut reasons = self.reasons.lock().unwrap_or_else(|e| e.into_inner());
+            reasons[rank] = Some(reason);
+        }
+        // Flag set after the reason so a reader that sees the flag finds
+        // the message.
+        self.failed[rank].store(true, Ordering::Release);
+    }
+
+    fn first_failed(&self) -> Option<usize> {
+        self.failed.iter().position(|f| f.load(Ordering::Acquire))
+    }
+
+    fn failures(&self) -> Vec<(usize, String)> {
+        let reasons = self.reasons.lock().unwrap_or_else(|e| e.into_inner());
+        reasons
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, r)| r.as_ref().map(|s| (rank, s.clone())))
+            .collect()
+    }
+}
+
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+fn deadline_from_env() -> u64 {
+    std::env::var("DCMESH_COMM_DEADLINE_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_DEADLINE_MS)
+}
 
 /// The communicator world; spawns one OS thread per rank.
 #[derive(Debug)]
@@ -45,6 +205,20 @@ impl World {
         T: Send,
         F: Fn(&mut Rank) -> T + Sync,
     {
+        Self::try_run(nranks, net, f).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`World::run`], but rank failures are reported instead of
+    /// propagated: if any rank panics (including a comm failure escalated
+    /// to a panic by the legacy API), the returned [`WorldError`] names
+    /// every failed rank with its panic message. Surviving ranks observe
+    /// the failure as a typed [`CommError`] from their next receive rather
+    /// than deadlocking.
+    pub fn try_run<T, F>(nranks: usize, net: NetworkModel, f: F) -> Result<Vec<T>, WorldError>
+    where
+        T: Send,
+        F: Fn(&mut Rank) -> T + Sync,
+    {
         assert!(nranks >= 1, "need at least one rank");
         let mut senders: Vec<Sender<Message>> = Vec::with_capacity(nranks);
         let mut receivers: Vec<Option<Receiver<Message>>> = Vec::with_capacity(nranks);
@@ -53,13 +227,16 @@ impl World {
             senders.push(s);
             receivers.push(Some(r));
         }
+        let ctrl = Arc::new(WorldCtrl::new(nranks));
+        let deadline_ms = deadline_from_env();
         let senders_ref = &senders;
         let f_ref = &f;
         let net_ref = &net;
-        std::thread::scope(|scope| {
+        let results: Vec<Option<T>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(nranks);
             for (id, recv_slot) in receivers.iter_mut().enumerate() {
                 let receiver = recv_slot.take().expect("receiver taken once");
+                let ctrl = Arc::clone(&ctrl);
                 handles.push(scope.spawn(move || {
                     let mut rank = Rank {
                         id,
@@ -70,15 +247,36 @@ impl World {
                         clock: 0.0,
                         net: net_ref.clone(),
                         collective_seq: 0,
+                        ctrl: Arc::clone(&ctrl),
+                        deadline_ms,
+                        send_seq: Cell::new(0),
+                        comm_ops: Cell::new(0),
+                        dedup: vec![VecDeque::new(); nranks],
+                        p2p_names: vec![None; nranks],
                     };
-                    f_ref(&mut rank)
+                    match catch_unwind(AssertUnwindSafe(|| f_ref(&mut rank))) {
+                        Ok(t) => Some(t),
+                        Err(payload) => {
+                            ctrl.mark_failed(id, panic_reason(payload.as_ref()));
+                            None
+                        }
+                    }
                 }));
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
+                .map(|h| h.join().expect("rank thread join"))
                 .collect()
-        })
+        });
+        let failures = ctrl.failures();
+        if failures.is_empty() {
+            Ok(results
+                .into_iter()
+                .map(|t| t.expect("rank with no failure returns a value"))
+                .collect())
+        } else {
+            Err(WorldError { failures })
+        }
     }
 }
 
@@ -93,6 +291,17 @@ pub struct Rank {
     clock: f64,
     net: NetworkModel,
     collective_seq: u64,
+    ctrl: Arc<WorldCtrl>,
+    deadline_ms: u64,
+    /// Per-sender sequence stamp; `Cell` keeps `send` at `&self`.
+    send_seq: Cell<u64>,
+    /// Communication-operation counter driving the kill fault.
+    comm_ops: Cell<u64>,
+    /// Recently seen sequence numbers per sender (duplicate suppression).
+    dedup: Vec<VecDeque<u64>>,
+    /// Lazily built per-neighbor latency metric names, so the receive hot
+    /// path never allocates a metric key.
+    p2p_names: Vec<Option<String>>,
 }
 
 impl std::fmt::Debug for Rank {
@@ -131,49 +340,140 @@ impl Rank {
         &self.net
     }
 
-    /// Non-blocking send of `payload` to rank `to` with a user `tag`
-    /// (must be < 2^60; higher tags are reserved for collectives).
-    pub fn send(&self, to: usize, tag: u64, payload: &[f64]) {
-        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^60");
-        self.send_raw(to, tag, payload.to_vec());
+    /// Receive deadline in milliseconds (see `DCMESH_COMM_DEADLINE_MS`).
+    pub fn deadline_ms(&self) -> u64 {
+        self.deadline_ms
     }
 
-    fn send_raw(&self, to: usize, tag: u64, payload: Vec<f64>) {
-        dcmesh_obs::metrics::counter_add("comm.send_bytes", (payload.len() * 8) as u64);
-        let msg = Message {
+    /// Override the receive deadline for this rank (tests mostly).
+    pub fn set_deadline_ms(&mut self, ms: u64) {
+        assert!(ms >= POLL_MS, "deadline below poll granularity");
+        self.deadline_ms = ms;
+    }
+
+    /// Panic with a structured comm failure; the legacy (non-`try`) API
+    /// escalates typed errors this way, and `World` converts the panic
+    /// into a [`WorldError`] entry instead of a deadlock.
+    fn escalate(&self, e: CommError) -> ! {
+        panic!("communication failure on rank {}: {e}", self.id)
+    }
+
+    /// Count a communication operation and fire the kill fault if the
+    /// installed plan targets this rank at this operation.
+    fn fault_op(&self) {
+        let op = self.comm_ops.get();
+        self.comm_ops.set(op + 1);
+        if fault::armed() && fault::should_kill(self.id, op) {
+            panic!("fault injection: rank {} killed at comm op {op}", self.id);
+        }
+    }
+
+    /// Stamp an outgoing message with this sender's next sequence number.
+    fn make_msg(
+        &self,
+        tag: u64,
+        payload: Vec<f64>,
+        clock: f64,
+        logical_bytes: Option<u64>,
+    ) -> Message {
+        let seq = self.send_seq.get();
+        self.send_seq.set(seq + 1);
+        Message {
             from: self.id,
             tag,
+            seq,
             payload,
-            clock: self.clock,
-            logical_bytes: None,
-        };
-        self.senders[to].send(msg).expect("receiver hung up");
+            clock,
+            logical_bytes,
+        }
+    }
+
+    fn channel_error(&self) -> CommError {
+        match self.ctrl.first_failed() {
+            Some(rank) => CommError::RankFailed { rank },
+            None => CommError::Disconnected,
+        }
+    }
+
+    /// Push one message to `to`, applying any installed fault plan:
+    /// drop, extra modeled latency, or duplication (the duplicate carries
+    /// the same sequence number, so the receiver's dedup window absorbs
+    /// it).
+    fn post(&self, to: usize, mut msg: Message) -> Result<(), CommError> {
+        if fault::armed() {
+            match fault::message_action(msg.from, to, msg.tag, msg.seq) {
+                MessageAction::Deliver => {}
+                MessageAction::Drop => return Ok(()),
+                MessageAction::Delay(s) => msg.clock += s,
+                MessageAction::Duplicate => {
+                    self.senders[to]
+                        .send(msg.clone())
+                        .map_err(|_| self.channel_error())?;
+                }
+            }
+        }
+        self.senders[to].send(msg).map_err(|_| self.channel_error())
+    }
+
+    /// Non-blocking send of `payload` to rank `to` with a user `tag`
+    /// (must be < 2^60; higher tags are reserved for collectives).
+    /// Panics on a dead peer; see [`Rank::try_send`] for the typed form.
+    pub fn send(&self, to: usize, tag: u64, payload: &[f64]) {
+        if let Err(e) = self.try_send(to, tag, payload) {
+            self.escalate(e);
+        }
+    }
+
+    /// Fallible form of [`Rank::send`].
+    pub fn try_send(&self, to: usize, tag: u64, payload: &[f64]) -> Result<(), CommError> {
+        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^60");
+        self.fault_op();
+        self.send_raw(to, tag, payload.to_vec())
+    }
+
+    fn send_raw(&self, to: usize, tag: u64, payload: Vec<f64>) -> Result<(), CommError> {
+        dcmesh_obs::metrics::counter_add("comm.send_bytes", (payload.len() * 8) as u64);
+        let msg = self.make_msg(tag, payload, self.clock, None);
+        self.post(to, msg)
     }
 
     /// Blocking selective receive from rank `from` with matching `tag`.
-    /// Advances the clock to the modeled arrival time.
+    /// Advances the clock to the modeled arrival time. Panics on peer
+    /// failure or deadline expiry; see [`Rank::try_recv`] for the typed
+    /// form.
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        match self.try_recv(from, tag) {
+            Ok(payload) => payload,
+            Err(e) => self.escalate(e),
+        }
+    }
+
+    /// Fallible form of [`Rank::recv`]: returns a typed error when a peer
+    /// rank has failed, the channel closed, or no matching message arrived
+    /// within the deadline.
+    pub fn try_recv(&mut self, from: usize, tag: u64) -> Result<Vec<f64>, CommError> {
         assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^60");
-        let msg = self.recv_raw(from, tag);
+        self.fault_op();
+        let msg = self.recv_raw(from, tag)?;
         let bytes = msg.payload.len() * 8;
         let latency = self.net.p2p_time(bytes, from, self.id);
         self.clock = self.clock.max(msg.clock + latency);
         self.record_p2p(from, bytes as u64, latency);
-        msg.payload
+        Ok(msg.payload)
     }
 
     /// Feed modeled p2p traffic into the metrics registry: total exchanged
     /// bytes plus a per-neighbor latency histogram. No-op (and no
-    /// allocation) when the collector is disabled.
-    fn record_p2p(&self, from: usize, bytes: u64, latency_s: f64) {
+    /// allocation) when the collector is disabled; the metric name for
+    /// each neighbor is built once and cached, not formatted per receive.
+    fn record_p2p(&mut self, from: usize, bytes: u64, latency_s: f64) {
         if !dcmesh_obs::enabled() {
             return;
         }
         dcmesh_obs::metrics::counter_add("comm.recv_bytes", bytes);
-        dcmesh_obs::metrics::histogram_record(
-            &format!("comm.p2p_latency_s.from_{from}"),
-            latency_s,
-        );
+        let name =
+            self.p2p_names[from].get_or_insert_with(|| format!("comm.p2p_latency_s.from_{from}"));
+        dcmesh_obs::metrics::histogram_record(name, latency_s);
     }
 
     /// Non-blocking send of a *modeled* message: no payload is
@@ -181,44 +481,115 @@ impl Rank {
     /// `logical_bytes` had crossed the fabric. Scaling drivers use this to
     /// model full-size halo exchanges without allocating them.
     pub fn send_modeled(&self, to: usize, tag: u64, logical_bytes: u64) {
+        if let Err(e) = self.try_send_modeled(to, tag, logical_bytes) {
+            self.escalate(e);
+        }
+    }
+
+    /// Fallible form of [`Rank::send_modeled`].
+    pub fn try_send_modeled(
+        &self,
+        to: usize,
+        tag: u64,
+        logical_bytes: u64,
+    ) -> Result<(), CommError> {
         assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^60");
+        self.fault_op();
         dcmesh_obs::metrics::counter_add("comm.send_bytes", logical_bytes);
-        let msg = Message {
-            from: self.id,
-            tag,
-            payload: Vec::new(),
-            clock: self.clock,
-            logical_bytes: Some(logical_bytes),
-        };
-        self.senders[to].send(msg).expect("receiver hung up");
+        let msg = self.make_msg(tag, Vec::new(), self.clock, Some(logical_bytes));
+        self.post(to, msg)
     }
 
     /// Blocking receive of a modeled message; advances the clock by the
     /// modeled transfer time of its logical size.
     pub fn recv_modeled(&mut self, from: usize, tag: u64) -> u64 {
+        match self.try_recv_modeled(from, tag) {
+            Ok(bytes) => bytes,
+            Err(e) => self.escalate(e),
+        }
+    }
+
+    /// Fallible form of [`Rank::recv_modeled`].
+    pub fn try_recv_modeled(&mut self, from: usize, tag: u64) -> Result<u64, CommError> {
         assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^60");
-        let msg = self.recv_raw(from, tag);
+        self.fault_op();
+        let msg = self.recv_raw(from, tag)?;
         let bytes = msg.logical_bytes.unwrap_or((msg.payload.len() * 8) as u64);
         let latency = self.net.p2p_time(bytes as usize, from, self.id);
         self.clock = self.clock.max(msg.clock + latency);
         self.record_p2p(from, bytes, latency);
-        bytes
+        Ok(bytes)
     }
 
-    fn recv_raw(&mut self, from: usize, tag: u64) -> Message {
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|m| m.from == from && m.tag == tag)
-        {
-            return self.pending.remove(pos);
+    /// Admit a message off the wire, dropping duplicates: a sequence
+    /// number already in the sender's dedup window means this copy was
+    /// injected (or retransmitted) and must not be delivered twice.
+    fn admit(&mut self, msg: Message) -> Option<Message> {
+        let window = &mut self.dedup[msg.from];
+        if window.contains(&msg.seq) {
+            dcmesh_obs::metrics::counter_add("comm.dup_dropped", 1);
+            return None;
         }
+        if window.len() == DEDUP_WINDOW {
+            window.pop_front();
+        }
+        window.push_back(msg.seq);
+        Some(msg)
+    }
+
+    /// Deadline-bounded selective receive. Polls in `POLL_MS` chunks:
+    /// queued messages are drained first (data a rank sent before dying
+    /// still delivers), then the failed-rank flags are checked, then one
+    /// timed wait. The deadline accumulates from the timed-out chunks —
+    /// no wall clock is read.
+    fn recv_raw(&mut self, from: usize, tag: u64) -> Result<Message, CommError> {
+        let mut waited_ms: u64 = 0;
         loop {
-            let msg = self.receiver.recv().expect("all senders hung up");
-            if msg.from == from && msg.tag == tag {
-                return msg;
+            if let Some(pos) = self
+                .pending
+                .iter()
+                .position(|m| m.from == from && m.tag == tag)
+            {
+                return Ok(self.pending.remove(pos));
             }
-            self.pending.push(msg);
+            // Drain whatever is already queued before consulting failure
+            // flags, so delivered-then-died messages win. Empty and
+            // Disconnected both fall through to the failure check below.
+            while let Ok(msg) = self.receiver.try_recv() {
+                if let Some(m) = self.admit(msg) {
+                    if m.from == from && m.tag == tag {
+                        return Ok(m);
+                    }
+                    self.pending.push(m);
+                }
+            }
+            if let Some(rank) = self.ctrl.first_failed() {
+                return Err(CommError::RankFailed { rank });
+            }
+            match self.receiver.recv_timeout(Duration::from_millis(POLL_MS)) {
+                Ok(msg) => {
+                    if let Some(m) = self.admit(msg) {
+                        if m.from == from && m.tag == tag {
+                            return Ok(m);
+                        }
+                        self.pending.push(m);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    waited_ms += POLL_MS;
+                    if waited_ms >= self.deadline_ms {
+                        dcmesh_obs::metrics::counter_add("comm.timeouts", 1);
+                        return Err(CommError::Timeout {
+                            from,
+                            tag,
+                            waited_ms,
+                        });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(self.channel_error());
+                }
+            }
         }
     }
 
@@ -229,17 +600,30 @@ impl Rank {
 
     /// Allreduce with an arbitrary elementwise combiner; result replaces
     /// `data` on every rank. Clocks synchronize to
-    /// `max(entry clocks) + tree_collective_time`.
+    /// `max(entry clocks) + tree_collective_time`. Panics (structured)
+    /// on rank failure or deadline expiry.
     pub fn allreduce_with(&mut self, data: &mut [f64], combine: impl Fn(f64, f64) -> f64) {
+        if let Err(e) = self.try_allreduce_with(data, combine) {
+            self.escalate(e);
+        }
+    }
+
+    /// Fallible form of [`Rank::allreduce_with`].
+    pub fn try_allreduce_with(
+        &mut self,
+        data: &mut [f64],
+        combine: impl Fn(f64, f64) -> f64,
+    ) -> Result<(), CommError> {
         let tag = self.next_collective_tag();
         let bytes = data.len() * 8;
         if self.size == 1 {
-            return;
+            return Ok(());
         }
+        self.fault_op();
         if self.id == 0 {
             let mut max_clock = self.clock;
             for from in 1..self.size {
-                let msg = self.recv_raw(from, tag);
+                let msg = self.recv_raw(from, tag)?;
                 max_clock = max_clock.max(msg.clock);
                 for (d, v) in data.iter_mut().zip(&msg.payload) {
                     *d = combine(*d, *v);
@@ -251,21 +635,16 @@ impl Rank {
             dcmesh_obs::metrics::counter_add("comm.collective_bytes", bytes as u64);
             dcmesh_obs::metrics::histogram_record("comm.collective_latency_s", coll);
             for to in 1..self.size {
-                let msg = Message {
-                    from: 0,
-                    tag,
-                    payload: data.to_vec(),
-                    clock: done,
-                    logical_bytes: None,
-                };
-                self.senders[to].send(msg).expect("receiver hung up");
+                let msg = self.make_msg(tag, data.to_vec(), done, None);
+                self.post(to, msg)?;
             }
         } else {
-            self.send_raw(0, tag, data.to_vec());
-            let msg = self.recv_raw(0, tag);
+            self.send_raw(0, tag, data.to_vec())?;
+            let msg = self.recv_raw(0, tag)?;
             data.copy_from_slice(&msg.payload);
             self.clock = msg.clock; // collective completion time
         }
+        Ok(())
     }
 
     /// Elementwise sum allreduce.
@@ -290,56 +669,77 @@ impl Rank {
         self.allreduce_with(&mut [], |a, _| a);
     }
 
-    /// Broadcast `data` from `root` to all ranks.
+    /// Broadcast `data` from `root` to all ranks. Panics (structured) on
+    /// rank failure or deadline expiry.
     pub fn broadcast(&mut self, root: usize, data: &mut Vec<f64>) {
+        if let Err(e) = self.try_broadcast(root, data) {
+            self.escalate(e);
+        }
+    }
+
+    /// Fallible form of [`Rank::broadcast`].
+    pub fn try_broadcast(&mut self, root: usize, data: &mut Vec<f64>) -> Result<(), CommError> {
         let tag = self.next_collective_tag();
         if self.size == 1 {
-            return;
+            return Ok(());
         }
+        self.fault_op();
         let bytes = data.len() * 8;
         if self.id == root {
             let done = self.clock + self.net.tree_collective_time(bytes, self.size);
             self.clock = done;
             for to in 0..self.size {
                 if to != root {
-                    let msg = Message {
-                        from: root,
-                        tag,
-                        payload: data.clone(),
-                        clock: done,
-                        logical_bytes: None,
-                    };
-                    self.senders[to].send(msg).expect("receiver hung up");
+                    let msg = self.make_msg(tag, data.clone(), done, None);
+                    self.post(to, msg)?;
                 }
             }
         } else {
-            let msg = self.recv_raw(root, tag);
+            let msg = self.recv_raw(root, tag)?;
             *data = msg.payload;
             self.clock = self.clock.max(msg.clock);
         }
+        Ok(())
     }
 
     /// Gather each rank's `data` to the root; `Some(rows)` on root (indexed
-    /// by rank), `None` elsewhere.
+    /// by rank), `None` elsewhere. Panics (structured) on rank failure or
+    /// deadline expiry.
     pub fn gather(&mut self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        match self.try_gather(root, data) {
+            Ok(rows) => rows,
+            Err(e) => self.escalate(e),
+        }
+    }
+
+    /// Fallible form of [`Rank::gather`].
+    pub fn try_gather(
+        &mut self,
+        root: usize,
+        data: &[f64],
+    ) -> Result<Option<Vec<Vec<f64>>>, CommError> {
         let tag = self.next_collective_tag();
+        self.fault_op();
         if self.id == root {
             let mut rows: Vec<Vec<f64>> = vec![Vec::new(); self.size];
             rows[root] = data.to_vec();
             let mut max_clock = self.clock;
-            for (from, row) in rows.iter_mut().enumerate() {
+            // Index loop: `recv_raw` needs `&mut self`, so `rows` cannot be
+            // borrowed through `iter_mut` across the receives.
+            #[allow(clippy::needless_range_loop)]
+            for from in 0..self.size {
                 if from == root {
                     continue;
                 }
-                let msg = self.recv_raw(from, tag);
+                let msg = self.recv_raw(from, tag)?;
                 max_clock = max_clock.max(msg.clock);
-                *row = msg.payload;
+                rows[from] = msg.payload;
             }
             self.clock = max_clock + self.net.gather_time(data.len() * 8, self.size);
-            Some(rows)
+            Ok(Some(rows))
         } else {
-            self.send_raw(root, tag, data.to_vec());
-            None
+            self.send_raw(root, tag, data.to_vec())?;
+            Ok(None)
         }
     }
 }

@@ -22,5 +22,5 @@ pub mod comm;
 pub mod network;
 
 pub use cart::{Cart3d, Face};
-pub use comm::{Rank, World};
+pub use comm::{CommError, Rank, World, WorldError};
 pub use network::NetworkModel;

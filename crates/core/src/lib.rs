@@ -16,11 +16,19 @@
 //! * [`metrics`] — the paper's figures of merit: speed = atoms x steps /
 //!   second, isogranular speedup, weak/strong parallel efficiency, and
 //!   single-node throughput (Fig. 4).
+//! * [`checkpoint`] — bit-exact snapshot/restore of the full simulation
+//!   state (atomic checkpoint files, config fingerprinting).
+//! * [`resilience`] — non-finite-state detection with checkpoint rollback
+//!   and QD-step halving.
 
+pub mod checkpoint;
 pub mod metrics;
+pub mod resilience;
 pub mod scaling;
 pub mod simulation;
 
+pub use checkpoint::config_fingerprint;
 pub use metrics::{parallel_efficiency_strong, parallel_efficiency_weak, Speed};
+pub use resilience::{ResilienceError, ResilientRunner};
 pub use scaling::{AnalyticEfficiency, ScalingConfig, ScalingPoint};
 pub use simulation::{DcMeshConfig, DcMeshSim, StepReport};

@@ -1,0 +1,220 @@
+//! Graceful degradation: checkpoint-backed rollback and retry.
+//!
+//! [`ResilientRunner`] wraps a [`DcMeshSim`] and watches every step for
+//! non-finite state (a NaN escaping a kernel, an exploding integrator).
+//! On detection it rolls the simulation back to the last in-memory
+//! snapshot and retries with a halved QD time step (`dt_qd / 2`,
+//! `n_qd * 2` — the MD step length is preserved), up to a bounded number
+//! of rollbacks. Snapshots are taken at construction and every
+//! `checkpoint_every` successful steps; an optional path mirrors them to
+//! disk through the atomic checkpoint writer.
+
+use crate::simulation::{DcMeshConfig, DcMeshSim, StepReport};
+use dcmesh_ckpt::CkptError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Why a resilient run could not continue.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResilienceError {
+    /// The rollback budget is exhausted and the state is still non-finite.
+    Unrecoverable {
+        /// Rollbacks attempted before giving up.
+        rollbacks: u32,
+    },
+    /// A checkpoint write or restore failed.
+    Ckpt(CkptError),
+}
+
+impl fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResilienceError::Unrecoverable { rollbacks } => {
+                write!(
+                    f,
+                    "simulation state non-finite after {rollbacks} rollback(s)"
+                )
+            }
+            ResilienceError::Ckpt(e) => write!(f, "checkpoint error during recovery: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResilienceError {}
+
+impl From<CkptError> for ResilienceError {
+    fn from(e: CkptError) -> Self {
+        ResilienceError::Ckpt(e)
+    }
+}
+
+/// Checkpoint-backed driver that detects non-finite state and retries
+/// from the last snapshot with a smaller electronic time step.
+#[derive(Debug)]
+pub struct ResilientRunner {
+    sim: DcMeshSim,
+    cfg: DcMeshConfig,
+    checkpoint_every: u64,
+    checkpoint_path: Option<PathBuf>,
+    steps_since_ckpt: u64,
+    last_snapshot: Vec<u8>,
+    rollbacks: u32,
+    max_rollbacks: u32,
+}
+
+impl ResilientRunner {
+    /// Wrap a fresh simulation built from `cfg`, snapshotting every
+    /// `checkpoint_every` successful steps (0 disables periodic
+    /// snapshots beyond the initial one).
+    pub fn new(cfg: DcMeshConfig, checkpoint_every: u64) -> Self {
+        Self::from_sim(DcMeshSim::new(cfg.clone()), cfg, checkpoint_every)
+    }
+
+    /// Wrap an existing simulation (e.g. one restored from disk).
+    pub fn from_sim(sim: DcMeshSim, cfg: DcMeshConfig, checkpoint_every: u64) -> Self {
+        let last_snapshot = sim.snapshot_bytes();
+        Self {
+            sim,
+            cfg,
+            checkpoint_every,
+            checkpoint_path: None,
+            steps_since_ckpt: 0,
+            last_snapshot,
+            rollbacks: 0,
+            max_rollbacks: 3,
+        }
+    }
+
+    /// Mirror every periodic snapshot to `path` (atomic write).
+    pub fn with_checkpoint_path(mut self, path: PathBuf) -> Self {
+        self.checkpoint_path = Some(path);
+        self
+    }
+
+    /// Cap on rollback attempts before a step is declared unrecoverable.
+    pub fn with_max_rollbacks(mut self, max: u32) -> Self {
+        self.max_rollbacks = max;
+        self
+    }
+
+    /// The wrapped simulation.
+    pub fn sim(&self) -> &DcMeshSim {
+        &self.sim
+    }
+
+    /// Completed MD steps of the wrapped simulation. After a rollback this
+    /// moves *backwards* to the snapshot's step counter.
+    pub fn md_steps(&self) -> u64 {
+        self.sim.md_steps()
+    }
+
+    /// Rollbacks performed so far.
+    pub fn rollbacks(&self) -> u32 {
+        self.rollbacks
+    }
+
+    /// Advance one MD step, rolling back and retrying with a halved QD
+    /// step whenever the post-step state is non-finite.
+    pub fn step(&mut self) -> Result<StepReport, ResilienceError> {
+        loop {
+            let report = self.sim.md_step();
+            if self.sim.is_finite() {
+                self.steps_since_ckpt += 1;
+                if self.checkpoint_every > 0 && self.steps_since_ckpt >= self.checkpoint_every {
+                    self.take_snapshot()?;
+                }
+                return Ok(report);
+            }
+            dcmesh_obs::metrics::counter_add("faults.rollbacks", 1);
+            if self.rollbacks >= self.max_rollbacks {
+                return Err(ResilienceError::Unrecoverable {
+                    rollbacks: self.rollbacks,
+                });
+            }
+            self.rollbacks += 1;
+            // Degrade gracefully: halve the electronic step (keeping the MD
+            // step length), restore the last good snapshot, and replay. The
+            // changed dt_qd shifts the fingerprint, so the restore bypasses
+            // the fingerprint check — structural checks still apply.
+            self.cfg.dt_qd *= 0.5;
+            self.cfg.n_qd *= 2;
+            self.sim = DcMeshSim::restore_from_bytes(self.cfg.clone(), &self.last_snapshot, false)?;
+        }
+    }
+
+    /// Run until the wrapped simulation has completed `target` MD steps
+    /// (rollbacks replay the lost window automatically).
+    pub fn run_to(&mut self, target: u64) -> Result<Option<StepReport>, ResilienceError> {
+        let mut last = None;
+        while self.sim.md_steps() < target {
+            last = Some(self.step()?);
+        }
+        Ok(last)
+    }
+
+    fn take_snapshot(&mut self) -> Result<(), CkptError> {
+        self.last_snapshot = self.sim.snapshot_bytes();
+        self.steps_since_ckpt = 0;
+        if let Some(path) = &self.checkpoint_path {
+            dcmesh_ckpt::write_checkpoint_atomic(path, &self.last_snapshot)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcmesh_ckpt::fault::{self, FaultPlan};
+
+    fn quick_cfg() -> DcMeshConfig {
+        DcMeshConfig {
+            n_qd: 5,
+            ..DcMeshConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_run_never_rolls_back() {
+        let _guard = fault::test_lock();
+        let mut runner = ResilientRunner::new(quick_cfg(), 2);
+        runner.run_to(4).unwrap();
+        assert_eq!(runner.md_steps(), 4);
+        assert_eq!(runner.rollbacks(), 0);
+    }
+
+    #[test]
+    fn injected_nan_is_detected_and_recovered() {
+        let plan = FaultPlan {
+            nan_at_step: Some(1),
+            ..FaultPlan::none()
+        };
+        fault::with_installed(plan, || {
+            let mut runner = ResilientRunner::new(quick_cfg(), 1);
+            let last = runner.run_to(3).unwrap();
+            assert_eq!(runner.md_steps(), 3);
+            assert_eq!(
+                runner.rollbacks(),
+                1,
+                "NaN injection must cost one rollback"
+            );
+            assert!(runner.sim().is_finite());
+            assert!(last.unwrap().excited_population.is_finite());
+        });
+    }
+
+    #[test]
+    fn persistent_nan_exhausts_the_rollback_budget() {
+        // Inject at step 0 with a zero budget: the one-shot injection is
+        // consumed, but the runner must refuse to continue.
+        let plan = FaultPlan {
+            nan_at_step: Some(0),
+            ..FaultPlan::none()
+        };
+        fault::with_installed(plan, || {
+            let mut runner = ResilientRunner::new(quick_cfg(), 1).with_max_rollbacks(0);
+            let err = runner.step().unwrap_err();
+            assert_eq!(err, ResilienceError::Unrecoverable { rollbacks: 0 });
+        });
+    }
+}

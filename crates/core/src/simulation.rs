@@ -24,7 +24,7 @@ use dcmesh_qxmd::pbtio3::{PbTiO3Cell, Supercell};
 use dcmesh_qxmd::polarization::{LkDynamics, PolarizationField};
 use dcmesh_qxmd::{FsshConfig, FsshState, PerovskiteFF};
 use dcmesh_tddft::AtomSet;
-use rand::rngs::StdRng;
+use rand::rngs::SplitMix64;
 use rand::SeedableRng;
 
 use std::cell::RefCell;
@@ -160,21 +160,21 @@ pub struct StepReport {
 
 /// The coupled simulation.
 pub struct DcMeshSim {
-    cfg: DcMeshConfig,
+    pub(crate) cfg: DcMeshConfig,
     /// The atomic system.
     pub md: MdIntegrator<EhrenfestFF>,
     /// Supercell bookkeeping (dims, polarization extraction).
     pub supercell: Supercell,
-    engines: Vec<LfdEngine<f64>>,
-    maxwell: Maxwell1d,
-    fssh: Vec<FsshState>,
+    pub(crate) engines: Vec<LfdEngine<f64>>,
+    pub(crate) maxwell: Maxwell1d,
+    pub(crate) fssh: Vec<FsshState>,
     /// Polarization dynamics (Fig. 7 application).
     pub lk: LkDynamics,
-    rng: StdRng,
-    time: f64,
-    md_steps: u64,
+    pub(crate) rng: SplitMix64,
+    pub(crate) time: f64,
+    pub(crate) md_steps: u64,
     /// Previous per-domain dipole moments (for the polarization current).
-    prev_dipole: Vec<f64>,
+    pub(crate) prev_dipole: Vec<f64>,
 }
 
 impl std::fmt::Debug for DcMeshSim {
@@ -278,7 +278,9 @@ impl DcMeshSim {
 
         let pol = PolarizationField::from_supercell(&supercell, 0);
         let lk = LkDynamics::new(pol, 0.5, 0.05);
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        // Counter-based generator: its whole state is one u64, so a
+        // checkpoint can capture and resume the hop stream bit-exactly.
+        let rng = SplitMix64::seed_from_u64(cfg.seed);
         let prev_dipole = engines
             .iter()
             .map(|e| dcmesh_lfd::spectrum::dipole_moment(&e.state_aos(), &e.occupations, 0))

@@ -190,6 +190,8 @@ pub struct LfdEngine<R: Real> {
     pub time: f64,
     /// Occupations of the adiabatic reference states.
     pub occupations: Vec<R>,
+    /// MD steps run so far; drives the fault plan's NaN-injection trigger.
+    md_steps: u64,
 }
 
 impl<R: Real> std::fmt::Debug for LfdEngine<R> {
@@ -254,6 +256,7 @@ impl<R: Real> LfdEngine<R> {
             shadow,
             time: 0.0,
             occupations,
+            md_steps: 0,
         }
     }
 
@@ -276,6 +279,48 @@ impl<R: Real> LfdEngine<R> {
         }
     }
 
+    /// The raw wavefunction storage in this build's *native* layout (AoS
+    /// for the baseline build, SoA otherwise). Checkpointing reads and
+    /// writes through this so a restored engine of the same build gets a
+    /// bitwise-identical state with no layout conversion.
+    pub fn state_data(&self) -> &[dcmesh_math::Complex<R>] {
+        match (&self.psi_aos, &self.psi_soa) {
+            (Some(a), _) => a.data(),
+            (_, Some(s)) => s.data(),
+            _ => unreachable!("engine always holds a state"),
+        }
+    }
+
+    /// Mutable access to the native-layout wavefunction storage
+    /// (see [`LfdEngine::state_data`]).
+    pub fn state_data_mut(&mut self) -> &mut [dcmesh_math::Complex<R>] {
+        match (&mut self.psi_aos, &mut self.psi_soa) {
+            (Some(a), _) => a.data_mut(),
+            (_, Some(s)) => s.data_mut(),
+            _ => unreachable!("engine always holds a state"),
+        }
+    }
+
+    /// MD steps this engine has run.
+    pub fn md_steps(&self) -> u64 {
+        self.md_steps
+    }
+
+    /// Restore the step counter from a checkpoint (pairs with
+    /// [`LfdEngine::md_steps`]).
+    pub fn set_md_steps(&mut self, steps: u64) {
+        self.md_steps = steps;
+    }
+
+    /// True when every wavefunction component and occupation is finite —
+    /// the gate the resilient runner checks before trusting a step.
+    pub fn state_is_finite(&self) -> bool {
+        self.state_data()
+            .iter()
+            .all(|z| z.re.to_f64().is_finite() && z.im.to_f64().is_finite())
+            && self.occupations.iter().all(|f| f.to_f64().is_finite())
+    }
+
     /// Run one MD step = `N_QD` QD steps; returns kernel timings for the
     /// window (wall-clock for CPU builds, modeled for device builds).
     ///
@@ -293,6 +338,13 @@ impl<R: Real> LfdEngine<R> {
         let wall0 = Instant::now();
         if let Some(dev) = &self.device {
             dev.reset_clock();
+        }
+        // Fault plan: plant a NaN in the kernel output at the configured
+        // step (one-shot — a rollback replaying this step proceeds clean).
+        if dcmesh_ckpt::fault::armed() && dcmesh_ckpt::fault::consume_nan_injection(self.md_steps) {
+            if let Some(z) = self.state_data_mut().first_mut() {
+                *z = dcmesh_math::Complex::new(R::from_f64(f64::NAN), R::ZERO);
+            }
         }
 
         for q in 0..n_qd {
@@ -366,6 +418,13 @@ impl<R: Real> LfdEngine<R> {
             sh.download_occupations(&new_occ);
         }
         self.occupations = new_occ;
+        // Non-finite detection: a NaN anywhere in the state poisons the
+        // occupation remap, so the cheap total-occupation check catches it
+        // without an O(N) sweep of the wavefunctions.
+        if !total_after.to_f64().is_finite() {
+            dcmesh_obs::metrics::counter_add("lfd.nonfinite_detected", 1);
+        }
+        self.md_steps += 1;
 
         drop(_hs_span);
         let total = match &self.device {

@@ -192,6 +192,45 @@ impl Maxwell1d {
     pub fn max_dt(dx: f64) -> f64 {
         dx / SPEED_OF_LIGHT_AU
     }
+
+    /// Snapshot the mutable field state for a checkpoint. The static
+    /// parameters (`n`, `dx`, `dt`, `source_cell`) come back from the
+    /// simulation configuration on restore.
+    pub fn export_state(&self) -> MaxwellState {
+        MaxwellState {
+            a_prev: self.a_prev.clone(),
+            a: self.a.clone(),
+            j: self.j.clone(),
+            time: self.time,
+        }
+    }
+
+    /// Restore field state captured by [`Maxwell1d::export_state`]. Panics
+    /// if the snapshot's grid size does not match this solver.
+    pub fn import_state(&mut self, state: MaxwellState) {
+        assert_eq!(state.a.len(), self.n, "Maxwell grid size mismatch");
+        assert_eq!(state.a_prev.len(), self.n, "Maxwell grid size mismatch");
+        assert_eq!(state.j.len(), self.n, "Maxwell grid size mismatch");
+        self.a_prev = state.a_prev;
+        self.a = state.a;
+        self.j = state.j;
+        self.time = state.time;
+    }
+}
+
+/// The mutable state of a [`Maxwell1d`], as captured by
+/// [`Maxwell1d::export_state`]: the two vector-potential time levels, any
+/// deposited-but-unconsumed polarization current, and the elapsed time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MaxwellState {
+    /// Vector potential at the previous time level.
+    pub a_prev: Vec<f64>,
+    /// Vector potential at the current time level.
+    pub a: Vec<f64>,
+    /// Polarization current deposited for the upcoming step.
+    pub j: Vec<f64>,
+    /// Elapsed time (a.u.).
+    pub time: f64,
 }
 
 #[cfg(test)]

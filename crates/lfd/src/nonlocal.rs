@@ -40,6 +40,10 @@ pub struct NonlocalCorrection<R> {
     /// Transposed reference `Psi(0)^T` (`Norb x Ngrid`) — the SoA layout,
     /// so SoA-resident propagation needs no layout conversion.
     psi0_t: Matrix<R>,
+    /// Unoccupied reference block `Psi_u(0)` (`Ngrid x Nu`), precomputed so
+    /// the per-QD-step GEMMs borrow it instead of re-materializing (or
+    /// cloning the full `Psi(0)`) on every call.
+    psi0u: Matrix<R>,
     /// Transposed unoccupied block (`Nu x Ngrid`).
     psi0u_t: Matrix<R>,
     /// Index of the first unoccupied reference column (LUMO).
@@ -59,10 +63,12 @@ impl<R: Real> NonlocalCorrection<R> {
         assert!(lumo <= psi0.cols(), "LUMO index beyond reference basis");
         let psi0_t = Matrix::from_fn(psi0.cols(), psi0.rows(), |n, g| psi0[(g, n)]);
         let nu = psi0.cols() - lumo;
+        let psi0u = Matrix::from_fn(psi0.rows(), nu, |g, u| psi0[(g, lumo + u)]);
         let psi0u_t = Matrix::from_fn(nu, psi0.rows(), |u, g| psi0[(g, lumo + u)]);
         Self {
             psi0,
             psi0_t,
+            psi0u,
             psi0u_t,
             lumo,
             delta_sci,
@@ -81,29 +87,22 @@ impl<R: Real> NonlocalCorrection<R> {
         self.psi0.cols()
     }
 
-    /// The unoccupied reference block `Psi_u(0)` as a matrix view (copy).
-    fn unoccupied_block(&self) -> Matrix<R> {
-        let rows = self.psi0.rows();
-        let nu = self.psi0.cols() - self.lumo;
-        Matrix::from_fn(rows, nu, |r, c| self.psi0[(r, self.lumo + c)])
-    }
-
     /// Overlap `O = Psi_ref^H Psi(t) * dv` restricted to columns
     /// `[col0, cols)` of the reference set.
     fn overlap(&self, psi_t: &Matrix<R>, col0: usize, path: GemmPath) -> Matrix<R> {
+        debug_assert!(
+            col0 == 0 || col0 == self.lumo,
+            "only full-basis or unoccupied-block overlaps are precomputed"
+        );
         let nref = self.psi0.cols() - col0;
         let n = psi_t.cols();
         let mut o = Matrix::zeros(nref, n);
         match path {
             GemmPath::Blas => {
-                let refblock = if col0 == 0 {
-                    self.psi0.clone()
-                } else {
-                    self.unoccupied_block()
-                };
+                let refblock = if col0 == 0 { &self.psi0 } else { &self.psi0u };
                 gemm(
                     Complex::from_real(self.dv),
-                    &refblock,
+                    refblock,
                     Op::ConjTrans,
                     psi_t,
                     Op::None,
@@ -142,8 +141,15 @@ impl<R: Real> NonlocalCorrection<R> {
         let o = self.overlap(psi_t, self.lumo, path);
         match path {
             GemmPath::Blas => {
-                let ublock = self.unoccupied_block();
-                gemm(c, &ublock, Op::None, &o, Op::None, Complex::one(), psi_t);
+                gemm(
+                    c,
+                    &self.psi0u,
+                    Op::None,
+                    &o,
+                    Op::None,
+                    Complex::one(),
+                    psi_t,
+                );
             }
             GemmPath::Loops => {
                 // Point-by-point accumulation (grid loop outermost), the

@@ -125,7 +125,15 @@ pub fn eigh<R: Real>(a: &Matrix<R>) -> Eigh<R> {
         }
     }
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m[(i, i)].re.partial_cmp(&m[(j, j)].re).unwrap());
+    // NaN diagonals (a poisoned input matrix) sort arbitrarily rather than
+    // panic: the NaNs propagate into `values`, where the caller's
+    // non-finite guards can detect and recover from them.
+    order.sort_by(|&i, &j| {
+        m[(i, i)]
+            .re
+            .partial_cmp(&m[(j, j)].re)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let values: Vec<R> = order.iter().map(|&i| m[(i, i)].re).collect();
     let mut vectors = Matrix::zeros(n, n);
     for (newc, &oldc) in order.iter().enumerate() {

@@ -71,6 +71,15 @@ impl FsshState {
         self.c.len()
     }
 
+    /// Restore amplitudes and active surface from a checkpoint. The state
+    /// count must match this trajectory's.
+    pub fn import_state(&mut self, c: Vec<C64>, surface: usize) {
+        assert_eq!(c.len(), self.nstates(), "FSSH state count mismatch");
+        assert!(surface < c.len(), "FSSH surface out of range");
+        self.c = c;
+        self.surface = surface;
+    }
+
     /// Populations `|c_k|^2`.
     pub fn populations(&self) -> Vec<f64> {
         self.c.iter().map(|z| z.norm_sqr()).collect()

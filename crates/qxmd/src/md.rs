@@ -105,6 +105,18 @@ impl<F: ForceProvider> MdIntegrator<F> {
         self.steps
     }
 
+    /// Restore integrator state from a checkpoint: the full atom set
+    /// (positions, velocities, *and* the force accumulators — the first
+    /// half-kick of the next step uses the stored forces, so they must be
+    /// bitwise what the interrupted run held), the cached potential energy,
+    /// and the step counter.
+    pub fn import_state(&mut self, atoms: AtomSet, potential: f64, steps: u64) {
+        assert_eq!(atoms.len(), self.atoms.len(), "atom count mismatch");
+        self.atoms = atoms;
+        self.potential = potential;
+        self.steps = steps;
+    }
+
     /// Draw Maxwell–Boltzmann velocities at temperature `t_kelvin` with a
     /// deterministic seed, removing the center-of-mass drift.
     pub fn initialize_velocities(&mut self, t_kelvin: f64, seed: u64) {

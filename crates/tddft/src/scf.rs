@@ -220,6 +220,14 @@ pub fn run_scf(mesh: &Mesh3, atoms: &AtomSet, cfg: &ScfConfig) -> ScfResult {
             * dv.sqrt();
         dcmesh_obs::metrics::gauge_set("tddft.scf_residual", res);
         residual_history.push(res);
+        // A non-finite residual means the density or orbitals are poisoned
+        // (overflow, or an injected NaN). Stop iterating instead of mixing
+        // the contamination into rho_in; the caller's resilience layer
+        // decides whether to roll back.
+        if !res.is_finite() {
+            dcmesh_obs::metrics::counter_add("tddft.scf_nonfinite", 1);
+            break;
+        }
         // Linear density mixing: rho_in <- (1-a) rho_in + a rho_out.
         for (ri, ro) in rho.iter_mut().zip(&rho_out) {
             *ri = (1.0 - cfg.mixing) * *ri + cfg.mixing * ro;
@@ -311,6 +319,30 @@ mod tests {
             "density residual did not shrink: {first} -> {last}"
         );
         assert!(last < 0.05, "final residual {last}");
+    }
+
+    #[test]
+    fn non_finite_density_stops_the_scf_loop() {
+        // A NaN atom position poisons the ionic density, so the first
+        // residual is non-finite; the loop must bail out instead of mixing
+        // NaN through the remaining iterations.
+        let mesh = Mesh3::cubic(8, 0.6);
+        let mut atoms = AtomSet::new(vec![Species::oxygen()]);
+        atoms.push(0, [f64::NAN, 0.0, 0.0]);
+        let cfg = ScfConfig {
+            norb: 4,
+            scf_iters: 6,
+            eig_iters: 2,
+            init_eig_iters: 2,
+            ..ScfConfig::default()
+        };
+        let res = run_scf(&mesh, &atoms, &cfg);
+        assert_eq!(
+            res.residual_history.len(),
+            1,
+            "loop ran past the poisoned iteration"
+        );
+        assert!(!res.residual_history[0].is_finite());
     }
 
     #[test]

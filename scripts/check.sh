@@ -27,4 +27,24 @@ echo "== concurrency suites under the shadow-access race detector =="
 # tests must not interleave reallocations (see crates/analyze/src/race.rs).
 DCMESH_RACECHECK=1 cargo test -q -p dcmesh-pool -p dcmesh-device -p dcmesh-lfd -- --test-threads=1
 
+echo "== fault-injection matrix (comm failures, NaN recovery, restart equivalence) =="
+# Fault plans and the metrics registry are process-global, so these
+# suites serialize injection internally (fault::test_lock).
+cargo test -q -p dcmesh-comm --test faults
+cargo test -q -p dcmesh-ckpt
+cargo test -q -p dcmesh-core resilience
+cargo test -q --test restart_equivalence
+
+echo "== checkpoint/restore smoke (fig7 driver round-trip) =="
+CKPT_SMOKE=$(mktemp -u /tmp/dcmesh_smoke_XXXXXX.ckpt)
+SMOKE_OUT=$(mktemp /tmp/dcmesh_smoke_out_XXXXXX.log)
+cargo run -q --release -p dcmesh-bench --bin fig7_flux_closure -- \
+  --checkpoint "$CKPT_SMOKE" --checkpoint-every 6 > /dev/null
+# Capture to a file rather than piping into grep -q: an early-exiting
+# grep would SIGPIPE the driver mid-run.
+cargo run -q --release -p dcmesh-bench --bin fig7_flux_closure -- \
+  --restore "$CKPT_SMOKE" > "$SMOKE_OUT"
+grep -q "restored checkpoint" "$SMOKE_OUT"
+rm -f "$CKPT_SMOKE" "$SMOKE_OUT"
+
 echo "All checks passed."

@@ -5,11 +5,15 @@
 //!
 //! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is provided,
 //! backed by `std::sync::mpsc` (whose `Sender` has been `Sync` since Rust
-//! 1.72, which is all the simulated-MPI layer needs).
+//! 1.72, which is all the simulated-MPI layer needs). The receiver also
+//! exposes `try_recv` and `recv_timeout` so callers can bound their waits —
+//! the fault-tolerant comm layer polls in bounded chunks instead of
+//! blocking forever on a dead peer.
 
 /// Multi-producer channels, crossbeam-channel style.
 pub mod channel {
     use std::sync::mpsc;
+    use std::time::Duration;
 
     /// Sending half of an unbounded channel. Clonable and shareable across
     /// threads.
@@ -33,6 +37,24 @@ pub mod channel {
     #[derive(Debug)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Copy, Clone, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// Every sender has been dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Copy, Clone, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// Every sender has been dropped and the queue is drained.
+        Disconnected,
+    }
+
     impl<T> Sender<T> {
         /// Enqueue `msg`; fails only if the receiver is gone.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
@@ -52,6 +74,22 @@ pub mod channel {
         /// gone and the queue is drained.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Dequeue a message if one is already waiting; never blocks.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Block for at most `timeout` waiting for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
     }
 
@@ -80,7 +118,8 @@ impl<T> std::fmt::Debug for channel::Receiver<T> {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::unbounded;
+    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
+    use std::time::Duration;
 
     #[test]
     fn fifo_within_one_sender() {
@@ -106,5 +145,31 @@ mod tests {
         let mut got: Vec<usize> = std::iter::from_fn(|| rx.recv().ok()).collect();
         got.sort_unstable();
         assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn try_recv_reports_empty_then_value() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_disconnects() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(3));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 }
