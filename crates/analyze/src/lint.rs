@@ -22,6 +22,11 @@
 //!    wall clocks.
 //! 4. **static-mut** — `static mut` is banned everywhere; use atomics,
 //!    `OnceLock`, or interior mutability.
+//! 5. **println-metrics** — `println!`/`eprintln!` are banned in kernel
+//!    crates: ad-hoc printed "metrics" bypass the structured telemetry
+//!    path (`dcmesh-obs` counters/gauges/histograms feeding the flight
+//!    recorder and RunRecords) and cannot be compared across runs.
+//!    Driver and bench layers own stdout.
 //!
 //! Comments and string literals are stripped before matching, so rule
 //! text inside docs (like this paragraph) does not trip the scanner.
@@ -55,6 +60,8 @@ pub enum Rule {
     WallClock,
     /// `static mut` anywhere.
     StaticMut,
+    /// `println!`/`eprintln!` inside a kernel crate.
+    PrintlnMetrics,
 }
 
 impl fmt::Display for Rule {
@@ -64,6 +71,7 @@ impl fmt::Display for Rule {
             Rule::ThreadSpawn => "thread-spawn",
             Rule::WallClock => "wall-clock",
             Rule::StaticMut => "static-mut",
+            Rule::PrintlnMetrics => "println-metrics",
         };
         f.write_str(s)
     }
@@ -187,6 +195,11 @@ pub fn scan_source(rel_path: &str, contents: &str) -> Vec<Finding> {
     let spawn_pat = ["thread", "spawn"].join("::"); // avoid self-matching
     let instant_pat = ["Instant", "now"].join("::");
     let static_mut_pat = ["static", "mut "].join(" ");
+    let println_pats = [
+        ["println", "("].join("!"),
+        ["eprintln", "("].join("!"),
+        ["print", "("].join("!"),
+    ];
 
     for (idx, raw) in lines.iter().enumerate() {
         let line_no = idx + 1;
@@ -217,6 +230,15 @@ pub fn scan_source(rel_path: &str, contents: &str) -> Vec<Finding> {
                 line: line_no,
                 rule: Rule::WallClock,
                 message: "kernel crates must not read wall clocks; use dcmesh-obs spans".into(),
+            });
+        }
+
+        if in_kernel_crate && !is_obs && println_pats.iter().any(|p| code.contains(p)) {
+            findings.push(Finding {
+                path: rel_path.to_string(),
+                line: line_no,
+                rule: Rule::PrintlnMetrics,
+                message: "kernel crates must not print; record dcmesh-obs metrics instead".into(),
             });
         }
 
@@ -389,6 +411,26 @@ mod tests {
         let f = scan_source("crates/math/src/gemm.rs", &line);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, Rule::WallClock);
+    }
+
+    #[test]
+    fn println_rule_only_in_kernel_crates() {
+        let line = format!(
+            "{}\"step {{i}} took {{t}}s\");\n",
+            ["println", "("].join("!")
+        );
+        // Driver/bench layers own stdout.
+        assert!(scan_source("crates/bench/src/lib.rs", &line).is_empty());
+        assert!(scan_source("crates/core/src/simulation.rs", &line).is_empty());
+        let f = scan_source("crates/tddft/src/scf.rs", &line);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::PrintlnMetrics);
+        // eprintln! is just as banned.
+        let e = format!("{}\"residual {{r}}\");\n", ["eprintln", "("].join("!"));
+        assert_eq!(
+            scan_source("crates/math/src/gemm.rs", &e)[0].rule,
+            Rule::PrintlnMetrics
+        );
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Regression gate: diff two RunRecords and exit nonzero on regression.
+//!
+//! ```text
+//! compare [--latency-ratio X] [--phase-ratio X] [--noise-floor-s S]
+//!         [--max-energy-drift X] [--allow-config-change]
+//!         BASELINE.json CANDIDATE.json
+//! ```
+//!
+//! Checks, in order: schema compatibility (hard error), config
+//! fingerprint, log₂-histogram p50 latency ratios, per-phase wall-time
+//! ratios, and the candidate's invariant summary against absolute
+//! thresholds. Exit code 0 = no regression, 1 = regressions listed on
+//! stdout, 2 = usage or unreadable/incomparable records.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dcmesh_telemetry::{compare, CompareConfig, RunRecord};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: compare [--latency-ratio X] [--phase-ratio X] [--noise-floor-s S] \
+         [--max-energy-drift X] [--allow-config-change] BASELINE.json CANDIDATE.json"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = CompareConfig::default();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next_f64 = |flag: &str| -> f64 {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{flag} requires a number");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--latency-ratio" => cfg.latency_ratio = next_f64("--latency-ratio"),
+            "--phase-ratio" => cfg.phase_ratio = next_f64("--phase-ratio"),
+            "--noise-floor-s" => cfg.noise_floor_s = next_f64("--noise-floor-s"),
+            "--max-energy-drift" => cfg.max_energy_drift = next_f64("--max-energy-drift"),
+            "--allow-config-change" => cfg.require_same_config = false,
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        usage()
+    };
+
+    let load = |path: &PathBuf| -> RunRecord {
+        RunRecord::read(path).unwrap_or_else(|e| {
+            eprintln!("cannot load RunRecord: {e}");
+            std::process::exit(2)
+        })
+    };
+    let baseline = load(baseline_path);
+    let candidate = load(candidate_path);
+
+    println!(
+        "comparing {} ({} @ {}) against baseline {} ({} @ {})",
+        candidate_path.display(),
+        candidate.bin,
+        candidate.git.commit,
+        baseline_path.display(),
+        baseline.bin,
+        baseline.git.commit,
+    );
+
+    match compare(&baseline, &candidate, &cfg) {
+        Err(e) => {
+            eprintln!("records are not comparable: {e}");
+            ExitCode::from(2)
+        }
+        Ok(regressions) if regressions.is_empty() => {
+            println!("OK: no regressions");
+            ExitCode::SUCCESS
+        }
+        Ok(regressions) => {
+            println!("{} regression(s):", regressions.len());
+            for r in &regressions {
+                println!("  REGRESSION {r}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

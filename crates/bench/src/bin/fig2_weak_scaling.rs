@@ -1,14 +1,16 @@
 //! Fig. 2: weak-scaling parallel efficiency of DC-MESH, 40 atoms per rank,
 //! P = 4 ... 1024 simulated ranks on the modeled Slingshot fabric.
 
-use dcmesh_bench::paper;
+use dcmesh_bench::{paper, BenchArgs};
 use dcmesh_core::metrics::Table;
 use dcmesh_core::scaling::{weak_scaling, AnalyticEfficiency, ScalingConfig};
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("Fig. 2 reproduction — weak-scaling parallel efficiency");
     println!("(one OS thread per simulated rank; compute = calibrated roofline model,");
     println!(" communication = modeled Slingshot dragonfly; see DESIGN.md)\n");
+    args.init_obs();
 
     let cfg = ScalingConfig::default();
     let ranks = [4usize, 8, 16, 32, 64, 128, 256, 512, 1024];
@@ -44,4 +46,5 @@ fn main() {
         paper::WEAK_EFF_1024
     );
     println!("shape check: efficiency stays > 0.9 and decays slowly (log P).");
+    args.finish_obs();
 }

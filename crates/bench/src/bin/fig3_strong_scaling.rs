@@ -1,13 +1,15 @@
 //! Fig. 3: strong-scaling parallel efficiency for 5,120- and 10,240-atom
 //! PbTiO3 systems (constant total problem, rank sweep).
 
-use dcmesh_bench::paper;
+use dcmesh_bench::{paper, BenchArgs};
 use dcmesh_core::metrics::Table;
 use dcmesh_core::scaling::{strong_scaling, AnalyticEfficiency, ScalingConfig};
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("Fig. 3 reproduction — strong-scaling parallel efficiency");
     println!("(simulated ranks; compute modeled, communication modeled; see DESIGN.md)\n");
+    args.init_obs();
 
     let cfg = ScalingConfig::default();
     let analytic = AnalyticEfficiency {
@@ -60,4 +62,5 @@ fn main() {
     }
     println!("shape check: strong scaling degrades faster than weak (P^(1/3), P log P terms),");
     println!("and the larger system holds efficiency better at the same P.");
+    args.finish_obs();
 }

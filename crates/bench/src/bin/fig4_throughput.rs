@@ -1,13 +1,15 @@
 //! Fig. 4: single-node throughput of DC-MESH — CPU-only (EPYC 7543P) vs
 //! CPU + A100, 4 ranks x 40-atom PbTiO3 per rank.
 
-use dcmesh_bench::paper;
+use dcmesh_bench::{paper, BenchArgs};
 use dcmesh_core::metrics::Table;
 use dcmesh_core::scaling::{single_node_throughput, ScalingConfig};
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("Fig. 4 reproduction — single-node throughput (ranks completing / second)");
     println!("(both columns from the calibrated roofline models; see DESIGN.md)\n");
+    args.init_obs();
     let cfg = ScalingConfig::default();
     let (cpu, gpu) = single_node_throughput(&cfg);
     let mut table = Table::new(&["Configuration", "Throughput (ranks/s)", "Relative"]);
@@ -27,4 +29,5 @@ fn main() {
         gpu / cpu,
         paper::FIG4_SPEEDUP
     );
+    args.finish_obs();
 }

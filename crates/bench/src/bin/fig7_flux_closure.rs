@@ -7,14 +7,16 @@
 //! toroidal-moment time series that tracks the topological switching.
 
 use dcmesh_bench::BenchArgs;
-use dcmesh_core::{DcMeshConfig, DcMeshSim};
+use dcmesh_core::{config_fingerprint, DcMeshConfig, DcMeshSim};
 use dcmesh_lfd::LaserPulse;
 use dcmesh_qxmd::pbtio3::{PbTiO3Cell, Supercell};
 use dcmesh_qxmd::polarization::{LkDynamics, PolarizationField};
+use dcmesh_telemetry::{FlightRecorder, RecorderConfig};
 
 fn main() {
     let args = BenchArgs::parse();
     println!("Fig. 7 reproduction — flux-closure domain and laser-induced switching\n");
+    args.init_obs();
 
     // --- The static flux-closure structure (the Fig. 7 rendering). ---
     let mut sc = Supercell::build(&PbTiO3Cell::cubic(), [12, 1, 12]);
@@ -73,6 +75,9 @@ fn main() {
         }
         None => DcMeshSim::new(cfg),
     };
+    let mut recorder = args
+        .telemetry
+        .then(|| FlightRecorder::new(RecorderConfig::default()));
     let total_steps = 12;
     println!(
         "running coupled DC-MESH: {total_steps} MD steps x 40 QD steps, fs pulse on a vortex..."
@@ -80,6 +85,9 @@ fn main() {
     println!("step  t(fs)    excited   G_y        <Pz>      hops");
     while sim.md_steps() < total_steps {
         let r = sim.md_step();
+        if let Some(rec) = &mut recorder {
+            rec.observe(&sim, &r);
+        }
         println!(
             "{:>4}  {:>6.3}  {:>8.4}  {:>9.5}  {:>8.5}  {:>4}",
             sim.md_steps(),
@@ -131,4 +139,6 @@ fn main() {
     }
     println!("\nshape check: the same sub-coercive pulse leaves the dark vortex intact but");
     println!("switches the photo-excited one — the paper's ultralow-power switching pathway.");
+
+    args.finish_obs_with(Some(config_fingerprint(sim.config())), recorder.as_ref());
 }

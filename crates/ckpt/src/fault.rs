@@ -139,6 +139,33 @@ impl FaultPlan {
         }
         Ok(plan)
     }
+
+    /// Render the plan back into the `DCMESH_FAULT_PLAN` spec syntax
+    /// (the inverse of [`FaultPlan::parse`]); empty for a no-op plan with
+    /// the default seed. Run records embed this so a telemetry diff can
+    /// tell a faulted run from a clean one.
+    pub fn spec(&self) -> String {
+        let mut parts = Vec::new();
+        if self.seed != 0 {
+            parts.push(format!("seed={}", self.seed));
+        }
+        if self.drop_prob > 0.0 {
+            parts.push(format!("drop={}", self.drop_prob));
+        }
+        if self.delay_prob > 0.0 {
+            parts.push(format!("delay={}@{}", self.delay_prob, self.delay_s));
+        }
+        if self.dup_prob > 0.0 {
+            parts.push(format!("dup={}", self.dup_prob));
+        }
+        if let Some((r, op)) = self.kill_rank {
+            parts.push(format!("kill={r}@{op}"));
+        }
+        if let Some(step) = self.nan_at_step {
+            parts.push(format!("nan@{step}"));
+        }
+        parts.join(",")
+    }
 }
 
 fn parse_prob(v: &str, part: &str) -> Result<f64, String> {
@@ -188,6 +215,13 @@ pub fn install_from_env() -> bool {
         }
         _ => false,
     }
+}
+
+/// A clone of the installed plan, if any — one relaxed load when
+/// disarmed. Telemetry records this in the run record so faulted runs
+/// are distinguishable from clean ones.
+pub fn current() -> Option<FaultPlan> {
+    with_plan(FaultPlan::clone)
 }
 
 fn with_plan<T>(f: impl FnOnce(&FaultPlan) -> T) -> Option<T> {
@@ -385,6 +419,36 @@ mod tests {
         assert_eq!(plan.dup_prob, 0.2);
         assert_eq!(plan.kill_rank, Some((1, 3)));
         assert_eq!(plan.nan_at_step, Some(2));
+    }
+
+    #[test]
+    fn spec_roundtrips_through_parse() {
+        let plan = FaultPlan {
+            seed: 42,
+            drop_prob: 0.1,
+            delay_prob: 0.5,
+            delay_s: 0.25,
+            dup_prob: 0.2,
+            kill_rank: Some((1, 3)),
+            nan_at_step: Some(2),
+        };
+        assert_eq!(FaultPlan::parse(&plan.spec()).unwrap(), plan);
+        assert_eq!(FaultPlan::none().spec(), "");
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::none());
+    }
+
+    #[test]
+    fn current_reflects_the_installed_plan() {
+        let plan = FaultPlan {
+            nan_at_step: Some(7),
+            ..FaultPlan::none()
+        };
+        with_installed(plan.clone(), || {
+            assert_eq!(current(), Some(plan.clone()));
+        });
+        let _guard = test_lock();
+        clear();
+        assert_eq!(current(), None);
     }
 
     #[test]

@@ -432,6 +432,7 @@ impl Rank {
     }
 
     fn send_raw(&self, to: usize, tag: u64, payload: Vec<f64>) -> Result<(), CommError> {
+        dcmesh_obs::metrics::counter_add("comm.messages", 1);
         dcmesh_obs::metrics::counter_add("comm.send_bytes", (payload.len() * 8) as u64);
         let msg = self.make_msg(tag, payload, self.clock, None);
         self.post(to, msg)

@@ -1,0 +1,153 @@
+//! Physics-invariant probes for the flight recorder.
+//!
+//! A [`SimInvariants`] snapshot collects every conserved (or
+//! slowly-varying) quantity of the coupled simulation in one pass:
+//! classical + electronic total energy, per-domain wavefunction norm
+//! error, FSSH population sums, the Maxwell field energy, and the total
+//! electron occupation. `dcmesh-telemetry` samples these per MD step and
+//! its watchdog compares drifts against thresholds *before* the state
+//! ever goes non-finite — the early-warning counterpart to
+//! [`crate::resilience`]'s hard non-finite check.
+//!
+//! The electronic energy evaluation is the expensive part
+//! (`LfdEngine::band_energies` runs full Hamiltonian expectations), which
+//! is why the recorder samples on a stride instead of every step.
+
+use crate::simulation::DcMeshSim;
+
+/// One snapshot of the simulation's physics invariants.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimInvariants {
+    /// Classical MD total energy (kinetic + potential, Hartree).
+    pub md_total_energy: f64,
+    /// Electronic energy summed over domains (`sum_n f_n E_n`, Hartree).
+    pub electronic_energy: f64,
+    /// Maxwell field energy on the 1D grid.
+    pub field_energy: f64,
+    /// `md_total_energy + electronic_energy + field_energy` — the
+    /// conserved total a dark run must hold and a driven run changes only
+    /// through the pulse.
+    pub total_energy: f64,
+    /// Largest per-orbital deviation from unit L2 norm across domains.
+    pub max_norm_error: f64,
+    /// Largest per-domain deviation of the FSSH population sum from 1.
+    pub max_population_error: f64,
+    /// Total electron occupation across domains (conserved exactly).
+    pub total_occupation: f64,
+}
+
+impl SimInvariants {
+    /// True when every probe is a finite number.
+    pub fn is_finite(&self) -> bool {
+        [
+            self.md_total_energy,
+            self.electronic_energy,
+            self.field_energy,
+            self.total_energy,
+            self.max_norm_error,
+            self.max_population_error,
+            self.total_occupation,
+        ]
+        .iter()
+        .all(|v| v.is_finite())
+    }
+}
+
+/// NaN-sticky maximum: `f64::max` silently discards NaN operands, which
+/// would let a poisoned domain hide behind a healthy one.
+fn max_sticky(acc: f64, v: f64) -> f64 {
+    if acc.is_nan() || v.is_nan() {
+        f64::NAN
+    } else {
+        acc.max(v)
+    }
+}
+
+impl DcMeshSim {
+    /// Evaluate every physics invariant of the current state in one pass.
+    ///
+    /// Costs one full electronic-energy evaluation per domain — sample on
+    /// a stride, not in the inner loop.
+    pub fn physics_invariants(&self) -> SimInvariants {
+        let md_total_energy = self.md.total_energy();
+        let electronic_energy: f64 = self.engines.iter().map(|e| e.total_energy()).sum();
+        let field_energy = self.maxwell.energy();
+        let max_norm_error = self
+            .engines
+            .iter()
+            .map(|e| e.max_norm_error())
+            .fold(0.0, max_sticky);
+        let max_population_error = self
+            .fssh
+            .iter()
+            .map(|f| (f.norm() - 1.0).abs())
+            .fold(0.0, max_sticky);
+        SimInvariants {
+            md_total_energy,
+            electronic_energy,
+            field_energy,
+            total_energy: md_total_energy + electronic_energy + field_energy,
+            max_norm_error,
+            max_population_error,
+            total_occupation: self.total_occupation(),
+        }
+    }
+
+    /// Bytes of resident simulation state: wavefunctions (the dominant
+    /// term), atoms, Maxwell history, and the polarization field. This is
+    /// the footprint a checkpoint captures and the number the flight
+    /// recorder reports as `resident_bytes`.
+    pub fn resident_bytes(&self) -> u64 {
+        let wf: usize = self
+            .engines
+            .iter()
+            .map(|e| std::mem::size_of_val(e.state_data()))
+            .sum();
+        let atoms = self.md.atoms.atoms.len() * std::mem::size_of::<[f64; 3]>() * 3;
+        let mx = self.maxwell.export_state();
+        let maxwell = (mx.a.len() + mx.a_prev.len() + mx.j.len()) * 8;
+        let lk = (self.lk.field.px.len() + self.lk.field.pz.len()) * 8;
+        let fssh: usize = self.fssh.iter().map(|f| f.c.len() * 16).sum();
+        (wf + atoms + maxwell + lk + fssh) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::DcMeshConfig;
+
+    fn quick_cfg() -> DcMeshConfig {
+        DcMeshConfig {
+            n_qd: 5,
+            ..DcMeshConfig::default()
+        }
+    }
+
+    #[test]
+    fn fresh_state_is_near_invariant() {
+        let sim = DcMeshSim::new(quick_cfg());
+        let inv = sim.physics_invariants();
+        assert!(inv.is_finite());
+        // Initial orbitals are orthonormal; FSSH starts in a pure state.
+        assert!(inv.max_norm_error < 1e-9, "{}", inv.max_norm_error);
+        assert!(inv.max_population_error < 1e-12);
+        assert_eq!(
+            inv.total_energy,
+            inv.md_total_energy + inv.electronic_energy + inv.field_energy
+        );
+        assert!(sim.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn dark_run_conserves_occupation_and_norm() {
+        let mut sim = DcMeshSim::new(quick_cfg());
+        let before = sim.physics_invariants();
+        for _ in 0..3 {
+            sim.md_step();
+        }
+        let after = sim.physics_invariants();
+        assert!((after.total_occupation - before.total_occupation).abs() < 1e-9);
+        assert!(after.max_norm_error < 1e-6, "{}", after.max_norm_error);
+    }
+}

@@ -22,12 +22,14 @@
 //!   and QD-step halving.
 
 pub mod checkpoint;
+pub mod invariants;
 pub mod metrics;
 pub mod resilience;
 pub mod scaling;
 pub mod simulation;
 
 pub use checkpoint::config_fingerprint;
+pub use invariants::SimInvariants;
 pub use metrics::{parallel_efficiency_strong, parallel_efficiency_weak, Speed};
 pub use resilience::{ResilienceError, ResilientRunner};
 pub use scaling::{AnalyticEfficiency, ScalingConfig, ScalingPoint};

@@ -48,9 +48,14 @@ impl From<CkptError> for ResilienceError {
     }
 }
 
+/// Called after every attempted MD step, *before* the finiteness check
+/// decides whether to roll back. The telemetry watchdog hangs off this
+/// hook, which is what guarantees its drift warnings are ordered strictly
+/// before any rollback for the same step.
+pub type StepObserver = Box<dyn FnMut(&DcMeshSim, &StepReport)>;
+
 /// Checkpoint-backed driver that detects non-finite state and retries
 /// from the last snapshot with a smaller electronic time step.
-#[derive(Debug)]
 pub struct ResilientRunner {
     sim: DcMeshSim,
     cfg: DcMeshConfig,
@@ -60,6 +65,17 @@ pub struct ResilientRunner {
     last_snapshot: Vec<u8>,
     rollbacks: u32,
     max_rollbacks: u32,
+    observer: Option<StepObserver>,
+}
+
+impl fmt::Debug for ResilientRunner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResilientRunner")
+            .field("rollbacks", &self.rollbacks)
+            .field("max_rollbacks", &self.max_rollbacks)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ResilientRunner {
@@ -82,7 +98,15 @@ impl ResilientRunner {
             last_snapshot,
             rollbacks: 0,
             max_rollbacks: 3,
+            observer: None,
         }
+    }
+
+    /// Install a hook that sees `(sim, report)` after every attempted MD
+    /// step, before the finiteness check — so an observer inspecting a
+    /// poisoned state runs strictly before the rollback that repairs it.
+    pub fn set_step_observer(&mut self, observer: impl FnMut(&DcMeshSim, &StepReport) + 'static) {
+        self.observer = Some(Box::new(observer));
     }
 
     /// Mirror every periodic snapshot to `path` (atomic write).
@@ -118,6 +142,9 @@ impl ResilientRunner {
     pub fn step(&mut self) -> Result<StepReport, ResilienceError> {
         loop {
             let report = self.sim.md_step();
+            if let Some(obs) = &mut self.observer {
+                obs(&self.sim, &report);
+            }
             if self.sim.is_finite() {
                 self.steps_since_ckpt += 1;
                 if self.checkpoint_every > 0 && self.steps_since_ckpt >= self.checkpoint_every {

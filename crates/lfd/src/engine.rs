@@ -623,6 +623,33 @@ impl<R: Real> LfdEngine<R> {
         self.occupations.iter().copied().sum()
     }
 
+    /// Largest per-orbital deviation `| ||psi_n|| - 1 |` from unit L2 norm
+    /// (volume element included). The propagators are unitary, so this is
+    /// an invariant the flight recorder tracks: growth signals numerical
+    /// trouble long before anything overflows. NaN amplitudes surface
+    /// as a NaN error, which every threshold comparison treats as a
+    /// violation.
+    pub fn max_norm_error(&self) -> f64 {
+        let aos = self.state_aos();
+        (0..self.cfg.norb)
+            .map(|n| {
+                let nv = aos.orbital_norm(n).to_f64();
+                if nv.is_finite() {
+                    (nv - 1.0).abs()
+                } else {
+                    f64::NAN
+                }
+            })
+            .fold(0.0, |acc, e| {
+                // f64::max washes NaN out; keep it sticky instead.
+                if acc.is_nan() || e.is_nan() {
+                    f64::NAN
+                } else {
+                    acc.max(e)
+                }
+            })
+    }
+
     /// The time-dependent electron density of the current state (f64),
     /// weighted by the current occupations — what Ehrenfest dynamics feeds
     /// back into the forces on the ions (paper Eq. (3): TDDFT "dictates

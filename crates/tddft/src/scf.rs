@@ -219,6 +219,7 @@ pub fn run_scf(mesh: &Mesh3, atoms: &AtomSet, cfg: &ScfConfig) -> ScfResult {
             .sqrt()
             * dv.sqrt();
         dcmesh_obs::metrics::gauge_set("tddft.scf_residual", res);
+        dcmesh_obs::metrics::counter_add("tddft.scf_iterations", 1);
         residual_history.push(res);
         // A non-finite residual means the density or orbitals are poisoned
         // (overflow, or an injected NaN). Stop iterating instead of mixing

@@ -1,0 +1,125 @@
+//! Cross-rank telemetry aggregation: min/mean/max and load imbalance
+//! for per-rank series gathered through `dcmesh-comm`.
+//!
+//! The load-imbalance figure `max/mean - 1` is the paper's scaling
+//! methodology: a perfectly balanced decomposition gives 0, and a domain
+//! whose rank takes twice the mean step time gives 1.
+
+use dcmesh_comm::Rank;
+
+/// Min/mean/max over one value observed on every rank.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankStat {
+    /// Smallest per-rank value.
+    pub min: f64,
+    /// Mean over ranks.
+    pub mean: f64,
+    /// Largest per-rank value.
+    pub max: f64,
+}
+
+impl RankStat {
+    /// Load imbalance `max/mean - 1`; 0 for perfectly balanced work, NaN
+    /// when the mean is 0 or any rank reported NaN.
+    pub fn imbalance(&self) -> f64 {
+        if self.mean == 0.0 {
+            if self.max == 0.0 {
+                0.0
+            } else {
+                f64::NAN
+            }
+        } else {
+            self.max / self.mean - 1.0
+        }
+    }
+}
+
+/// Min/mean/max over a per-rank slice. NaN-poisoning: one NaN entry makes
+/// every field NaN (an aggregate must not hide a poisoned rank).
+pub fn summarize(values: &[f64]) -> RankStat {
+    if values.is_empty() || values.iter().any(|v| v.is_nan()) {
+        return RankStat {
+            min: f64::NAN,
+            mean: f64::NAN,
+            max: f64::NAN,
+        };
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+        sum += v;
+    }
+    RankStat {
+        min,
+        mean: sum / values.len() as f64,
+        max,
+    }
+}
+
+/// Gather this rank's telemetry `values` to rank 0 and summarize each
+/// position across ranks. `Some(stats)` on root (one [`RankStat`] per
+/// value), `None` elsewhere. Every rank must pass the same number of
+/// values in the same order (e.g. `[step_seconds, comm_bytes, ...]`).
+pub fn gather_stats(rank: &mut Rank, values: &[f64]) -> Option<Vec<RankStat>> {
+    let rows = rank.gather(0, values)?;
+    let width = values.len();
+    Some(
+        (0..width)
+            .map(|i| {
+                let column: Vec<f64> = rows.iter().map(|row| row[i]).collect();
+                summarize(&column)
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcmesh_comm::{NetworkModel, World};
+
+    #[test]
+    fn summarize_computes_extrema_and_mean() {
+        let s = summarize(&[1.0, 2.0, 3.0, 6.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.max, 6.0);
+        assert!((s.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_work_has_zero_imbalance() {
+        let s = summarize(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.imbalance(), 0.0);
+        let zeros = summarize(&[0.0, 0.0]);
+        assert_eq!(zeros.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn a_nan_rank_poisons_the_aggregate() {
+        let s = summarize(&[1.0, f64::NAN, 3.0]);
+        assert!(s.min.is_nan() && s.mean.is_nan() && s.max.is_nan());
+        assert!(s.imbalance().is_nan());
+    }
+
+    #[test]
+    fn gather_stats_summarizes_each_position_across_ranks() {
+        let results = World::run(4, NetworkModel::ideal(), |rank| {
+            // Two telemetry values per rank: a ramp (0,1,2,3) and a
+            // constant.
+            let id = rank.id() as f64;
+            gather_stats(rank, &[id, 7.0])
+        });
+        let root = results[0].as_ref().expect("root gets the stats");
+        assert!(results[1..].iter().all(Option::is_none));
+        assert_eq!(root.len(), 2);
+        assert_eq!(root[0].min, 0.0);
+        assert_eq!(root[0].mean, 1.5);
+        assert_eq!(root[0].max, 3.0);
+        assert_eq!(root[1], summarize(&[7.0; 4]));
+        assert!((root[0].imbalance() - 1.0).abs() < 1e-12);
+    }
+}

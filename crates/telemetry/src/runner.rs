@@ -1,0 +1,235 @@
+//! [`TelemetryRunner`]: a [`ResilientRunner`] with the flight recorder
+//! and invariant watchdog wired into its step-observer hook.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use dcmesh_core::{DcMeshConfig, DcMeshSim, ResilienceError, ResilientRunner, StepReport};
+
+use crate::recorder::{FlightRecorder, RecorderConfig};
+use crate::sample::InvariantSummary;
+use crate::watchdog::{Watchdog, WatchdogThresholds, WatchdogWarning};
+
+/// Something the telemetry layer noticed during a run, in the order it
+/// happened.
+#[derive(Clone, Debug)]
+pub enum TelemetryEvent {
+    /// The watchdog flagged a drift threshold. Emitted from the step
+    /// observer, which `ResilientRunner` fires *before* its finiteness
+    /// check — so for a poisoned step the warning is recorded strictly
+    /// before the matching [`TelemetryEvent::Rollback`].
+    Warning(WatchdogWarning),
+    /// The runner rolled back to its last snapshot.
+    Rollback {
+        /// MD step counter after the rollback restored the snapshot.
+        step: u64,
+        /// Total rollbacks so far.
+        rollbacks: u32,
+    },
+}
+
+/// The mutable telemetry state shared with the step-observer closure.
+#[derive(Debug)]
+struct Flight {
+    recorder: FlightRecorder,
+    watchdog: Watchdog,
+    events: Vec<TelemetryEvent>,
+}
+
+/// A [`ResilientRunner`] whose every attempted step feeds the
+/// [`FlightRecorder`] and [`Watchdog`].
+///
+/// The observer hook runs before the runner's non-finite check, so a step
+/// that degrades (or poisons) the invariants produces its watchdog
+/// warnings before any rollback event — the flight recorder shows the
+/// failure building up, not just the recovery.
+pub struct TelemetryRunner {
+    runner: ResilientRunner,
+    shared: Rc<RefCell<Flight>>,
+}
+
+impl fmt::Debug for TelemetryRunner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TelemetryRunner")
+            .field("runner", &self.runner)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TelemetryRunner {
+    /// Wrap a fresh simulation with the given recorder and watchdog
+    /// settings, snapshotting every `checkpoint_every` good steps.
+    pub fn new(
+        cfg: DcMeshConfig,
+        checkpoint_every: u64,
+        recorder: RecorderConfig,
+        thresholds: WatchdogThresholds,
+    ) -> Self {
+        Self::from_runner(
+            ResilientRunner::new(cfg, checkpoint_every),
+            recorder,
+            thresholds,
+        )
+    }
+
+    /// Wrap an existing [`ResilientRunner`], installing the telemetry
+    /// step observer (replacing any observer already set on it).
+    pub fn from_runner(
+        mut runner: ResilientRunner,
+        recorder: RecorderConfig,
+        thresholds: WatchdogThresholds,
+    ) -> Self {
+        let shared = Rc::new(RefCell::new(Flight {
+            recorder: FlightRecorder::new(recorder),
+            watchdog: Watchdog::new(thresholds),
+            events: Vec::new(),
+        }));
+        let hook = Rc::clone(&shared);
+        runner.set_step_observer(move |sim: &DcMeshSim, report: &StepReport| {
+            let mut fl = hook.borrow_mut();
+            let fl = &mut *fl;
+            let sample = fl.recorder.observe(sim, report);
+            if let Some(inv) = &sample.invariants {
+                let step = sample.step;
+                let warnings = fl.watchdog.check(step, inv);
+                if !warnings.is_empty() {
+                    dcmesh_obs::metrics::counter_add(
+                        "telemetry.watchdog_warnings",
+                        warnings.len() as u64,
+                    );
+                }
+                fl.events
+                    .extend(warnings.into_iter().map(TelemetryEvent::Warning));
+            }
+        });
+        Self { runner, shared }
+    }
+
+    /// Advance one MD step through the resilient runner, recording a
+    /// rollback event if one happened.
+    pub fn step(&mut self) -> Result<StepReport, ResilienceError> {
+        let before = self.runner.rollbacks();
+        let result = self.runner.step();
+        let after = self.runner.rollbacks();
+        if after > before {
+            self.shared
+                .borrow_mut()
+                .events
+                .push(TelemetryEvent::Rollback {
+                    step: self.runner.md_steps(),
+                    rollbacks: after,
+                });
+        }
+        result
+    }
+
+    /// Run until `target` completed MD steps.
+    pub fn run_to(&mut self, target: u64) -> Result<Option<StepReport>, ResilienceError> {
+        let mut last = None;
+        while self.runner.md_steps() < target {
+            last = Some(self.step()?);
+        }
+        Ok(last)
+    }
+
+    /// The wrapped simulation.
+    pub fn sim(&self) -> &DcMeshSim {
+        self.runner.sim()
+    }
+
+    /// Rollbacks performed so far.
+    pub fn rollbacks(&self) -> u32 {
+        self.runner.rollbacks()
+    }
+
+    /// Telemetry events in occurrence order (warnings interleaved with
+    /// rollbacks).
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        self.shared.borrow().events.clone()
+    }
+
+    /// Whole-run invariant summary from the recorder.
+    pub fn summary(&self) -> Option<InvariantSummary> {
+        self.shared.borrow().recorder.summary()
+    }
+
+    /// The buffered step samples as JSONL.
+    pub fn to_jsonl(&self) -> String {
+        self.shared.borrow().recorder.to_jsonl()
+    }
+
+    /// Flush the buffered step samples to `path` as JSONL.
+    pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.shared.borrow().recorder.write_jsonl(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcmesh_ckpt::fault::{self, FaultPlan};
+
+    fn quick_cfg() -> DcMeshConfig {
+        DcMeshConfig {
+            n_qd: 5,
+            ..DcMeshConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_run_records_without_events() {
+        let _guard = fault::test_lock();
+        let mut tr = TelemetryRunner::new(
+            quick_cfg(),
+            2,
+            RecorderConfig::default(),
+            WatchdogThresholds::default(),
+        );
+        tr.run_to(3).unwrap();
+        assert_eq!(tr.rollbacks(), 0);
+        assert!(tr.events().is_empty(), "no drift, no rollback");
+        let summary = tr.summary().expect("stride-1 recorder sampled");
+        assert_eq!(summary.samples, 3);
+        assert!(summary.max_energy_drift < 0.05);
+    }
+
+    #[test]
+    fn watchdog_warning_precedes_rollback_for_an_injected_nan() {
+        let plan = FaultPlan {
+            nan_at_step: Some(1),
+            ..FaultPlan::none()
+        };
+        fault::with_installed(plan, || {
+            let mut tr = TelemetryRunner::new(
+                quick_cfg(),
+                1,
+                RecorderConfig::default(),
+                WatchdogThresholds::default(),
+            );
+            tr.run_to(3).unwrap();
+            assert_eq!(tr.rollbacks(), 1);
+            let events = tr.events();
+            let first_warning = events
+                .iter()
+                .position(|e| matches!(e, TelemetryEvent::Warning(_)))
+                .expect("poisoned step must warn");
+            let first_rollback = events
+                .iter()
+                .position(|e| matches!(e, TelemetryEvent::Rollback { .. }))
+                .expect("NaN injection must roll back");
+            assert!(
+                first_warning < first_rollback,
+                "drift warning must be ordered strictly before the rollback \
+                 (events: {events:?})"
+            );
+            // The run recovered: the post-rollback samples are finite again.
+            assert!(tr.sim().is_finite());
+            let summary = tr.summary().unwrap();
+            assert!(
+                summary.max_energy_drift.is_nan(),
+                "the poisoned sample must stay visible in the summary"
+            );
+        });
+    }
+}

@@ -1,0 +1,149 @@
+//! The per-step sample and the whole-run invariant summary.
+
+use dcmesh_core::SimInvariants;
+use dcmesh_obs::json::Json;
+
+/// One flight-recorder sample: the perf series is captured every observed
+/// step, the physics invariants only on the sampling stride (they cost a
+/// full electronic-energy evaluation).
+#[derive(Clone, Debug)]
+pub struct StepSample {
+    /// Completed MD steps when the sample was taken. After a rollback the
+    /// series visibly moves backwards — that is the point of a flight
+    /// recorder.
+    pub step: u64,
+    /// Simulation time (fs).
+    pub time_fs: f64,
+    /// Wall-clock seconds since the previous sample (0 for the first).
+    pub wall_s: f64,
+    /// LFD electron-propagation seconds this step (modeled for device
+    /// builds), summed over domains.
+    pub lfd_electron_s: f64,
+    /// LFD nonlocal-correction seconds this step.
+    pub lfd_nonlocal_s: f64,
+    /// LFD transfer seconds this step.
+    pub lfd_transfer_s: f64,
+    /// Total excited population.
+    pub excited_population: f64,
+    /// Surface hops this step.
+    pub hops: u64,
+    /// Instantaneous MD temperature (K).
+    pub temperature_k: f64,
+    /// Resident simulation-state bytes.
+    pub resident_bytes: u64,
+    /// Physics invariants (sampled steps only).
+    pub invariants: Option<SimInvariants>,
+    /// Relative total-energy drift vs. the first sampled invariants
+    /// (sampled steps only).
+    pub energy_drift: Option<f64>,
+}
+
+impl StepSample {
+    /// One JSONL line for this sample. Invariant fields appear only on
+    /// sampled steps, so perf-only lines stay small.
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("step".into(), Json::Num(self.step as f64)),
+            ("time_fs".into(), Json::Num(self.time_fs)),
+            ("wall_s".into(), Json::Num(self.wall_s)),
+            ("lfd_electron_s".into(), Json::Num(self.lfd_electron_s)),
+            ("lfd_nonlocal_s".into(), Json::Num(self.lfd_nonlocal_s)),
+            ("lfd_transfer_s".into(), Json::Num(self.lfd_transfer_s)),
+            (
+                "excited_population".into(),
+                Json::Num(self.excited_population),
+            ),
+            ("hops".into(), Json::Num(self.hops as f64)),
+            ("temperature_k".into(), Json::Num(self.temperature_k)),
+            (
+                "resident_bytes".into(),
+                Json::Num(self.resident_bytes as f64),
+            ),
+        ];
+        if let Some(inv) = &self.invariants {
+            obj.push(("total_energy".into(), Json::Num(inv.total_energy)));
+            obj.push(("md_total_energy".into(), Json::Num(inv.md_total_energy)));
+            obj.push(("electronic_energy".into(), Json::Num(inv.electronic_energy)));
+            obj.push(("field_energy".into(), Json::Num(inv.field_energy)));
+            obj.push(("max_norm_error".into(), Json::Num(inv.max_norm_error)));
+            obj.push((
+                "max_population_error".into(),
+                Json::Num(inv.max_population_error),
+            ));
+            obj.push(("total_occupation".into(), Json::Num(inv.total_occupation)));
+        }
+        if let Some(drift) = self.energy_drift {
+            obj.push(("energy_drift".into(), Json::Num(drift)));
+        }
+        Json::Obj(obj)
+    }
+}
+
+/// Whole-run invariant summary, embedded in the [`crate::RunRecord`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InvariantSummary {
+    /// Steps with full invariant samples.
+    pub samples: u64,
+    /// Total energy at the first sampled step.
+    pub initial_total_energy: f64,
+    /// Total energy at the last sampled step.
+    pub final_total_energy: f64,
+    /// Worst relative total-energy drift over the run. NaN when a sample
+    /// went non-finite — every threshold comparison treats that as a
+    /// violation.
+    pub max_energy_drift: f64,
+    /// Worst per-orbital norm error over the run.
+    pub max_norm_error: f64,
+    /// Worst FSSH population-sum error over the run.
+    pub max_population_error: f64,
+    /// Largest deviation of the total occupation from its initial value.
+    pub max_occupation_drift: f64,
+}
+
+impl InvariantSummary {
+    /// JSON object for embedding in a run record.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("samples".into(), Json::Num(self.samples as f64)),
+            (
+                "initial_total_energy".into(),
+                Json::Num(self.initial_total_energy),
+            ),
+            (
+                "final_total_energy".into(),
+                Json::Num(self.final_total_energy),
+            ),
+            ("max_energy_drift".into(), Json::Num(self.max_energy_drift)),
+            ("max_norm_error".into(), Json::Num(self.max_norm_error)),
+            (
+                "max_population_error".into(),
+                Json::Num(self.max_population_error),
+            ),
+            (
+                "max_occupation_drift".into(),
+                Json::Num(self.max_occupation_drift),
+            ),
+        ])
+    }
+
+    /// Parse back from [`InvariantSummary::to_json`] output. Non-finite
+    /// values were serialized as `null` and come back as NaN.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let num = |key: &str| -> Result<f64, String> {
+            match json.get(key) {
+                Some(Json::Num(n)) => Ok(*n),
+                Some(Json::Null) => Ok(f64::NAN),
+                _ => Err(format!("invariants: missing number '{key}'")),
+            }
+        };
+        Ok(Self {
+            samples: num("samples")? as u64,
+            initial_total_energy: num("initial_total_energy")?,
+            final_total_energy: num("final_total_energy")?,
+            max_energy_drift: num("max_energy_drift")?,
+            max_norm_error: num("max_norm_error")?,
+            max_population_error: num("max_population_error")?,
+            max_occupation_drift: num("max_occupation_drift")?,
+        })
+    }
+}

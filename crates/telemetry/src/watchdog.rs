@@ -1,0 +1,184 @@
+//! The invariant watchdog: soft drift thresholds that fire before the
+//! state goes non-finite.
+
+use dcmesh_core::SimInvariants;
+
+/// Drift thresholds. Every comparison is written `!(value <= threshold)`
+/// so a NaN invariant counts as a violation rather than slipping past.
+#[derive(Clone, Copy, Debug)]
+pub struct WatchdogThresholds {
+    /// Relative total-energy drift vs. the first sampled step.
+    pub max_energy_drift: f64,
+    /// Per-orbital wavefunction norm error.
+    pub max_norm_error: f64,
+    /// FSSH population-sum error.
+    pub max_population_error: f64,
+    /// Absolute total-occupation drift vs. the first sampled step.
+    pub max_occupation_drift: f64,
+}
+
+impl Default for WatchdogThresholds {
+    fn default() -> Self {
+        Self {
+            max_energy_drift: 0.05,
+            max_norm_error: 1e-3,
+            max_population_error: 1e-3,
+            max_occupation_drift: 1e-6,
+        }
+    }
+}
+
+/// One threshold violation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WatchdogWarning {
+    /// MD step the violating sample was taken at.
+    pub step: u64,
+    /// Which invariant degraded (e.g. `"energy_drift"`).
+    pub what: &'static str,
+    /// Observed value (may be NaN).
+    pub value: f64,
+    /// The threshold it crossed.
+    pub threshold: f64,
+}
+
+impl std::fmt::Display for WatchdogWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "step {}: {} = {:.3e} exceeds {:.3e}",
+            self.step, self.what, self.value, self.threshold
+        )
+    }
+}
+
+/// Checks sampled invariants against [`WatchdogThresholds`]. The first
+/// checked sample becomes the drift baseline.
+///
+/// The watchdog produces structured warnings instead of printing — the
+/// caller decides whether to log, count, or escalate them. Its purpose is
+/// to flag degradation *before* `ResilientRunner`'s non-finite check
+/// triggers a rollback.
+#[derive(Clone, Debug)]
+pub struct Watchdog {
+    thresholds: WatchdogThresholds,
+    baseline: Option<SimInvariants>,
+}
+
+impl Watchdog {
+    /// A watchdog with the given thresholds and no baseline yet.
+    pub fn new(thresholds: WatchdogThresholds) -> Self {
+        Self {
+            thresholds,
+            baseline: None,
+        }
+    }
+
+    /// The thresholds in force.
+    pub fn thresholds(&self) -> &WatchdogThresholds {
+        &self.thresholds
+    }
+
+    /// Check one invariant sample, returning every violated threshold.
+    pub fn check(&mut self, step: u64, inv: &SimInvariants) -> Vec<WatchdogWarning> {
+        let base = *self.baseline.get_or_insert(*inv);
+        let t = self.thresholds;
+        let scale = base.total_energy.abs().max(1e-12);
+        let drift = (inv.total_energy - base.total_energy).abs() / scale;
+        let occ_drift = (inv.total_occupation - base.total_occupation).abs();
+        let checks = [
+            ("energy_drift", drift, t.max_energy_drift),
+            ("norm_error", inv.max_norm_error, t.max_norm_error),
+            (
+                "population_error",
+                inv.max_population_error,
+                t.max_population_error,
+            ),
+            ("occupation_drift", occ_drift, t.max_occupation_drift),
+        ];
+        checks
+            .into_iter()
+            .filter(
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                |(_, value, threshold)| !(*value <= *threshold),
+            )
+            .map(|(what, value, threshold)| WatchdogWarning {
+                step,
+                what,
+                value,
+                threshold,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy() -> SimInvariants {
+        SimInvariants {
+            md_total_energy: 1.0,
+            electronic_energy: -3.0,
+            field_energy: 0.5,
+            total_energy: -1.5,
+            max_norm_error: 1e-9,
+            max_population_error: 1e-12,
+            total_occupation: 8.0,
+        }
+    }
+
+    #[test]
+    fn healthy_samples_raise_no_warnings() {
+        let mut dog = Watchdog::new(WatchdogThresholds::default());
+        assert!(dog.check(0, &healthy()).is_empty());
+        assert!(dog.check(1, &healthy()).is_empty());
+    }
+
+    #[test]
+    fn energy_drift_is_relative_to_the_first_sample() {
+        let mut dog = Watchdog::new(WatchdogThresholds::default());
+        assert!(dog.check(0, &healthy()).is_empty());
+        let drifted = SimInvariants {
+            total_energy: -1.5 * 1.2,
+            ..healthy()
+        };
+        let warns = dog.check(5, &drifted);
+        assert_eq!(warns.len(), 1);
+        assert_eq!(warns[0].what, "energy_drift");
+        assert_eq!(warns[0].step, 5);
+        assert!((warns[0].value - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_invariants_always_warn() {
+        let mut dog = Watchdog::new(WatchdogThresholds::default());
+        dog.check(0, &healthy());
+        let poisoned = SimInvariants {
+            total_energy: f64::NAN,
+            max_norm_error: f64::NAN,
+            ..healthy()
+        };
+        let warns = dog.check(1, &poisoned);
+        let whats: Vec<&str> = warns.iter().map(|w| w.what).collect();
+        assert!(whats.contains(&"energy_drift"));
+        assert!(whats.contains(&"norm_error"));
+    }
+
+    #[test]
+    fn multiple_violations_are_all_reported() {
+        let mut dog = Watchdog::new(WatchdogThresholds {
+            max_energy_drift: 1e-6,
+            max_norm_error: 1e-12,
+            max_population_error: 1e-15,
+            max_occupation_drift: 1e-15,
+        });
+        dog.check(0, &healthy());
+        let worse = SimInvariants {
+            total_energy: -1.4,
+            total_occupation: 8.1,
+            ..healthy()
+        };
+        let warns = dog.check(1, &worse);
+        assert_eq!(warns.len(), 4);
+    }
+}

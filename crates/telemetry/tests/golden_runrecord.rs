@@ -1,0 +1,104 @@
+//! Golden-file snapshot of the RunRecord JSON layout.
+//!
+//! The record here is built from fully fixed parts (deterministic events,
+//! hand-rolled metrics, placeholder git metadata), so its serialization
+//! must be byte-identical across runs and machines. If the layout changes
+//! *intentionally*, bump [`dcmesh_telemetry::SCHEMA_VERSION`] and rebless
+//! with `UPDATE_GOLDEN=1 cargo test -p dcmesh-telemetry --test
+//! golden_runrecord`.
+
+use std::path::PathBuf;
+
+use dcmesh_obs::metrics::{Histogram, MetricsSnapshot};
+use dcmesh_obs::trace::{Event, EventKind, Track};
+use dcmesh_telemetry::{GitMeta, InvariantSummary, RunRecord};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join("runrecord.json")
+}
+
+fn fixed_record() -> RunRecord {
+    // A miniature deterministic timeline: one md_step span pair and one
+    // device slice, timestamps on the counter clock.
+    let events = vec![
+        Event::complete("sim.md_step", Track::Host, 0.0, 0.0)
+            .with_ids(1, 0)
+            .with_kind(EventKind::Begin),
+        Event::complete("sim.lfd", Track::Device { stream: 0 }, 2.0, 5.0).with_bytes(4096),
+        Event::complete("sim.md_step", Track::Host, 10.0, 0.0)
+            .with_ids(1, 0)
+            .with_kind(EventKind::End),
+    ];
+    let mut metrics = MetricsSnapshot::default();
+    metrics.counters.insert("comm.messages".into(), 12);
+    metrics.counters.insert("comm.send_bytes".into(), 65536);
+    let mut h = Histogram::default();
+    for _ in 0..7 {
+        h.record(0.25);
+    }
+    h.record(0.5);
+    metrics.histograms.insert("sim.md_step_seconds".into(), h);
+    let invariants = InvariantSummary {
+        samples: 8,
+        initial_total_energy: -12.5,
+        final_total_energy: -12.5000001,
+        max_energy_drift: 8e-9,
+        max_norm_error: 3e-10,
+        max_population_error: 1e-12,
+        max_occupation_drift: 2e-11,
+    };
+    RunRecord::from_parts(
+        "fig5_kernels",
+        "scale=0.25 mesh=20^3 norb=32",
+        Some(0x1234_5678_9abc_def0),
+        4,
+        "nan@7".into(),
+        GitMeta::unknown(),
+        &events,
+        &metrics,
+        Some(invariants),
+    )
+}
+
+#[test]
+fn runrecord_json_matches_the_golden_snapshot() {
+    let rendered = format!("{}\n", fixed_record().to_json());
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); rebless with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "RunRecord serialization drifted from the golden snapshot; if the \
+         change is intentional, bump SCHEMA_VERSION and rebless with \
+         UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_snapshot_parses_back_to_an_equivalent_record() {
+    let rec = fixed_record();
+    let json = dcmesh_obs::json::Json::parse(
+        &std::fs::read_to_string(golden_path()).expect("golden file present"),
+    )
+    .expect("golden file is valid JSON");
+    let back = RunRecord::from_json(&json).expect("golden file parses as a RunRecord");
+    assert_eq!(back.schema_version, rec.schema_version);
+    assert_eq!(back.bin, rec.bin);
+    assert_eq!(back.config_fingerprint, rec.config_fingerprint);
+    assert_eq!(back.fault_plan, rec.fault_plan);
+    assert_eq!(back.counters, rec.counters);
+    assert_eq!(back.phases, rec.phases);
+    assert_eq!(back.histograms, rec.histograms);
+    assert_eq!(back.invariants, rec.invariants);
+}

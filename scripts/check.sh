@@ -47,4 +47,15 @@ cargo run -q --release -p dcmesh-bench --bin fig7_flux_closure -- \
 grep -q "restored checkpoint" "$SMOKE_OUT"
 rm -f "$CKPT_SMOKE" "$SMOKE_OUT"
 
+echo "== telemetry smoke (fig5 RunRecord + self-compare gate) =="
+REC_DIR=$(mktemp -d /tmp/dcmesh_telemetry_XXXXXX)
+cargo run -q --release -p dcmesh-bench --bin fig5_kernels -- \
+  --quick --deterministic --telemetry --record "$REC_DIR/fig5.runrecord.json" > /dev/null
+test -s "$REC_DIR/fig5.runrecord.json"
+test -s "$REC_DIR/fig5.runrecord.steps.jsonl"
+# A record diffed against itself must never regress (exit 0).
+cargo run -q --release -p dcmesh-bench --bin compare -- \
+  "$REC_DIR/fig5.runrecord.json" "$REC_DIR/fig5.runrecord.json"
+rm -rf "$REC_DIR"
+
 echo "All checks passed."
