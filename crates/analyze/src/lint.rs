@@ -27,6 +27,15 @@
 //!    path (`dcmesh-obs` counters/gauges/histograms feeding the flight
 //!    recorder and RunRecords) and cannot be compared across runs.
 //!    Driver and bench layers own stdout.
+//! 6. **raw-arch** — `std::arch` / `core::arch` intrinsics are allowed
+//!    only inside `crates/math/src/simd/`, the one audited home for
+//!    ISA-specific code (with its scalar fallback and dispatch gate).
+//!    Intrinsics sprinkled anywhere else dodge the backend override and
+//!    the equivalence test suite.
+//! 7. **target-feature** — every `#[target_feature(...)]` function must
+//!    carry a `SAFETY:` comment (or a `# Safety` doc section) stating
+//!    the CPU-support contract: who proved the features are available
+//!    before this code runs.
 //!
 //! Comments and string literals are stripped before matching, so rule
 //! text inside docs (like this paragraph) does not trip the scanner.
@@ -62,6 +71,10 @@ pub enum Rule {
     StaticMut,
     /// `println!`/`eprintln!` inside a kernel crate.
     PrintlnMetrics,
+    /// `std::arch`/`core::arch` outside the blessed SIMD module.
+    RawArch,
+    /// `#[target_feature]` without a SAFETY contract comment.
+    TargetFeature,
 }
 
 impl fmt::Display for Rule {
@@ -72,6 +85,8 @@ impl fmt::Display for Rule {
             Rule::WallClock => "wall-clock",
             Rule::StaticMut => "static-mut",
             Rule::PrintlnMetrics => "println-metrics",
+            Rule::RawArch => "raw-arch",
+            Rule::TargetFeature => "target-feature",
         };
         f.write_str(s)
     }
@@ -192,6 +207,8 @@ pub fn scan_source(rel_path: &str, contents: &str) -> Vec<Finding> {
         .any(|k| rel_path.starts_with(&format!("{k}/")));
     let is_obs = rel_path.starts_with("crates/obs/");
 
+    let in_simd_module = rel_path.starts_with("crates/math/src/simd/");
+
     let spawn_pat = ["thread", "spawn"].join("::"); // avoid self-matching
     let instant_pat = ["Instant", "now"].join("::");
     let static_mut_pat = ["static", "mut "].join(" ");
@@ -200,6 +217,8 @@ pub fn scan_source(rel_path: &str, contents: &str) -> Vec<Finding> {
         ["eprintln", "("].join("!"),
         ["print", "("].join("!"),
     ];
+    let arch_pats = [["std", "arch"].join("::"), ["core", "arch"].join("::")];
+    let tf_pat = ["#[target", "feature("].join("_");
 
     for (idx, raw) in lines.iter().enumerate() {
         let line_no = idx + 1;
@@ -242,6 +261,28 @@ pub fn scan_source(rel_path: &str, contents: &str) -> Vec<Finding> {
             });
         }
 
+        if !in_simd_module && arch_pats.iter().any(|p| code.contains(p)) {
+            findings.push(Finding {
+                path: rel_path.to_string(),
+                line: line_no,
+                rule: Rule::RawArch,
+                message: "raw arch intrinsics live in crates/math/src/simd/ only; \
+                          dispatch through dcmesh_math::simd"
+                    .into(),
+            });
+        }
+
+        if code.contains(&tf_pat) && !target_feature_is_documented(&lines, idx) {
+            findings.push(Finding {
+                path: rel_path.to_string(),
+                line: line_no,
+                rule: Rule::TargetFeature,
+                message: "target_feature fn needs a SAFETY comment (or `# Safety` doc) \
+                          naming who verified CPU support"
+                    .into(),
+            });
+        }
+
         if has_unsafe_keyword(&code) && !unsafe_is_documented(&lines, idx, raw) {
             findings.push(Finding {
                 path: rel_path.to_string(),
@@ -268,7 +309,9 @@ fn unsafe_is_documented(lines: &[&str], idx: usize, raw: &str) -> bool {
         return true;
     }
     let code = code_only(raw);
-    let is_fn_decl = code.contains("unsafe fn");
+    // Trait declarations take the same `# Safety` doc convention as fns
+    // (the section states the implementor's contract).
+    let is_fn_decl = code.contains("unsafe fn") || code.contains("unsafe trait");
     // Walk upward through the contiguous comment/attribute block.
     let mut steps = 0;
     let mut i = idx;
@@ -296,6 +339,41 @@ fn unsafe_is_documented(lines: &[&str], idx: usize, raw: &str) -> bool {
             if steps >= SAFETY_LOOKBACK {
                 return false;
             }
+        }
+    }
+    false
+}
+
+/// Is the `#[target_feature]` at `lines[idx]` covered by a safety
+/// contract? Accepted evidence: `SAFETY:` on the attribute line itself,
+/// in the comment/attribute lines *between* the attribute and the fn
+/// signature (the idiom for safe feature-gated helpers), or — searching
+/// upward through the contiguous doc/attribute block — a `SAFETY:`
+/// comment or `# Safety` doc heading.
+fn target_feature_is_documented(lines: &[&str], idx: usize) -> bool {
+    if lines[idx].contains("SAFETY:") {
+        return true;
+    }
+    let mut i = idx + 1;
+    while i < lines.len() {
+        let below = lines[i].trim_start();
+        if below.contains("SAFETY:") {
+            return true;
+        }
+        if !(below.starts_with("//") || below.starts_with('#') || below.is_empty()) {
+            break; // reached the fn signature
+        }
+        i += 1;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let above = lines[i].trim_start();
+        if above.contains("SAFETY:") || above.contains("# Safety") {
+            return true;
+        }
+        if !(above.starts_with("//") || above.starts_with('#') || above.is_empty()) {
+            return false;
         }
     }
     false
@@ -431,6 +509,51 @@ mod tests {
             scan_source("crates/math/src/gemm.rs", &e)[0].rule,
             Rule::PrintlnMetrics
         );
+    }
+
+    #[test]
+    fn raw_arch_allowed_only_in_simd_module() {
+        let line = format!(
+            "use {}::x86_64::_mm256_fmadd_pd;\n",
+            ["core", "arch"].join("::")
+        );
+        assert!(scan_source("crates/math/src/simd/avx2.rs", &line).is_empty());
+        for bad in ["crates/math/src/gemm.rs", "crates/lfd/src/kinetic.rs"] {
+            let f = scan_source(bad, &line);
+            assert_eq!(f.len(), 1, "{bad}");
+            assert_eq!(f[0].rule, Rule::RawArch);
+        }
+        let std_line = format!(
+            "let ok = {}::is_x86_feature_detected!(\"avx2\");\n",
+            ["std", "arch"].join("::")
+        );
+        assert_eq!(
+            scan_source("crates/grid/src/lib.rs", &std_line)[0].rule,
+            Rule::RawArch
+        );
+    }
+
+    #[test]
+    fn target_feature_requires_safety_contract() {
+        let attr = ["#[target", "feature(enable = \"avx2\")]"].join("_");
+        // Documented above (unsafe-fn idiom: # Safety doc section).
+        let doc_above = format!("/// Kernel.\n///\n/// # Safety\n///\n/// Caller verified AVX2.\n{attr}\npub unsafe fn k() {{}}\n");
+        assert!(
+            scan_source("crates/math/src/simd/avx2.rs", &doc_above)
+                .iter()
+                .all(|f| f.rule != Rule::TargetFeature),
+            "documented target_feature fn must pass"
+        );
+        // Documented between attribute and signature (safe-helper idiom).
+        let doc_below = format!(
+            "#[inline]\n{attr}\n// SAFETY: callable only from avx2 contexts.\nfn helper() {{}}\n"
+        );
+        assert!(scan_source("crates/math/src/simd/avx2.rs", &doc_below).is_empty());
+        // Undocumented: flagged wherever it lives.
+        let bare = format!("#[inline]\n{attr}\nfn helper() {{}}\n");
+        let f = scan_source("crates/math/src/simd/avx2.rs", &bare);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::TargetFeature);
     }
 
     #[test]

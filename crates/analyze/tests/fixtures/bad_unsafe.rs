@@ -20,3 +20,10 @@ pub fn time_it() -> std::time::Instant {
 pub fn report_metric(t: f64) {
     println!("kernel took {t}s");
 }
+
+pub fn sneaky_intrinsics() {
+    let _four_wide = core::arch::x86_64::_mm256_setzero_pd;
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn undocumented_kernel() {}

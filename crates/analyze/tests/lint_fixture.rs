@@ -11,14 +11,17 @@ fn fixture() -> String {
 #[test]
 fn fixture_trips_every_rule() {
     // Scanned as if it lived in a kernel crate, the fixture must trip
-    // all five rules.
+    // all seven rules. (The undocumented `#[target_feature] unsafe fn`
+    // deliberately counts under undocumented-unsafe too.)
     let findings = lint::scan_source("crates/math/src/bad.rs", &fixture());
     let hit = |r: Rule| findings.iter().filter(|f| f.rule == r).count();
     assert_eq!(hit(Rule::StaticMut), 1, "{findings:?}");
-    assert_eq!(hit(Rule::UndocumentedUnsafe), 1, "{findings:?}");
+    assert_eq!(hit(Rule::UndocumentedUnsafe), 2, "{findings:?}");
     assert_eq!(hit(Rule::ThreadSpawn), 1, "{findings:?}");
     assert_eq!(hit(Rule::WallClock), 1, "{findings:?}");
     assert_eq!(hit(Rule::PrintlnMetrics), 1, "{findings:?}");
+    assert_eq!(hit(Rule::RawArch), 1, "{findings:?}");
+    assert_eq!(hit(Rule::TargetFeature), 1, "{findings:?}");
 }
 
 #[test]

@@ -1,0 +1,137 @@
+//! Criterion microbenchmarks of the split-complex SIMD layer: the packed
+//! AVX2 GEMM against the scalar blocked reference at the paper-relevant
+//! nonlocal shape (Table II: the overlap `S = dv * Psi0^H Psi` is a tall
+//! skinny `(norb, nu, ngrid)` contraction), and the kinetic stencil sweep
+//! under the scalar vs AVX2 backend.
+//!
+//! Backend selection uses the process-global override; criterion runs the
+//! benchmark functions serially, so flipping it between groups is safe.
+//! The override is always cleared before a function returns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcmesh_grid::{Mesh3, WfAos};
+use dcmesh_lfd::kinetic::{Axis, KineticPropagator, StepFraction};
+use dcmesh_math::gemm::{gemm_blocked, gemm_with_backend, Matrix, Op};
+use dcmesh_math::simd::{self, Backend};
+use dcmesh_math::C64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Table II nonlocal shape, mesh scaled 1/10 so one rep stays in the ms
+/// range: full norb and nu, contraction depth `k` = grid points.
+const M: usize = 64;
+const N: usize = 16;
+const K: usize = 35280;
+
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix<f64> {
+    Matrix::from_fn(rows, cols, |_, _| {
+        C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+    })
+}
+
+fn bench_simd_gemm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let a = random_matrix(&mut rng, M, K);
+    let b = random_matrix(&mut rng, K, N);
+    let alpha = C64::new(0.7, -0.1);
+
+    let mut group = c.benchmark_group("simd_gemm");
+    group.sample_size(20);
+
+    group.bench_function("scalar_blocked_m64_n16_k35280", |bch| {
+        let mut cm = Matrix::zeros(M, N);
+        bch.iter(|| gemm_blocked(alpha, &a, Op::None, &b, Op::None, C64::zero(), &mut cm));
+    });
+    group.bench_function("scalar_panels_m64_n16_k35280", |bch| {
+        let mut cm = Matrix::zeros(M, N);
+        bch.iter(|| {
+            gemm_with_backend(
+                Backend::Scalar,
+                alpha,
+                &a,
+                Op::None,
+                &b,
+                Op::None,
+                C64::zero(),
+                &mut cm,
+            );
+        });
+    });
+    group.bench_function("avx2_packed_default_tiles", |bch| {
+        let mut cm = Matrix::zeros(M, N);
+        bch.iter(|| {
+            gemm_with_backend(
+                Backend::Avx2,
+                alpha,
+                &a,
+                Op::None,
+                &b,
+                Op::None,
+                C64::zero(),
+                &mut cm,
+            );
+        });
+    });
+    // Autotuned: search (or warm-load) tiles for this shape class, install
+    // them into the registry, and run the same packed kernel.
+    let tiles = dcmesh_tune::gemm_tiles(M, N, K);
+    let tuned_id = format!(
+        "avx2_packed_tuned_mc{}_kc{}_nc{}",
+        tiles.mc, tiles.kc, tiles.nc
+    );
+    group.bench_function(tuned_id.as_str(), |bch| {
+        let mut cm = Matrix::zeros(M, N);
+        bch.iter(|| {
+            gemm_with_backend(
+                Backend::Avx2,
+                alpha,
+                &a,
+                Op::None,
+                &b,
+                Op::None,
+                C64::zero(),
+                &mut cm,
+            );
+        });
+    });
+    group.finish();
+}
+
+fn bench_simd_stencil(c: &mut Criterion) {
+    let mesh = Mesh3::new(24, 24, 24, 0.42, 0.42, 0.42);
+    let norb = 16;
+    let prop = KineticPropagator::new(mesh.clone(), 0.04, 1.0);
+    let mut init = WfAos::<f64>::zeros(mesh.clone(), norb);
+    init.randomize(5);
+
+    let mut group = c.benchmark_group("simd_stencil");
+    group.sample_size(20);
+
+    simd::set_backend(Backend::Scalar);
+    group.bench_function("sweep_x_scalar_norb16", |b| {
+        let mut psi = init.to_soa();
+        b.iter(|| prop.apply_axis_alg5(&mut psi, Axis::X, StepFraction::Full, 8, None));
+    });
+    simd::set_backend(Backend::Avx2);
+    group.bench_function("sweep_x_avx2_norb16", |b| {
+        let mut psi = init.to_soa();
+        b.iter(|| prop.apply_axis_alg5(&mut psi, Axis::X, StepFraction::Full, 8, None));
+    });
+    // Full Strang step (all three axes), both backends — the Table I shape
+    // of work one QD step performs.
+    simd::set_backend(Backend::Scalar);
+    group.bench_function("strang_step_scalar_norb16", |b| {
+        let mut psi = init.to_soa();
+        b.iter(|| prop.step_optimized(&mut psi, 8, None));
+    });
+    simd::set_backend(Backend::Avx2);
+    group.bench_function("strang_step_avx2_norb16", |b| {
+        let mut psi = init.to_soa();
+        b.iter(|| prop.step_optimized(&mut psi, 8, None));
+    });
+    simd::clear_backend_override();
+    group.finish();
+}
+
+criterion_group!(benches, bench_simd_gemm, bench_simd_stencil);
+criterion_main!(benches);

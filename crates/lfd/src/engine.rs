@@ -20,7 +20,7 @@ use dcmesh_device::{Device, LaunchPolicy, TransferKind};
 use dcmesh_grid::{Mesh3, WfAos, WfSoa};
 use dcmesh_math::Real;
 
-use crate::kinetic::KineticPropagator;
+use crate::kinetic::{Axis, KineticPropagator, StepFraction};
 use crate::maxwell::LaserPulse;
 use crate::nonlocal::{GemmPath, NonlocalCorrection};
 use crate::potential::PotentialPropagator;
@@ -139,7 +139,9 @@ pub struct LfdConfig {
     pub dt: f64,
     /// QD steps per MD step (`N_QD`).
     pub n_qd: usize,
-    /// Orbital block size for the blocked kernels.
+    /// Orbital block size for the blocked kernels. `0` asks the runtime
+    /// autotuner to pick one at engine construction (cached on disk per
+    /// orbital count, ISA, and thread count — see `dcmesh-tune`).
     pub block_size: usize,
     /// Which build variant to run.
     pub build: BuildKind,
@@ -186,6 +188,9 @@ pub struct LfdEngine<R: Real> {
     psi_soa: Option<WfSoa<R>>,
     device: Option<Device>,
     shadow: Option<ShadowState<R>>,
+    /// Resolved orbital block size (`cfg.block_size`, or the autotuner's
+    /// pick when the config said 0).
+    block_size: usize,
     /// Simulation time (a.u.).
     pub time: f64,
     /// Occupations of the adiabatic reference states.
@@ -244,6 +249,22 @@ impl<R: Real> LfdEngine<R> {
             BuildKind::CpuLoops => (Some(init), None),
             _ => (None, Some(init.to_soa())),
         };
+        let block_size = if cfg.block_size == 0 {
+            tuned_block_size(&cfg)
+        } else {
+            cfg.block_size
+        };
+        // Publish the tile/block choices the hot kernels will consult, so
+        // every telemetry RunRecord carries them and `compare` can flag
+        // tile-choice drift between runs. `DCMESH_TUNE=1` additionally
+        // forces a (cached) search for the nonlocal GEMM shape class.
+        dcmesh_obs::metrics::gauge_set("tune.stencil.block", block_size as f64);
+        let nu = (cfg.norb - cfg.lumo).max(1);
+        if std::env::var("DCMESH_TUNE").as_deref() == Ok("1") {
+            dcmesh_tune::gemm_tiles(cfg.norb, nu, cfg.mesh.len());
+        } else {
+            dcmesh_tune::report_gemm_tiles(cfg.norb, nu, cfg.mesh.len());
+        }
         Self {
             cfg,
             kin,
@@ -254,10 +275,17 @@ impl<R: Real> LfdEngine<R> {
             psi_soa,
             device,
             shadow,
+            block_size,
             time: 0.0,
             occupations,
             md_steps: 0,
         }
+    }
+
+    /// The orbital block size the kinetic kernels actually use
+    /// (resolved from the config, or autotuned when it asked for 0).
+    pub fn block_size(&self) -> usize {
+        self.block_size
     }
 
     /// The configuration.
@@ -524,9 +552,9 @@ impl<R: Real> LfdEngine<R> {
                     // host returns immediately; the scope settles them
                     // before the potential half-step touches psi.
                     Some((dev, LaunchPolicy::Async)) => dev.nowait_scope(|scope| {
-                        self.kin.step_nowait(psi, self.cfg.block_size, scope);
+                        self.kin.step_nowait(psi, self.block_size, scope);
                     }),
-                    _ => self.kin.step_optimized(psi, self.cfg.block_size, dev_pair),
+                    _ => self.kin.step_optimized(psi, self.block_size, dev_pair),
                 }
                 let d1 = if modeled {
                     busy(dev_pair) - b1
@@ -665,6 +693,45 @@ impl<R: Real> LfdEngine<R> {
     pub fn shadow(&self) -> Option<&ShadowState<R>> {
         self.shadow.as_ref()
     }
+}
+
+/// Autotune the orbital block size for this configuration's orbital count:
+/// time one Strang-axis sweep per candidate on a shrunken copy of the mesh
+/// (same norb, so the inner-loop trip count the blocking controls is
+/// faithful) and take the fastest. The winner is cached on disk per
+/// (norb, ISA, threads), so only the first engine construction ever pays
+/// the search.
+fn tuned_block_size(cfg: &LfdConfig) -> usize {
+    let norb = cfg.norb;
+    let mut candidates: Vec<usize> = [4usize, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|&b| b < norb)
+        .collect();
+    candidates.push(norb);
+    if candidates.len() == 1 {
+        return norb;
+    }
+    let probe = Mesh3::new(
+        cfg.mesh.nx.min(12),
+        cfg.mesh.ny.min(12),
+        cfg.mesh.nz.min(12),
+        cfg.mesh.dx,
+        cfg.mesh.dy,
+        cfg.mesh.dz,
+    );
+    let prop = KineticPropagator::<f64>::new(probe.clone(), 0.02, 1.0);
+    let mut wf = WfAos::<f64>::zeros(probe, norb);
+    wf.randomize(1);
+    let mut soa = wf.to_soa();
+    dcmesh_tune::tuned_usize(&format!("stencil.block.norb{norb}"), &candidates, |block| {
+        for (axis, frac) in [
+            (Axis::X, StepFraction::Half),
+            (Axis::Y, StepFraction::Half),
+            (Axis::Z, StepFraction::Full),
+        ] {
+            prop.apply_axis_alg5(&mut soa, axis, frac, block, None);
+        }
+    })
 }
 
 /// Apply the potential phase to an AoS state (baseline path).
@@ -873,6 +940,36 @@ mod tests {
         e.run_md_step();
         e.run_md_step();
         assert_eq!(e.shadow().unwrap().handshakes(), 2);
+    }
+
+    #[test]
+    fn autotuned_block_size_matches_explicit_results() {
+        // block_size = 0 resolves through the tuner (temp cache dir so the
+        // test never touches the checked-in bench_results/) and must give
+        // the same physics as any explicit legal block size.
+        let dir = std::env::temp_dir().join(format!("dcmesh-lfd-tune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dcmesh_tune::set_cache_dir(&dir);
+        let v: Vec<f64> = (0..512).map(|i| (i as f64 * 0.013).sin() * 0.5).collect();
+        // norb = 6 gives the tuner a real choice ({4, 6}); norb = 4 would
+        // short-circuit to the single legal candidate.
+        let mut base = small_cfg(BuildKind::CpuBlas);
+        base.norb = 6;
+        base.lumo = 3;
+        let mut explicit = LfdEngine::<f64>::new(base.clone(), v.clone());
+        explicit.run_md_step();
+        let mut cfg = base;
+        cfg.block_size = 0;
+        let mut tuned = LfdEngine::<f64>::new(cfg.clone(), v.clone());
+        let chosen = tuned.block_size();
+        assert!([4, 6].contains(&chosen), "tuned block {chosen}");
+        tuned.run_md_step();
+        let diff = explicit.state_aos().max_abs_diff(&tuned.state_aos());
+        assert!(diff < 1e-12, "tuned block diverged by {diff}");
+        // Second engine: warm start must reuse the persisted winner.
+        let again = LfdEngine::<f64>::new(cfg, v);
+        assert_eq!(again.block_size(), chosen, "warm tuner changed its pick");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

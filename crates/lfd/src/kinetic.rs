@@ -27,6 +27,7 @@ use dcmesh_device::{
     teams_distribute_mut, Device, KernelWork, LaunchPolicy, NowaitScope, Precision,
 };
 use dcmesh_grid::{Mesh3, WfAos, WfSoa};
+use dcmesh_math::simd;
 use dcmesh_math::tridiag::exp_2x2_symmetric;
 use dcmesh_math::{Complex, Real};
 use dcmesh_pool::SlicePtr;
@@ -232,31 +233,31 @@ impl<R: Real> KineticPropagator<R> {
                     let b0 = base_of(0);
                     for nb in (0..norb).step_by(block_size) {
                         let hi = (nb + block_size).min(norb);
-                        for z in &mut data[b0 + nb..b0 + hi] {
-                            *z *= pass.lone;
-                        }
+                        simd::scale(&mut data[b0 + nb..b0 + hi], pass.lone);
                     }
                 }
                 let mut i = pass.start;
                 while i + 1 < n_axis {
                     let a = base_of(i);
                     let b = a + stride;
+                    // The partner runs never overlap (stride >= norb), so
+                    // splitting at `b` yields two disjoint views for the
+                    // vectorized pair rotation.
+                    let (head, tail) = data.split_at_mut(b);
                     for nb in (0..norb).step_by(block_size) {
                         let hi = (nb + block_size).min(norb);
-                        for n in nb..hi {
-                            let u = data[a + n];
-                            let v = data[b + n];
-                            data[a + n] = pass.d * u + pass.o * v;
-                            data[b + n] = pass.o * u + pass.d * v;
-                        }
+                        simd::pair_update(
+                            &mut head[a + nb..a + hi],
+                            &mut tail[nb..hi],
+                            pass.d,
+                            pass.o,
+                        );
                     }
                     i += 2;
                 }
                 if i < n_axis {
                     let c = base_of(i);
-                    for z in &mut data[c..c + norb] {
-                        *z *= pass.lone;
-                    }
+                    simd::scale(&mut data[c..c + norb], pass.lone);
                 }
             });
         }
@@ -568,12 +569,12 @@ fn sweep_x_teams<R: Real>(
         for base in (0..slab).step_by(norb) {
             for nb in (0..norb).step_by(block_size) {
                 let end = (nb + block_size).min(norb);
-                for n in nb..end {
-                    let u = lo[base + n];
-                    let v = hi[base + n];
-                    lo[base + n] = pass.d * u + pass.o * v;
-                    hi[base + n] = pass.o * u + pass.d * v;
-                }
+                simd::pair_update(
+                    &mut lo[base + nb..base + end],
+                    &mut hi[base + nb..base + end],
+                    pass.d,
+                    pass.o,
+                );
             }
         }
     });
@@ -618,14 +619,16 @@ fn sweep_yz_teams<R: Real>(
             while i + 1 < n_axis {
                 let a = line0 + i * stride;
                 let b = a + stride;
+                // stride >= norb, so the partner runs are disjoint.
+                let (head, tail) = chunk.split_at_mut(b);
                 for nb in (0..norb).step_by(block_size) {
                     let end = (nb + block_size).min(norb);
-                    for n in nb..end {
-                        let u = chunk[a + n];
-                        let v = chunk[b + n];
-                        chunk[a + n] = pass.d * u + pass.o * v;
-                        chunk[b + n] = pass.o * u + pass.d * v;
-                    }
+                    simd::pair_update(
+                        &mut head[a + nb..a + end],
+                        &mut tail[nb..end],
+                        pass.d,
+                        pass.o,
+                    );
                 }
                 i += 2;
             }
@@ -639,9 +642,7 @@ fn sweep_yz_teams<R: Real>(
 
 #[inline(always)]
 fn apply_lone<R: Real>(zs: &mut [Complex<R>], lone: Complex<R>) {
-    for z in zs {
-        *z *= lone;
-    }
+    simd::scale(zs, lone);
 }
 
 #[cfg(test)]

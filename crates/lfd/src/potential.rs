@@ -13,6 +13,7 @@
 
 use dcmesh_device::{teams_distribute_mut, Device, KernelWork, LaunchPolicy, Precision, StreamId};
 use dcmesh_grid::{Mesh3, WfSoa};
+use dcmesh_math::simd;
 use dcmesh_math::{Complex, Real};
 
 /// Precomputed per-point propagator phases for one local potential snapshot.
@@ -77,10 +78,9 @@ impl<R: Real> PotentialPropagator<R> {
                 let points_per_slab = chunk.len() / norb;
                 let base_point = team * points_per_slab;
                 for (pt, amps) in chunk.chunks_exact_mut(norb).enumerate() {
-                    let ph = phases[base_point + pt];
-                    for a in amps {
-                        *a *= ph;
-                    }
+                    // One phase per point, broadcast over the orbital run —
+                    // the vectorized split-complex scale kernel.
+                    simd::scale(amps, phases[base_point + pt]);
                 }
             });
         };

@@ -19,6 +19,11 @@ pub struct Complex<R> {
     pub im: R,
 }
 
+// SAFETY: `Complex<R>` is `repr(C)` over two `Pod` reals (the `Real`
+// supertrait), so any bit pattern is a valid value and there is no drop
+// glue — exactly the arena `Pod` contract.
+unsafe impl<R: Real> dcmesh_pool::arena::Pod for Complex<R> {}
+
 impl<R: Real> Complex<R> {
     /// Construct from real and imaginary parts.
     #[inline(always)]

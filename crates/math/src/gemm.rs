@@ -7,21 +7,30 @@
 //! * [`gemm_naive`] — reference triple loop (the pre-BLAS "CPU OpenMP
 //!   Parallel" build of Table II uses the loop formulation).
 //! * [`gemm_blocked`] — cache-blocked sequential GEMM (the "BLAS" build).
+//!   Always scalar: this is the bit-stable reference the SIMD paths are
+//!   validated against.
 //! * [`gemm`] — blocked + parallel over column panels on the persistent
 //!   `dcmesh-pool` executor (the production path; the device executor
-//!   layers the cuBLAS roofline model on top).
+//!   layers the cuBLAS roofline model on top). Dispatches large `f64`
+//!   problems to the split-complex AVX2 packed kernel in [`crate::simd`]
+//!   when the active backend allows; [`gemm_with_backend`] pins the
+//!   backend explicitly (tests, benches).
 //!
 //! Matrices are column-major like BLAS, so a wavefunction matrix `Psi` with
 //! `Ngrid` rows (grid points) and `Norb` columns (orbitals) stores each
 //! orbital contiguously.
 //!
-//! Parallel dispatch is zero-allocation (no chunk lists, no spawned
-//! threads), and the arithmetic per output column is identical to the
-//! serial [`gemm_blocked`] ordering — the parallel paths are bitwise equal
-//! to their serial counterparts, which the tests assert.
+//! Parallel dispatch is zero-allocation in steady state (no chunk lists,
+//! no spawned threads, and packing scratch comes from the per-thread
+//! aligned arena), and with the scalar backend the arithmetic per output
+//! column is identical to the serial [`gemm_blocked`] ordering — the
+//! scalar parallel paths are bitwise equal to their serial counterparts,
+//! which the tests assert.
 
 use crate::complex::Complex;
 use crate::real::Real;
+use crate::simd::{self, Backend};
+use dcmesh_pool::arena::with_scratch;
 use dcmesh_pool::global as pool;
 
 /// Transpose operation applied to a GEMM operand, mirroring BLAS `op(A)`.
@@ -230,7 +239,8 @@ pub fn gemm_naive<R: Real>(
 /// sized so an MC x KC A-panel plus a KC x NC B-panel stay L2-resident.
 const BLOCK: usize = 64;
 
-/// Pack `op(A)` block rows [i0,i1) x cols [p0,p1) into a row-major scratch.
+/// Pack `op(A)` block rows [i0,i1) x cols [p0,p1) into a row-major scratch
+/// (arena-backed; only the leading `(i1-i0)*(p1-p0)` entries are written).
 fn pack_a<R: Real>(
     a: &Matrix<R>,
     op_a: Op,
@@ -238,12 +248,13 @@ fn pack_a<R: Real>(
     i1: usize,
     p0: usize,
     p1: usize,
-    buf: &mut Vec<Complex<R>>,
+    buf: &mut [Complex<R>],
 ) {
-    buf.clear();
+    let mut w = 0;
     for i in i0..i1 {
         for p in p0..p1 {
-            buf.push(a.op_at(op_a, i, p));
+            buf[w] = a.op_at(op_a, i, p);
+            w += 1;
         }
     }
 }
@@ -269,79 +280,40 @@ pub fn gemm_blocked<R: Real>(
             *z *= beta;
         }
     }
-    let mut apack: Vec<Complex<R>> = Vec::with_capacity(BLOCK * BLOCK);
-    let mut bcol: Vec<Complex<R>> = vec![Complex::zero(); BLOCK];
-    for p0 in (0..k).step_by(BLOCK) {
-        let p1 = (p0 + BLOCK).min(k);
-        for i0 in (0..m).step_by(BLOCK) {
-            let i1 = (i0 + BLOCK).min(m);
-            pack_a(a, op_a, i0, i1, p0, p1, &mut apack);
-            let kw = p1 - p0;
-            for j in 0..n {
-                // Gather op(B) column segment once per (p-block, j).
-                for (idx, p) in (p0..p1).enumerate() {
-                    bcol[idx] = b.op_at(op_b, p, j);
-                }
-                let cc = &mut c.data_mut()[j * m..(j + 1) * m];
-                for (row, i) in (i0..i1).enumerate() {
-                    let ar = &apack[row * kw..(row + 1) * kw];
-                    let mut acc = Complex::zero();
-                    for (av, bv) in ar.iter().zip(&bcol[..kw]) {
-                        acc += *av * *bv;
+    // Packing scratch lives in the per-thread aligned arena: no per-call
+    // (let alone per-panel) heap traffic.
+    with_scratch::<Complex<R>, 2, ()>([BLOCK * BLOCK, BLOCK], |[apack, bcol]| {
+        for p0 in (0..k).step_by(BLOCK) {
+            let p1 = (p0 + BLOCK).min(k);
+            for i0 in (0..m).step_by(BLOCK) {
+                let i1 = (i0 + BLOCK).min(m);
+                pack_a(a, op_a, i0, i1, p0, p1, apack);
+                let kw = p1 - p0;
+                for j in 0..n {
+                    // Gather op(B) column segment once per (p-block, j).
+                    for (idx, p) in (p0..p1).enumerate() {
+                        bcol[idx] = b.op_at(op_b, p, j);
                     }
-                    cc[i] += alpha * acc;
+                    let cc = &mut c.data_mut()[j * m..(j + 1) * m];
+                    for (row, i) in (i0..i1).enumerate() {
+                        let ar = &apack[row * kw..(row + 1) * kw];
+                        let mut acc = Complex::zero();
+                        for (av, bv) in ar.iter().zip(&bcol[..kw]) {
+                            acc += *av * *bv;
+                        }
+                        cc[i] += alpha * acc;
+                    }
                 }
             }
         }
-    }
-}
-
-/// Unrolled conjugated dot product of two contiguous columns — the optimal
-/// kernel for `A^H B` with both operands stored column-major (the overlap
-/// GEMM `Psi0^H Psi(t)` of the nonlocal correction).
-#[inline]
-fn dotc_unrolled<R: Real>(a: &[Complex<R>], b: &[Complex<R>]) -> Complex<R> {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc0 = Complex::zero();
-    let mut acc1 = Complex::zero();
-    let mut acc2 = Complex::zero();
-    let mut acc3 = Complex::zero();
-    let mut chunks_a = a.chunks_exact(4);
-    let mut chunks_b = b.chunks_exact(4);
-    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
-        acc0 += ca[0].conj() * cb[0];
-        acc1 += ca[1].conj() * cb[1];
-        acc2 += ca[2].conj() * cb[2];
-        acc3 += ca[3].conj() * cb[3];
-    }
-    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
-        acc0 += x.conj() * *y;
-    }
-    acc0 + acc1 + acc2 + acc3
-}
-
-/// `y += alpha * x` over contiguous columns — the optimal kernel for the
-/// thin-k rank-update GEMM `Psi(t) += c Psi0_u O`.
-#[inline]
-fn axpy_unrolled<R: Real>(alpha: Complex<R>, x: &[Complex<R>], y: &mut [Complex<R>]) {
-    debug_assert_eq!(x.len(), y.len());
-    let mut xc = x.chunks_exact(4);
-    let mut yc = y.chunks_exact_mut(4);
-    for (cx, cy) in (&mut xc).zip(&mut yc) {
-        cy[0] += alpha * cx[0];
-        cy[1] += alpha * cx[1];
-        cy[2] += alpha * cx[2];
-        cy[3] += alpha * cx[3];
-    }
-    for (xi, yi) in xc.remainder().iter().zip(yc.into_remainder()) {
-        *yi += alpha * *xi;
-    }
+    });
 }
 
 /// `A^H B` fast path on raw column-major slices: every entry of C is a
-/// conjugated dot of two contiguous columns.
+/// conjugated dot of two contiguous columns (SIMD-dispatched `dotc`).
 #[allow(clippy::too_many_arguments)]
 fn gemm_adjoint_fast<R: Real>(
+    backend: Backend,
     alpha: Complex<R>,
     a: &[Complex<R>],
     ar: usize,
@@ -357,15 +329,16 @@ fn gemm_adjoint_fast<R: Real>(
         let bcol = &b[j * k..(j + 1) * k];
         for (i, cv) in ccol.iter_mut().enumerate() {
             let acol = &a[i * k..(i + 1) * k];
-            *cv = alpha * dotc_unrolled(acol, bcol) + beta * *cv;
+            *cv = alpha * simd::dotc_with(backend, acol, bcol) + beta * *cv;
         }
     });
 }
 
 /// `C += alpha A B` fast path for small inner dimension: column j of C
-/// accumulates k contiguous axpys.
+/// accumulates k contiguous axpys (SIMD-dispatched `axpy`).
 #[allow(clippy::too_many_arguments)]
 fn gemm_thin_k_fast<R: Real>(
+    backend: Backend,
     alpha: Complex<R>,
     a: &[Complex<R>],
     m: usize,
@@ -383,20 +356,37 @@ fn gemm_thin_k_fast<R: Real>(
         }
         for p in 0..k {
             let coeff = alpha * b[j * k + p];
-            axpy_unrolled(coeff, &a[p * m..(p + 1) * m], ccol);
+            simd::axpy_with(backend, coeff, &a[p * m..(p + 1) * m], ccol);
         }
     });
 }
 
 /// Production GEMM: blocked kernel parallelized over column panels on the
-/// persistent pool.
+/// persistent pool, dispatching on [`simd::active_backend`].
 ///
 /// Column panels of `C` are independent, so each claim-loop task owns a
 /// disjoint slice of the output — data-race freedom by construction, per
 /// the hpc-parallel guides. Two BLAS-2-flavored fast paths cover the shapes the
 /// nonlocal correction produces (`A^H B` with contiguous columns, and
-/// `C += A B` with a thin inner dimension).
+/// `C += A B` with a thin inner dimension); large general shapes go to the
+/// split-complex packed AVX2 kernel when the backend allows.
 pub fn gemm<R: Real>(
+    alpha: Complex<R>,
+    a: &Matrix<R>,
+    op_a: Op,
+    b: &Matrix<R>,
+    op_b: Op,
+    beta: Complex<R>,
+    c: &mut Matrix<R>,
+) {
+    gemm_with_backend(simd::active_backend(), alpha, a, op_a, b, op_b, beta, c);
+}
+
+/// [`gemm`] with the SIMD backend pinned per call (no global state), used
+/// by the equivalence tests, the benches, and `DCMESH_SIMD` plumbing.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_backend<R: Real>(
+    backend: Backend,
     alpha: Complex<R>,
     a: &Matrix<R>,
     op_a: Op,
@@ -408,6 +398,7 @@ pub fn gemm<R: Real>(
     let (m, n, k) = gemm_dims(a, op_a, b, op_b, c);
     if op_a == Op::ConjTrans && op_b == Op::None {
         return gemm_adjoint_fast(
+            backend,
             alpha,
             a.data(),
             a.rows(),
@@ -419,11 +410,38 @@ pub fn gemm<R: Real>(
         );
     }
     if op_a == Op::None && op_b == Op::None && k <= 64 && k < m {
-        return gemm_thin_k_fast(alpha, a.data(), m, b.data(), k, beta, c.data_mut(), n);
+        return gemm_thin_k_fast(
+            backend,
+            alpha,
+            a.data(),
+            m,
+            b.data(),
+            k,
+            beta,
+            c.data_mut(),
+            n,
+        );
     }
     if m * n * k < 32 * 32 * 32 {
         // Small problems: parallel dispatch overhead dominates.
         return gemm_blocked(alpha, a, op_a, b, op_b, beta, c);
+    }
+    let (adims, bdims) = ((a.rows(), a.cols()), (b.rows(), b.cols()));
+    if simd::try_gemm_packed(
+        backend,
+        alpha,
+        a.data(),
+        adims,
+        op_a,
+        b.data(),
+        bdims,
+        op_b,
+        beta,
+        c.data_mut(),
+        (m, n),
+        k,
+    ) {
+        return;
     }
     let rows = m;
     pool().for_each_chunks_of_mut(c.data_mut(), rows * BLOCK.max(1), |panel, cpanel| {
@@ -434,31 +452,31 @@ pub fn gemm<R: Real>(
                 *z *= beta;
             }
         }
-        let mut apack: Vec<Complex<R>> = Vec::with_capacity(BLOCK * BLOCK);
-        let mut bcol: Vec<Complex<R>> = vec![Complex::zero(); BLOCK];
-        for p0 in (0..k).step_by(BLOCK) {
-            let p1 = (p0 + BLOCK).min(k);
-            let kw = p1 - p0;
-            for i0 in (0..m).step_by(BLOCK) {
-                let i1 = (i0 + BLOCK).min(m);
-                pack_a(a, op_a, i0, i1, p0, p1, &mut apack);
-                for jj in 0..ncols {
-                    let j = j0 + jj;
-                    for (idx, p) in (p0..p1).enumerate() {
-                        bcol[idx] = b.op_at(op_b, p, j);
-                    }
-                    let cc = &mut cpanel[jj * rows..(jj + 1) * rows];
-                    for (row, i) in (i0..i1).enumerate() {
-                        let ar = &apack[row * kw..(row + 1) * kw];
-                        let mut acc = Complex::zero();
-                        for (av, bv) in ar.iter().zip(&bcol[..kw]) {
-                            acc += *av * *bv;
+        with_scratch::<Complex<R>, 2, ()>([BLOCK * BLOCK, BLOCK], |[apack, bcol]| {
+            for p0 in (0..k).step_by(BLOCK) {
+                let p1 = (p0 + BLOCK).min(k);
+                let kw = p1 - p0;
+                for i0 in (0..m).step_by(BLOCK) {
+                    let i1 = (i0 + BLOCK).min(m);
+                    pack_a(a, op_a, i0, i1, p0, p1, apack);
+                    for jj in 0..ncols {
+                        let j = j0 + jj;
+                        for (idx, p) in (p0..p1).enumerate() {
+                            bcol[idx] = b.op_at(op_b, p, j);
                         }
-                        cc[i] += alpha * acc;
+                        let cc = &mut cpanel[jj * rows..(jj + 1) * rows];
+                        for (row, i) in (i0..i1).enumerate() {
+                            let ar = &apack[row * kw..(row + 1) * kw];
+                            let mut acc = Complex::zero();
+                            for (av, bv) in ar.iter().zip(&bcol[..kw]) {
+                                acc += *av * *bv;
+                            }
+                            cc[i] += alpha * acc;
+                        }
                     }
                 }
             }
-        }
+        });
     });
 }
 
@@ -471,6 +489,36 @@ pub fn gemm<R: Real>(
 /// BLASified nonlocal correction never copies the state.
 #[allow(clippy::too_many_arguments)]
 pub fn gemm_colmajor<R: Real>(
+    alpha: Complex<R>,
+    a: &[Complex<R>],
+    adims: (usize, usize),
+    op_a: Op,
+    b: &[Complex<R>],
+    bdims: (usize, usize),
+    op_b: Op,
+    beta: Complex<R>,
+    c: &mut [Complex<R>],
+    cdims: (usize, usize),
+) {
+    gemm_colmajor_with_backend(
+        simd::active_backend(),
+        alpha,
+        a,
+        adims,
+        op_a,
+        b,
+        bdims,
+        op_b,
+        beta,
+        c,
+        cdims,
+    );
+}
+
+/// [`gemm_colmajor`] with the SIMD backend pinned per call.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_colmajor_with_backend<R: Real>(
+    backend: Backend,
     alpha: Complex<R>,
     a: &[Complex<R>],
     (ar, ac): (usize, usize),
@@ -525,7 +573,7 @@ pub fn gemm_colmajor<R: Real>(
                 let acol = &a[p * ar..p * ar + m];
                 let bcol = &b[p * br..p * br + n];
                 for (j, bv) in bcol.iter().enumerate() {
-                    axpy_unrolled(bv.conj(), acol, &mut part[j * m..(j + 1) * m]);
+                    simd::axpy_with(backend, bv.conj(), acol, &mut part[j * m..(j + 1) * m]);
                 }
             }
             part
@@ -550,9 +598,28 @@ pub fn gemm_colmajor<R: Real>(
             }
             for p in 0..k {
                 let coeff = alpha * b[j * br + p];
-                axpy_unrolled(coeff, &a[p * ar..p * ar + m], ccol);
+                simd::axpy_with(backend, coeff, &a[p * ar..p * ar + m], ccol);
             }
         });
+        return;
+    }
+    // Large general shapes: split-complex packed AVX2 kernel when allowed.
+    if m * n * k >= 32 * 32 * 32
+        && simd::try_gemm_packed(
+            backend,
+            alpha,
+            a,
+            (ar, ac),
+            op_a,
+            b,
+            (br, bc),
+            op_b,
+            beta,
+            c,
+            (m, n),
+            k,
+        )
+    {
         return;
     }
     // Parallelize over column panels of C (disjoint output).
@@ -564,36 +631,37 @@ pub fn gemm_colmajor<R: Real>(
                 *z *= beta;
             }
         }
-        let mut apack: Vec<Complex<R>> = Vec::with_capacity(BLOCK * BLOCK);
-        let mut bcol: Vec<Complex<R>> = vec![Complex::zero(); BLOCK];
-        for p0 in (0..k).step_by(BLOCK) {
-            let p1 = (p0 + BLOCK).min(k);
-            let kw = p1 - p0;
-            for i0 in (0..m).step_by(BLOCK) {
-                let i1 = (i0 + BLOCK).min(m);
-                apack.clear();
-                for i in i0..i1 {
-                    for p in p0..p1 {
-                        apack.push(a_at(i, p));
-                    }
-                }
-                for jj in 0..ncols {
-                    let j = j0 + jj;
-                    for (idx, p) in (p0..p1).enumerate() {
-                        bcol[idx] = b_at(p, j);
-                    }
-                    let ccol = &mut cpanel[jj * m..(jj + 1) * m];
-                    for (row, i) in (i0..i1).enumerate() {
-                        let arow = &apack[row * kw..(row + 1) * kw];
-                        let mut acc = Complex::zero();
-                        for (av, bv) in arow.iter().zip(&bcol[..kw]) {
-                            acc += *av * *bv;
+        with_scratch::<Complex<R>, 2, ()>([BLOCK * BLOCK, BLOCK], |[apack, bcol]| {
+            for p0 in (0..k).step_by(BLOCK) {
+                let p1 = (p0 + BLOCK).min(k);
+                let kw = p1 - p0;
+                for i0 in (0..m).step_by(BLOCK) {
+                    let i1 = (i0 + BLOCK).min(m);
+                    let mut w = 0;
+                    for i in i0..i1 {
+                        for p in p0..p1 {
+                            apack[w] = a_at(i, p);
+                            w += 1;
                         }
-                        ccol[i] += alpha * acc;
+                    }
+                    for jj in 0..ncols {
+                        let j = j0 + jj;
+                        for (idx, p) in (p0..p1).enumerate() {
+                            bcol[idx] = b_at(p, j);
+                        }
+                        let ccol = &mut cpanel[jj * m..(jj + 1) * m];
+                        for (row, i) in (i0..i1).enumerate() {
+                            let arow = &apack[row * kw..(row + 1) * kw];
+                            let mut acc = Complex::zero();
+                            for (av, bv) in arow.iter().zip(&bcol[..kw]) {
+                                acc += *av * *bv;
+                            }
+                            ccol[i] += alpha * acc;
+                        }
                     }
                 }
             }
-        }
+        });
     });
 }
 
@@ -698,10 +766,12 @@ mod tests {
 
     #[test]
     fn pool_parallel_gemm_is_bitwise_equal_to_serial() {
-        // The pool-parallel panel path performs the exact arithmetic
-        // sequence of the serial blocked kernel per output column, so the
-        // results must agree to the last bit regardless of pool size or
-        // chunk-claim order.
+        // With the scalar backend pinned, the pool-parallel panel path
+        // performs the exact arithmetic sequence of the serial blocked
+        // kernel per output column, so the results must agree to the last
+        // bit regardless of pool size or chunk-claim order. (The AVX2
+        // packed path reorders the contraction; it is validated against
+        // the scalar reference by tolerance elsewhere.)
         let mut rng = StdRng::seed_from_u64(7);
         let (m, n, k) = (150, 130, 90);
         let a = random_matrix(&mut rng, m, k);
@@ -711,8 +781,33 @@ mod tests {
         let alpha = C64::new(0.7, -0.3);
         let beta = C64::new(-0.2, 0.4);
         gemm_blocked(alpha, &a, Op::None, &b, Op::None, beta, &mut serial);
-        gemm(alpha, &a, Op::None, &b, Op::None, beta, &mut parallel);
+        gemm_with_backend(
+            Backend::Scalar,
+            alpha,
+            &a,
+            Op::None,
+            &b,
+            Op::None,
+            beta,
+            &mut parallel,
+        );
         assert_eq!(serial.data(), parallel.data());
+        // The AVX2 packed path (when this CPU has it) must match the same
+        // serial reference within an accumulation-order tolerance.
+        let mut vectored = random_matrix(&mut rng, m, n);
+        let mut vec_ref = vectored.clone();
+        gemm_blocked(alpha, &a, Op::None, &b, Op::None, beta, &mut vec_ref);
+        gemm_with_backend(
+            Backend::Avx2,
+            alpha,
+            &a,
+            Op::None,
+            &b,
+            Op::None,
+            beta,
+            &mut vectored,
+        );
+        assert!(vec_ref.max_abs_diff(&vectored) < 1e-11 * (k as f64).sqrt());
         // Same property for the adjoint fast path vs its serial column loop.
         let q = random_matrix(&mut rng, k, m);
         let mut c_fast = random_matrix(&mut rng, m, n);

@@ -17,6 +17,9 @@
 //!   at the heart of the space-splitting kinetic propagator (ref. [28]).
 //! * [`linalg`] — vector kernels, Gram–Schmidt, and a complex Hermitian
 //!   Jacobi eigensolver for Rayleigh–Ritz subspace diagonalization.
+//! * [`simd`] — split-complex (SoA) AVX2+FMA microkernels with runtime
+//!   dispatch (`DCMESH_SIMD`) and the autotuned tile registry consulted by
+//!   the packed GEMM path.
 //! * [`phys`] — Hartree atomic-unit constants and conversions.
 
 pub mod complex;
@@ -26,6 +29,7 @@ pub mod linalg;
 pub mod multigrid;
 pub mod phys;
 pub mod real;
+pub mod simd;
 pub mod tridiag;
 
 pub use complex::Complex;

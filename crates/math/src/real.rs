@@ -9,6 +9,10 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A real scalar type usable in all dcmesh numerics (`f32` or `f64`).
+///
+/// The [`dcmesh_pool::arena::Pod`] supertrait lets every kernel borrow
+/// cache-aligned scratch from the per-thread arena for `R` and
+/// `Complex<R>` panels without further bounds.
 pub trait Real:
     Copy
     + Clone
@@ -31,6 +35,7 @@ pub trait Real:
     + MulAssign
     + DivAssign
     + Sum
+    + dcmesh_pool::arena::Pod
 {
     /// Additive identity.
     const ZERO: Self;

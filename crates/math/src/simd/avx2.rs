@@ -1,0 +1,296 @@
+//! AVX2+FMA kernels for `Complex<f64>` data.
+//!
+//! Two data-layout strategies, both "split complex" in spirit:
+//!
+//! * The GEMM microkernel ([`mk4x4`]) consumes panels that were *packed*
+//!   into separate re/im arrays (SoA), so every vector load is four useful
+//!   reals and the complex product needs no in-register shuffles at all —
+//!   16 FMAs per contraction step for a 4×4 output tile.
+//! * The pointwise kernels load interleaved `Complex<f64>` pairs and
+//!   deinterleave in-register with `unpacklo/unpackhi`. Those produce the
+//!   fixed lane permutation `[z0 z2 z1 z3]`; elementwise arithmetic
+//!   commutes with any lane permutation, and the same unpack pair applied
+//!   to (re, im) vectors restores the original interleaved order on store,
+//!   so results land exactly where the scalar loop would put them.
+//!
+//! Every function here is `unsafe fn` + `#[target_feature]`: the caller
+//! (dispatch in `simd::mod`) is responsible for having verified AVX2+FMA
+//! via `is_x86_feature_detected!`. Loads/stores are `_mm256_loadu_pd`/
+//! `storeu` — operands come from caller-owned slices with no alignment
+//! guarantee (arena panels are 64-byte aligned at the start but microkernel
+//! offsets within them are only 8-byte granular).
+
+use core::arch::x86_64::{
+    __m256d, _mm256_fmadd_pd, _mm256_fnmadd_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd,
+    _mm256_setzero_pd, _mm256_storeu_pd, _mm256_unpackhi_pd, _mm256_unpacklo_pd,
+};
+
+use crate::complex::Complex;
+use crate::simd::{MR, NR};
+
+type C64 = Complex<f64>;
+
+/// Deinterleave four `Complex<f64>` held in two ymm registers into
+/// (re, im) vectors with lane order `[z0 z2 z1 z3]`.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: pure register permutation; inherits the module-wide
+// target-feature caller contract (see `# Safety` on the public kernels).
+fn deinterleave(lo: __m256d, hi: __m256d) -> (__m256d, __m256d) {
+    (_mm256_unpacklo_pd(lo, hi), _mm256_unpackhi_pd(lo, hi))
+}
+
+/// Re-interleave (re, im) vectors in `[z0 z2 z1 z3]` lane order back into
+/// the two original interleaved ymm registers.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: pure register permutation; see `deinterleave`.
+fn interleave(re: __m256d, im: __m256d) -> (__m256d, __m256d) {
+    (_mm256_unpacklo_pd(re, im), _mm256_unpackhi_pd(re, im))
+}
+
+/// 4×4 split-complex GEMM microkernel:
+/// `T[i][j] = sum_p a[p][i] * b[p][j]` over `kw` contraction steps, with
+/// `a`/`b` supplied as separate re/im MR- / NR-packed panels and the tile
+/// written to column-major `out_re`/`out_im` (`out[j*MR + i]`).
+///
+/// # Safety
+///
+/// Caller must have verified AVX2 and FMA support on this CPU. Slice
+/// lengths must be at least `kw * MR` (a panels) and `kw * NR` (b panels).
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn mk4x4(
+    kw: usize,
+    a_re: &[f64],
+    a_im: &[f64],
+    b_re: &[f64],
+    b_im: &[f64],
+    out_re: &mut [f64],
+    out_im: &mut [f64],
+) {
+    debug_assert!(a_re.len() >= kw * MR && a_im.len() >= kw * MR);
+    debug_assert!(b_re.len() >= kw * NR && b_im.len() >= kw * NR);
+    assert!(out_re.len() >= MR * NR && out_im.len() >= MR * NR);
+    let mut cre = [_mm256_setzero_pd(); NR];
+    let mut cim = [_mm256_setzero_pd(); NR];
+    for p in 0..kw {
+        // SAFETY: p < kw so p*MR + MR <= kw*MR <= slice length.
+        let ar = unsafe { _mm256_loadu_pd(a_re.as_ptr().add(p * MR)) };
+        // SAFETY: as above.
+        let ai = unsafe { _mm256_loadu_pd(a_im.as_ptr().add(p * MR)) };
+        for j in 0..NR {
+            // SAFETY: p < kw, j < NR so p*NR + j < kw*NR <= slice length.
+            let br = _mm256_set1_pd(unsafe { *b_re.get_unchecked(p * NR + j) });
+            // SAFETY: as above.
+            let bi = _mm256_set1_pd(unsafe { *b_im.get_unchecked(p * NR + j) });
+            // (ar + i*ai)(br + i*bi): re = ar*br - ai*bi, im = ar*bi + ai*br.
+            cre[j] = _mm256_fnmadd_pd(ai, bi, _mm256_fmadd_pd(ar, br, cre[j]));
+            cim[j] = _mm256_fmadd_pd(ai, br, _mm256_fmadd_pd(ar, bi, cim[j]));
+        }
+    }
+    for j in 0..NR {
+        // SAFETY: out slices hold >= MR*NR f64 (asserted); j*MR + MR <= MR*NR.
+        unsafe {
+            _mm256_storeu_pd(out_re.as_mut_ptr().add(j * MR), cre[j]);
+            _mm256_storeu_pd(out_im.as_mut_ptr().add(j * MR), cim[j]);
+        }
+    }
+}
+
+/// Conjugated dot product `sum conj(a[i]) * b[i]` over interleaved
+/// complex slices.
+///
+/// # Safety
+///
+/// Caller must have verified AVX2 and FMA support on this CPU.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn dotc(a: &[C64], b: &[C64]) -> C64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let pa = a.as_ptr() as *const f64;
+    let pb = b.as_ptr() as *const f64;
+    let mut accr = _mm256_setzero_pd();
+    let mut acci = _mm256_setzero_pd();
+    let vec_n = n - n % 4;
+    let mut i = 0;
+    while i < vec_n {
+        // SAFETY: i + 4 <= n complex values = 2*i + 8 <= 2n f64 reads.
+        let (alo, ahi) = unsafe {
+            (
+                _mm256_loadu_pd(pa.add(2 * i)),
+                _mm256_loadu_pd(pa.add(2 * i + 4)),
+            )
+        };
+        // SAFETY: as above for b.
+        let (blo, bhi) = unsafe {
+            (
+                _mm256_loadu_pd(pb.add(2 * i)),
+                _mm256_loadu_pd(pb.add(2 * i + 4)),
+            )
+        };
+        let (ar, ai) = deinterleave(alo, ahi);
+        let (br, bi) = deinterleave(blo, bhi);
+        // conj(a)*b: re += ar*br + ai*bi, im += ar*bi - ai*br.
+        accr = _mm256_fmadd_pd(ai, bi, _mm256_fmadd_pd(ar, br, accr));
+        acci = _mm256_fnmadd_pd(ai, br, _mm256_fmadd_pd(ar, bi, acci));
+        i += 4;
+    }
+    let mut re = hsum(accr);
+    let mut im = hsum(acci);
+    for (x, y) in a[vec_n..].iter().zip(&b[vec_n..]) {
+        let z = x.conj() * *y;
+        re += z.re;
+        im += z.im;
+    }
+    Complex::new(re, im)
+}
+
+/// Horizontal sum of a ymm vector's four lanes.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: pure register arithmetic; see `deinterleave`.
+fn hsum(v: __m256d) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    // SAFETY: `lanes` is exactly 4 f64s.
+    unsafe { _mm256_storeu_pd(lanes.as_mut_ptr(), v) };
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
+
+/// `y += alpha * x` over interleaved complex slices.
+///
+/// # Safety
+///
+/// Caller must have verified AVX2 and FMA support on this CPU.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn axpy(alpha: C64, x: &[C64], y: &mut [C64]) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let px = x.as_ptr() as *const f64;
+    let py = y.as_mut_ptr() as *mut f64;
+    let alr = _mm256_set1_pd(alpha.re);
+    let ali = _mm256_set1_pd(alpha.im);
+    let vec_n = n - n % 4;
+    let mut i = 0;
+    while i < vec_n {
+        // SAFETY: i + 4 <= n complex values; all reads/writes in bounds.
+        unsafe {
+            let (xlo, xhi) = (
+                _mm256_loadu_pd(px.add(2 * i)),
+                _mm256_loadu_pd(px.add(2 * i + 4)),
+            );
+            let (ylo, yhi) = (
+                _mm256_loadu_pd(py.add(2 * i)),
+                _mm256_loadu_pd(py.add(2 * i + 4)),
+            );
+            let (xr, xi) = deinterleave(xlo, xhi);
+            let (yr, yi) = deinterleave(ylo, yhi);
+            // y += alpha*x: re += alr*xr - ali*xi, im += alr*xi + ali*xr.
+            let nr = _mm256_fnmadd_pd(ali, xi, _mm256_fmadd_pd(alr, xr, yr));
+            let ni = _mm256_fmadd_pd(ali, xr, _mm256_fmadd_pd(alr, xi, yi));
+            let (olo, ohi) = interleave(nr, ni);
+            _mm256_storeu_pd(py.add(2 * i), olo);
+            _mm256_storeu_pd(py.add(2 * i + 4), ohi);
+        }
+        i += 4;
+    }
+    for (xi, yi) in x[vec_n..].iter().zip(&mut y[vec_n..]) {
+        *yi += alpha * *xi;
+    }
+}
+
+/// `z *= ph` over an interleaved complex slice.
+///
+/// # Safety
+///
+/// Caller must have verified AVX2 and FMA support on this CPU.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn scale(zs: &mut [C64], ph: C64) {
+    let n = zs.len();
+    let pz = zs.as_mut_ptr() as *mut f64;
+    let pr = _mm256_set1_pd(ph.re);
+    let pi = _mm256_set1_pd(ph.im);
+    let vec_n = n - n % 4;
+    let mut i = 0;
+    while i < vec_n {
+        // SAFETY: i + 4 <= n complex values; all reads/writes in bounds.
+        unsafe {
+            let (zlo, zhi) = (
+                _mm256_loadu_pd(pz.add(2 * i)),
+                _mm256_loadu_pd(pz.add(2 * i + 4)),
+            );
+            let (zr, zi) = deinterleave(zlo, zhi);
+            // z*ph: re = zr*pr - zi*pi, im = zr*pi + zi*pr.
+            let nr = _mm256_fnmadd_pd(zi, pi, _mm256_mul_pd(zr, pr));
+            let ni = _mm256_fmadd_pd(zi, pr, _mm256_mul_pd(zr, pi));
+            let (olo, ohi) = interleave(nr, ni);
+            _mm256_storeu_pd(pz.add(2 * i), olo);
+            _mm256_storeu_pd(pz.add(2 * i + 4), ohi);
+        }
+        i += 4;
+    }
+    for z in &mut zs[vec_n..] {
+        *z *= ph;
+    }
+}
+
+/// Kinetic stencil pair rotation over two interleaved complex slices:
+/// `a' = d*a + o*b`, `b' = o*a + d*b` elementwise.
+///
+/// # Safety
+///
+/// Caller must have verified AVX2 and FMA support on this CPU.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn pair_update(a: &mut [C64], b: &mut [C64], d: C64, o: C64) {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let pa = a.as_mut_ptr() as *mut f64;
+    let pb = b.as_mut_ptr() as *mut f64;
+    let dr = _mm256_set1_pd(d.re);
+    let di = _mm256_set1_pd(d.im);
+    let or_ = _mm256_set1_pd(o.re);
+    let oi = _mm256_set1_pd(o.im);
+    let vec_n = n - n % 4;
+    let mut i = 0;
+    while i < vec_n {
+        // SAFETY: i + 4 <= n complex values; `a` and `b` are distinct
+        // (disjoint) slices, so the in-place read/modify/write of each is
+        // race-free; all offsets in bounds.
+        unsafe {
+            let (alo, ahi) = (
+                _mm256_loadu_pd(pa.add(2 * i)),
+                _mm256_loadu_pd(pa.add(2 * i + 4)),
+            );
+            let (blo, bhi) = (
+                _mm256_loadu_pd(pb.add(2 * i)),
+                _mm256_loadu_pd(pb.add(2 * i + 4)),
+            );
+            let (ur, ui) = deinterleave(alo, ahi);
+            let (vr, vi) = deinterleave(blo, bhi);
+            // a' = d*u + o*v:
+            //   re = dr*ur - di*ui + or*vr - oi*vi
+            //   im = dr*ui + di*ur + or*vi + oi*vr
+            let mut nar = _mm256_fnmadd_pd(di, ui, _mm256_mul_pd(dr, ur));
+            nar = _mm256_fnmadd_pd(oi, vi, _mm256_fmadd_pd(or_, vr, nar));
+            let mut nai = _mm256_fmadd_pd(di, ur, _mm256_mul_pd(dr, ui));
+            nai = _mm256_fmadd_pd(oi, vr, _mm256_fmadd_pd(or_, vi, nai));
+            // b' = o*u + d*v (same structure with d/o swapped).
+            let mut nbr = _mm256_fnmadd_pd(oi, ui, _mm256_mul_pd(or_, ur));
+            nbr = _mm256_fnmadd_pd(di, vi, _mm256_fmadd_pd(dr, vr, nbr));
+            let mut nbi = _mm256_fmadd_pd(oi, ur, _mm256_mul_pd(or_, ui));
+            nbi = _mm256_fmadd_pd(di, vr, _mm256_fmadd_pd(dr, vi, nbi));
+            let (aolo, aohi) = interleave(nar, nai);
+            let (bolo, bohi) = interleave(nbr, nbi);
+            _mm256_storeu_pd(pa.add(2 * i), aolo);
+            _mm256_storeu_pd(pa.add(2 * i + 4), aohi);
+            _mm256_storeu_pd(pb.add(2 * i), bolo);
+            _mm256_storeu_pd(pb.add(2 * i + 4), bohi);
+        }
+        i += 4;
+    }
+    for (x, y) in a[vec_n..].iter_mut().zip(&mut b[vec_n..]) {
+        let u = *x;
+        let v = *y;
+        *x = d * u + o * v;
+        *y = o * u + d * v;
+    }
+}

@@ -1,0 +1,709 @@
+//! Split-complex SIMD microkernels with runtime backend dispatch.
+//!
+//! The paper's SoA-layout contribution (§III-A, Alg. 3) observes that
+//! interleaved complex arrays defeat vector units: every vector load drags
+//! in the other component, halving effective bandwidth and blocking FMA
+//! contraction. This module applies the same idea at register level:
+//!
+//! * **Split-complex packed GEMM** ([`gemm_packed_f64`]) — operands are
+//!   repacked into separate re/im panels (SoA), and a 4×4 register-tiled
+//!   AVX2+FMA microkernel contracts them with 16 FMAs per k-step, the
+//!   textbook BLIS structure specialized to complex-as-two-reals.
+//! * **Pointwise kernels** ([`pair_update`], [`scale`], [`axpy`],
+//!   [`dotc`]) — the kinetic stencil 2×2 pair rotation, the phase/
+//!   potential pointwise multiply, and the two BLAS-2 fast-path kernels of
+//!   the nonlocal correction, each deinterleaving `Complex<f64>` lanes
+//!   in-register (`unpacklo`/`unpackhi` — a fixed permutation that
+//!   elementwise arithmetic commutes with).
+//!
+//! # Backend selection
+//!
+//! The active backend resolves once from `DCMESH_SIMD`:
+//!
+//! * `auto` (default) — AVX2+FMA when the CPU has it, else scalar;
+//! * `avx2` — force AVX2 (silently degrades to scalar when unsupported);
+//! * `scalar` — force the portable path. The scalar fallbacks perform the
+//!   *identical* arithmetic sequence as the pre-SIMD code, so
+//!   `DCMESH_SIMD=scalar` reproduces pre-SIMD results bit-for-bit.
+//!
+//! Every kernel also has a `*_with(backend, ..)` variant taking an explicit
+//! [`Backend`], used by the equivalence tests and benches so they never
+//! mutate process-global state. All raw `std::arch` use in the workspace
+//! lives in this directory — enforced by the `analyze` lint.
+//!
+//! # Autotuned tiles
+//!
+//! The packed GEMM reads its (mc, kc, nc) cache tiles from a process-global
+//! registry keyed by shape class. `dcmesh-tune` populates the registry from
+//! its on-disk cache (or a cold search); absent an entry, [`default_tiles`]
+//! heuristics apply.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::complex::Complex;
+use crate::gemm::Op;
+use crate::real::Real;
+use dcmesh_pool::arena::with_scratch;
+use dcmesh_pool::global as pool;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+
+// ---------------------------------------------------------------------------
+// Backend dispatch
+// ---------------------------------------------------------------------------
+
+/// Instruction-set backend for the complex kernels.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// AVX2 + FMA split-complex kernels (f64 only; other types fall back).
+    Avx2,
+    /// Portable scalar kernels — bitwise identical to the pre-SIMD code.
+    Scalar,
+}
+
+impl Backend {
+    /// Stable label used in tuning-cache fingerprints and telemetry.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Avx2 => "avx2",
+            Backend::Scalar => "scalar",
+        }
+    }
+}
+
+/// Does this CPU support the AVX2+FMA kernels? Cached after first query.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static AVAIL: OnceLock<bool> = OnceLock::new();
+        *AVAIL.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// 0 = no override, 1 = Avx2, 2 = Scalar.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn env_backend() -> Backend {
+    static DEFAULT: OnceLock<Backend> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        let want = std::env::var("DCMESH_SIMD").unwrap_or_default();
+        match want.trim() {
+            "scalar" => Backend::Scalar,
+            // "avx2" and "auto" (or unset) both take AVX2 when available.
+            _ => {
+                if avx2_available() {
+                    Backend::Avx2
+                } else {
+                    Backend::Scalar
+                }
+            }
+        }
+    })
+}
+
+/// The backend the implicit-dispatch kernels use right now:
+/// programmatic override (see [`set_backend`]) else `DCMESH_SIMD`.
+pub fn active_backend() -> Backend {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => Backend::Avx2,
+        2 => Backend::Scalar,
+        _ => env_backend(),
+    }
+}
+
+/// Programmatic backend override (benches / `--simd` flags). An `Avx2`
+/// request on hardware without AVX2+FMA still runs scalar — dispatch
+/// re-checks CPU support.
+pub fn set_backend(b: Backend) {
+    let v = match b {
+        Backend::Avx2 => 1,
+        Backend::Scalar => 2,
+    };
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Drop the [`set_backend`] override, returning to `DCMESH_SIMD` dispatch.
+pub fn clear_backend_override() {
+    OVERRIDE.store(0, Ordering::Relaxed);
+}
+
+#[inline(always)]
+fn is_f64<R: Real>() -> bool {
+    std::any::TypeId::of::<R>() == std::any::TypeId::of::<f64>()
+}
+
+/// Reinterpret a `Complex<R>` slice as `Complex<f64>`.
+///
+/// # Safety
+///
+/// Caller must have proven `R == f64` (e.g. via [`is_f64`]); the layouts
+/// are then identical and the cast is the identity.
+#[inline(always)]
+unsafe fn cast_slice<R: Real>(s: &[Complex<R>]) -> &[Complex<f64>] {
+    // SAFETY: R == f64 per the caller contract, so element layout and
+    // slice length are unchanged.
+    unsafe { &*(s as *const [Complex<R>] as *const [Complex<f64>]) }
+}
+
+/// Mutable variant of [`cast_slice`].
+///
+/// # Safety
+///
+/// Same contract as [`cast_slice`].
+#[inline(always)]
+unsafe fn cast_slice_mut<R: Real>(s: &mut [Complex<R>]) -> &mut [Complex<f64>] {
+    // SAFETY: R == f64 per the caller contract.
+    unsafe { &mut *(s as *mut [Complex<R>] as *mut [Complex<f64>]) }
+}
+
+#[inline(always)]
+fn cast_c<R: Real>(z: Complex<R>) -> Complex<f64> {
+    Complex::new(z.re.to_f64(), z.im.to_f64())
+}
+
+/// Should the AVX2 path run for this call? (backend, element type, CPU.)
+#[inline(always)]
+fn use_avx2<R: Real>(backend: Backend) -> bool {
+    backend == Backend::Avx2 && is_f64::<R>() && avx2_available()
+}
+
+// ---------------------------------------------------------------------------
+// Pointwise / BLAS-2 kernels (scalar reference + dispatch)
+// ---------------------------------------------------------------------------
+
+/// Unrolled conjugated dot product `sum conj(a[i]) * b[i]` — scalar
+/// reference; the exact arithmetic of the pre-SIMD `dotc_unrolled`.
+pub fn dotc_scalar<R: Real>(a: &[Complex<R>], b: &[Complex<R>]) -> Complex<R> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc0 = Complex::zero();
+    let mut acc1 = Complex::zero();
+    let mut acc2 = Complex::zero();
+    let mut acc3 = Complex::zero();
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        acc0 += ca[0].conj() * cb[0];
+        acc1 += ca[1].conj() * cb[1];
+        acc2 += ca[2].conj() * cb[2];
+        acc3 += ca[3].conj() * cb[3];
+    }
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        acc0 += x.conj() * *y;
+    }
+    acc0 + acc1 + acc2 + acc3
+}
+
+/// `y += alpha * x` — scalar reference (the pre-SIMD `axpy_unrolled`).
+pub fn axpy_scalar<R: Real>(alpha: Complex<R>, x: &[Complex<R>], y: &mut [Complex<R>]) {
+    debug_assert_eq!(x.len(), y.len());
+    let mut xc = x.chunks_exact(4);
+    let mut yc = y.chunks_exact_mut(4);
+    for (cx, cy) in (&mut xc).zip(&mut yc) {
+        cy[0] += alpha * cx[0];
+        cy[1] += alpha * cx[1];
+        cy[2] += alpha * cx[2];
+        cy[3] += alpha * cx[3];
+    }
+    for (xi, yi) in xc.remainder().iter().zip(yc.into_remainder()) {
+        *yi += alpha * *xi;
+    }
+}
+
+/// `z *= ph` over a slice — scalar reference (the potential/phase loop).
+pub fn scale_scalar<R: Real>(zs: &mut [Complex<R>], ph: Complex<R>) {
+    for z in zs {
+        *z *= ph;
+    }
+}
+
+/// The kinetic stencil 2×2 pair rotation over two equal-length slices —
+/// scalar reference (the exact arithmetic of the sweep inner loop):
+/// `a' = d*a + o*b`, `b' = o*a + d*b`.
+pub fn pair_update_scalar<R: Real>(
+    a: &mut [Complex<R>],
+    b: &mut [Complex<R>],
+    d: Complex<R>,
+    o: Complex<R>,
+) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+        let u = *x;
+        let v = *y;
+        *x = d * u + o * v;
+        *y = o * u + d * v;
+    }
+}
+
+/// Conjugated dot product on an explicit backend.
+pub fn dotc_with<R: Real>(backend: Backend, a: &[Complex<R>], b: &[Complex<R>]) -> Complex<R> {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2::<R>(backend) {
+        // SAFETY: `use_avx2` proved R == f64.
+        let (a64, b64) = unsafe { (cast_slice(a), cast_slice(b)) };
+        // SAFETY: `use_avx2` verified AVX2+FMA CPU support.
+        let r = unsafe { avx2::dotc(a64, b64) };
+        return Complex::new(R::from_f64(r.re), R::from_f64(r.im));
+    }
+    let _ = backend;
+    dotc_scalar(a, b)
+}
+
+/// Conjugated dot product on the [`active_backend`].
+#[inline]
+pub fn dotc<R: Real>(a: &[Complex<R>], b: &[Complex<R>]) -> Complex<R> {
+    dotc_with(active_backend(), a, b)
+}
+
+/// `y += alpha * x` on an explicit backend.
+pub fn axpy_with<R: Real>(
+    backend: Backend,
+    alpha: Complex<R>,
+    x: &[Complex<R>],
+    y: &mut [Complex<R>],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2::<R>(backend) {
+        // SAFETY: `use_avx2` proved R == f64.
+        let (x64, y64) = unsafe { (cast_slice(x), cast_slice_mut(y)) };
+        // SAFETY: `use_avx2` verified AVX2+FMA CPU support.
+        unsafe { avx2::axpy(cast_c(alpha), x64, y64) };
+        return;
+    }
+    let _ = backend;
+    axpy_scalar(alpha, x, y);
+}
+
+/// `y += alpha * x` on the [`active_backend`].
+#[inline]
+pub fn axpy<R: Real>(alpha: Complex<R>, x: &[Complex<R>], y: &mut [Complex<R>]) {
+    axpy_with(active_backend(), alpha, x, y);
+}
+
+/// `z *= ph` over a slice on an explicit backend.
+pub fn scale_with<R: Real>(backend: Backend, zs: &mut [Complex<R>], ph: Complex<R>) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2::<R>(backend) {
+        // SAFETY: `use_avx2` proved R == f64.
+        let z64 = unsafe { cast_slice_mut(zs) };
+        // SAFETY: `use_avx2` verified AVX2+FMA CPU support.
+        unsafe { avx2::scale(z64, cast_c(ph)) };
+        return;
+    }
+    let _ = backend;
+    scale_scalar(zs, ph);
+}
+
+/// `z *= ph` over a slice on the [`active_backend`].
+#[inline]
+pub fn scale<R: Real>(zs: &mut [Complex<R>], ph: Complex<R>) {
+    scale_with(active_backend(), zs, ph);
+}
+
+/// Stencil pair rotation on an explicit backend.
+pub fn pair_update_with<R: Real>(
+    backend: Backend,
+    a: &mut [Complex<R>],
+    b: &mut [Complex<R>],
+    d: Complex<R>,
+    o: Complex<R>,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2::<R>(backend) {
+        // SAFETY: `use_avx2` proved R == f64.
+        let (a64, b64) = unsafe { (cast_slice_mut(a), cast_slice_mut(b)) };
+        // SAFETY: `use_avx2` verified AVX2+FMA CPU support.
+        unsafe { avx2::pair_update(a64, b64, cast_c(d), cast_c(o)) };
+        return;
+    }
+    let _ = backend;
+    pair_update_scalar(a, b, d, o);
+}
+
+/// Stencil pair rotation on the [`active_backend`].
+#[inline]
+pub fn pair_update<R: Real>(
+    a: &mut [Complex<R>],
+    b: &mut [Complex<R>],
+    d: Complex<R>,
+    o: Complex<R>,
+) {
+    pair_update_with(active_backend(), a, b, d, o);
+}
+
+// ---------------------------------------------------------------------------
+// Tile registry (populated by dcmesh-tune)
+// ---------------------------------------------------------------------------
+
+/// Microkernel register tile: rows of C per microkernel call.
+pub const MR: usize = 4;
+/// Microkernel register tile: cols of C per microkernel call.
+pub const NR: usize = 4;
+
+/// Cache-blocking parameters of the packed GEMM.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct GemmTiles {
+    /// Rows of the packed A block (L2 panel height).
+    pub mc: usize,
+    /// Contraction depth per packing pass (L1/L2 panel depth).
+    pub kc: usize,
+    /// Columns per C panel — also the parallel work-distribution grain.
+    pub nc: usize,
+}
+
+impl GemmTiles {
+    /// Snap to legal values: `mc`/`nc` multiples of MR/NR, everything >= 1.
+    pub fn clamped(self) -> Self {
+        GemmTiles {
+            mc: self.mc.next_multiple_of(MR).max(MR),
+            kc: self.kc.max(1),
+            nc: self.nc.next_multiple_of(NR).max(NR),
+        }
+    }
+}
+
+/// Heuristic tiles used when the tuner has not (yet) supplied a winner:
+/// A-panel (2 × mc × kc × 8 B = 256 KiB) L2-resident, B sliver L1-resident.
+pub fn default_tiles() -> GemmTiles {
+    GemmTiles {
+        mc: 64,
+        kc: 256,
+        nc: 128,
+    }
+}
+
+/// Power-of-two shape-class bucket (dimension -> its ceiling power of two).
+fn bucket(x: usize) -> usize {
+    x.max(1).next_power_of_two()
+}
+
+/// Shape-class key for the tile registry and tuning cache: GEMM problems
+/// are bucketed by ceiling powers of two per dimension, so one tuned entry
+/// covers e.g. every (33..64, 33..64, 2049..4096) problem.
+pub fn shape_class(m: usize, n: usize, k: usize) -> String {
+    format!("gemm-m{}-n{}-k{}", bucket(m), bucket(n), bucket(k))
+}
+
+fn registry() -> &'static Mutex<HashMap<String, GemmTiles>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, GemmTiles>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Install tuned tiles for a shape class (called by `dcmesh-tune`).
+pub fn install_tiles(class: &str, tiles: GemmTiles) {
+    registry()
+        .lock()
+        .expect("tile registry poisoned")
+        .insert(class.to_string(), tiles.clamped());
+}
+
+/// Tuned tiles for a shape class, if the tuner installed any.
+pub fn installed_tiles(class: &str) -> Option<GemmTiles> {
+    registry()
+        .lock()
+        .expect("tile registry poisoned")
+        .get(class)
+        .copied()
+}
+
+/// Tiles the packed GEMM will use for an (m, n, k) problem: the tuned
+/// winner for its shape class when installed, else [`default_tiles`].
+pub fn tiles_for(m: usize, n: usize, k: usize) -> GemmTiles {
+    installed_tiles(&shape_class(m, n, k)).unwrap_or_else(default_tiles)
+}
+
+// ---------------------------------------------------------------------------
+// Split-complex packed GEMM
+// ---------------------------------------------------------------------------
+
+/// Element of `op(S)` at (r, c) for column-major storage with `rows` rows.
+#[inline(always)]
+fn op_at(s: &[Complex<f64>], rows: usize, op: Op, r: usize, c: usize) -> Complex<f64> {
+    match op {
+        Op::None => s[c * rows + r],
+        Op::Trans => s[r * rows + c],
+        Op::ConjTrans => s[r * rows + c].conj(),
+    }
+}
+
+/// Pack an `mw x kw` block of `op(A)` (top-left at `(ic, pc)`) into
+/// MR-row split-complex panels, zero-padding the ragged row tile.
+/// Layout: panel `t` (rows `t*MR..`) occupies `[t*kw*MR ..][p*MR + ii]`.
+#[allow(clippy::too_many_arguments)]
+fn pack_a_splitc(
+    a: &[Complex<f64>],
+    rows: usize,
+    op_a: Op,
+    ic: usize,
+    mw: usize,
+    pc: usize,
+    kw: usize,
+    re: &mut [f64],
+    im: &mut [f64],
+) {
+    let mp = mw.next_multiple_of(MR);
+    for t in (0..mp).step_by(MR) {
+        let base = t * kw; // == (t / MR) * (kw * MR)
+        for p in 0..kw {
+            for ii in 0..MR {
+                let i = t + ii;
+                let z = if i < mw {
+                    op_at(a, rows, op_a, ic + i, pc + p)
+                } else {
+                    Complex::zero()
+                };
+                re[base + p * MR + ii] = z.re;
+                im[base + p * MR + ii] = z.im;
+            }
+        }
+    }
+}
+
+/// Pack a `kw x nw` block of `op(B)` (top-left at `(pc, jc)`) into
+/// NR-column split-complex panels, zero-padding the ragged column tile.
+#[allow(clippy::too_many_arguments)]
+fn pack_b_splitc(
+    b: &[Complex<f64>],
+    rows: usize,
+    op_b: Op,
+    pc: usize,
+    kw: usize,
+    jc: usize,
+    nw: usize,
+    re: &mut [f64],
+    im: &mut [f64],
+) {
+    let np = nw.next_multiple_of(NR);
+    for t in (0..np).step_by(NR) {
+        let base = t * kw; // == (t / NR) * (kw * NR)
+        for p in 0..kw {
+            for jj in 0..NR {
+                let j = t + jj;
+                let z = if j < nw {
+                    op_at(b, rows, op_b, pc + p, jc + j)
+                } else {
+                    Complex::zero()
+                };
+                re[base + p * NR + jj] = z.re;
+                im[base + p * NR + jj] = z.im;
+            }
+        }
+    }
+}
+
+/// Split-complex packed GEMM on raw column-major f64 storage:
+/// `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// Parallelizes over `nc`-column panels of C on the persistent pool (each
+/// panel is a disjoint output slice, and per-panel arithmetic order is
+/// fixed, so results are deterministic for any worker count). Panel scratch
+/// comes from the per-thread aligned arena — no allocation in steady state.
+///
+/// Callers must have verified AVX2+FMA support (see [`avx2_available`]);
+/// use [`try_gemm_packed`] for checked dispatch.
+#[allow(clippy::too_many_arguments)]
+#[cfg(target_arch = "x86_64")]
+pub fn gemm_packed_f64(
+    tiles: GemmTiles,
+    alpha: Complex<f64>,
+    a: &[Complex<f64>],
+    (ar, _ac): (usize, usize),
+    op_a: Op,
+    b: &[Complex<f64>],
+    (br, _bc): (usize, usize),
+    op_b: Op,
+    beta: Complex<f64>,
+    c: &mut [Complex<f64>],
+    (m, _n): (usize, usize),
+    k: usize,
+) {
+    assert!(avx2_available(), "gemm_packed_f64 requires AVX2+FMA");
+    let GemmTiles { mc, kc, nc } = tiles.clamped();
+    pool().for_each_chunks_of_mut(c, m * nc, |panel, cpanel| {
+        let j0 = panel * nc;
+        let ncols = cpanel.len() / m.max(1);
+        if beta != Complex::one() {
+            for z in cpanel.iter_mut() {
+                *z *= beta;
+            }
+        }
+        let np = ncols.next_multiple_of(NR);
+        with_scratch::<f64, 6, ()>(
+            [mc * kc, mc * kc, kc * np, kc * np, MR * NR, MR * NR],
+            |[are, aim, bre, bim, tre, tim]| {
+                for pc in (0..k).step_by(kc) {
+                    let kw = (pc + kc).min(k) - pc;
+                    pack_b_splitc(b, br, op_b, pc, kw, j0, ncols, bre, bim);
+                    for ic in (0..m).step_by(mc) {
+                        let mw = (ic + mc).min(m) - ic;
+                        pack_a_splitc(a, ar, op_a, ic, mw, pc, kw, are, aim);
+                        for jt in (0..ncols).step_by(NR) {
+                            let jw = (ncols - jt).min(NR);
+                            let bre_p = &bre[jt * kw..(jt + NR) * kw];
+                            let bim_p = &bim[jt * kw..(jt + NR) * kw];
+                            for it in (0..mw).step_by(MR) {
+                                let iw = (mw - it).min(MR);
+                                let are_p = &are[it * kw..(it + MR) * kw];
+                                let aim_p = &aim[it * kw..(it + MR) * kw];
+                                // SAFETY: AVX2+FMA availability asserted at
+                                // function entry; slices are kw*MR / kw*NR
+                                // as the kernel requires.
+                                unsafe {
+                                    avx2::mk4x4(kw, are_p, aim_p, bre_p, bim_p, tre, tim);
+                                }
+                                for jj in 0..jw {
+                                    let col = &mut cpanel
+                                        [(jt + jj) * m + ic + it..(jt + jj) * m + ic + it + iw];
+                                    for (ii, cv) in col.iter_mut().enumerate() {
+                                        let z = Complex::new(tre[jj * MR + ii], tim[jj * MR + ii]);
+                                        *cv += alpha * z;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            },
+        );
+    });
+}
+
+/// Checked dispatch into the split-complex packed GEMM. Returns `false`
+/// (without touching `C`) when the backend, element type, or CPU has no
+/// SIMD path — the caller then runs its scalar fallback.
+#[allow(clippy::too_many_arguments)]
+pub fn try_gemm_packed<R: Real>(
+    backend: Backend,
+    alpha: Complex<R>,
+    a: &[Complex<R>],
+    adims: (usize, usize),
+    op_a: Op,
+    b: &[Complex<R>],
+    bdims: (usize, usize),
+    op_b: Op,
+    beta: Complex<R>,
+    c: &mut [Complex<R>],
+    cdims: (usize, usize),
+    k: usize,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2::<R>(backend) {
+        let (m, n) = cdims;
+        // SAFETY: `use_avx2` proved R == f64, so these casts are identities.
+        let (a64, b64, c64) = unsafe { (cast_slice(a), cast_slice(b), cast_slice_mut(c)) };
+        gemm_packed_f64(
+            tiles_for(m, n, k),
+            cast_c(alpha),
+            a64,
+            adims,
+            op_a,
+            b64,
+            bdims,
+            op_b,
+            cast_c(beta),
+            c64,
+            (m, n),
+            k,
+        );
+        return true;
+    }
+    let _ = (
+        backend, alpha, a, adims, op_a, b, bdims, op_b, beta, c, cdims, k,
+    );
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::C64;
+
+    fn seq(n: usize, salt: f64) -> Vec<C64> {
+        (0..n)
+            .map(|i| {
+                let x = (i as f64) * 0.37 + salt;
+                C64::new((x * 1.3).sin(), (x * 0.7).cos())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backend_label_roundtrip() {
+        assert_eq!(Backend::Avx2.label(), "avx2");
+        assert_eq!(Backend::Scalar.label(), "scalar");
+    }
+
+    #[test]
+    fn tile_registry_install_and_lookup() {
+        let class = shape_class(150, 130, 90);
+        assert_eq!(class, "gemm-m256-n256-k128");
+        assert!(installed_tiles("gemm-test-never-installed").is_none());
+        install_tiles(
+            "gemm-test-roundtrip",
+            GemmTiles {
+                mc: 30,
+                kc: 100,
+                nc: 17,
+            },
+        );
+        let got = installed_tiles("gemm-test-roundtrip").unwrap();
+        // Clamped to MR/NR multiples on install.
+        assert_eq!(
+            got,
+            GemmTiles {
+                mc: 32,
+                kc: 100,
+                nc: 20
+            }
+        );
+    }
+
+    #[test]
+    fn pointwise_kernels_match_scalar_across_remainders() {
+        // Covers every remainder lane count (len % 4 in 0..4).
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 17, 64, 65] {
+            let alpha = C64::new(0.3, -0.8);
+            let d = C64::new(0.9, 0.1);
+            let o = C64::new(-0.2, 0.4);
+
+            let x = seq(len, 0.1);
+            let mut ys = seq(len, 0.2);
+            let mut yv = ys.clone();
+            axpy_with(Backend::Scalar, alpha, &x, &mut ys);
+            axpy_with(Backend::Avx2, alpha, &x, &mut yv);
+            for (s, v) in ys.iter().zip(&yv) {
+                assert!((*s - *v).abs() < 1e-14, "axpy len={len}");
+            }
+
+            let mut zs = seq(len, 0.3);
+            let mut zv = zs.clone();
+            scale_with(Backend::Scalar, &mut zs, alpha);
+            scale_with(Backend::Avx2, &mut zv, alpha);
+            for (s, v) in zs.iter().zip(&zv) {
+                assert!((*s - *v).abs() < 1e-14, "scale len={len}");
+            }
+
+            let (mut a_s, mut b_s) = (seq(len, 0.4), seq(len, 0.5));
+            let (mut a_v, mut b_v) = (a_s.clone(), b_s.clone());
+            pair_update_with(Backend::Scalar, &mut a_s, &mut b_s, d, o);
+            pair_update_with(Backend::Avx2, &mut a_v, &mut b_v, d, o);
+            for (s, v) in a_s.iter().zip(&a_v).chain(b_s.iter().zip(&b_v)) {
+                assert!((*s - *v).abs() < 1e-14, "pair_update len={len}");
+            }
+
+            let ds = dotc_with(Backend::Scalar, &x, &a_s);
+            let dv = dotc_with(Backend::Avx2, &x, &a_s);
+            let tol = 1e-14 * (len.max(1) as f64);
+            assert!((ds - dv).abs() < tol, "dotc len={len}: {ds:?} vs {dv:?}");
+        }
+    }
+}

@@ -77,6 +77,8 @@ use std::time::Instant;
 use dcmesh_analyze::race;
 use dcmesh_analyze::sync::{spawn_named, AtomicBool, AtomicUsize, Condvar, JoinHandle, Mutex};
 
+pub mod arena;
+
 // ---------------------------------------------------------------------------
 // Sizing & the global pool
 // ---------------------------------------------------------------------------

@@ -1,0 +1,48 @@
+//! Tuning-cache smoke probe for check.sh.
+//!
+//! Tunes (or warm-loads) the GEMM tiles for the paper-relevant shape
+//! classes plus a stencil block knob, printing the chosen parameters to
+//! **stdout** (stable, diffable between a cold and a warm run) and the
+//! cache temperature to **stderr**. The check.sh smoke runs this twice
+//! against a fresh `DCMESH_TUNE_DIR` and asserts identical stdout: the
+//! warm run must load exactly the tiles the cold run persisted.
+
+use dcmesh_math::simd;
+
+/// Paper-relevant GEMM shape classes (Table II system: norb=64, nu=16,
+/// mesh 70x70x72 = 352800 points): the nonlocal overlap S = P^H psi and
+/// a square-ish propagator block.
+const SHAPES: [(usize, usize, usize); 2] = [(64, 16, 352800), (256, 256, 256)];
+
+fn main() {
+    let warm = SHAPES
+        .iter()
+        .all(|&(m, n, k)| dcmesh_tune::lookup(&simd::shape_class(m, n, k)).is_some())
+        && dcmesh_tune::lookup("stencil.smoke").is_some();
+    eprintln!(
+        "tune_probe: cache={} file={}",
+        if warm { "warm" } else { "cold" },
+        dcmesh_tune::cache_file().display()
+    );
+
+    for (m, n, k) in SHAPES {
+        let tiles = dcmesh_tune::gemm_tiles(m, n, k);
+        println!(
+            "{} mc={} kc={} nc={}",
+            simd::shape_class(m, n, k),
+            tiles.mc,
+            tiles.kc,
+            tiles.nc
+        );
+    }
+
+    // A small pointwise workload standing in for the stencil plane tile.
+    let mut buf = vec![dcmesh_math::C64::new(0.6, -0.2); 4096];
+    let ph = dcmesh_math::C64::from_polar(1.0, 0.3);
+    let block = dcmesh_tune::tuned_usize("stencil.smoke", &[256, 512, 1024], |b| {
+        for chunk in buf.chunks_mut(b) {
+            simd::scale(chunk, ph);
+        }
+    });
+    println!("stencil.smoke v={block}");
+}

@@ -1,0 +1,422 @@
+//! Runtime autotuner for the SIMD microkernel layer.
+//!
+//! The packed split-complex GEMM (`dcmesh_math::simd`) and the kinetic
+//! stencil are tile-parameterized; the best (mc, kc, nc) cache tiles and
+//! orbital block size depend on the CPU, the thread count, and the problem
+//! shape class. This crate searches those parameters **once per
+//! (shape-class, ISA, thread-count)**, persists the winners to an on-disk
+//! cache under `bench_results/tune/`, and installs them into the math
+//! crate's tile registry so `gemm`/`gemm_colmajor` and the LFD engine
+//! consult them with zero per-call cost.
+//!
+//! # Cache format
+//!
+//! One text file per fingerprint: `tune-v<SCHEMA>-<isa>-t<threads>.tsv`,
+//! first line a schema header, then one `key<TAB>p=v,p=v` line per tuned
+//! entry (sorted, so the file is diff- and `assert`-friendly for the
+//! check.sh cold/warm smoke). A warm start is exactly one file read; a
+//! schema or fingerprint mismatch ignores the file and re-tunes.
+//!
+//! # Telemetry
+//!
+//! Every consulted or tuned entry lands in the obs metrics as
+//! `tune.<key>.<param>` gauges (flowing into the telemetry RunRecord, so
+//! `compare` can flag tile-choice drift between runs) plus the
+//! `tune.cache_hits` / `tune.cold_searches` counters.
+//!
+//! This crate deliberately lives *outside* the kernel crates: it owns the
+//! only wall-clock timing loop (`Instant::now` is lint-banned in
+//! `crates/math`), and kernels merely read the registry it fills.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use dcmesh_math::simd::{self, GemmTiles};
+use dcmesh_math::Complex;
+use dcmesh_obs::metrics::{counter_add, gauge_set};
+
+#[cfg(target_arch = "x86_64")]
+use rand::rngs::StdRng;
+#[cfg(target_arch = "x86_64")]
+use rand::{Rng, SeedableRng};
+
+/// Bump when the cache line format changes; mismatched files are ignored.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Tuned parameter assignment for one cache key.
+pub type Params = BTreeMap<String, u64>;
+
+// ---------------------------------------------------------------------------
+// Cache location & state
+// ---------------------------------------------------------------------------
+
+static DIR_OVERRIDE: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Point the tuner at a different cache directory (tests, benches, the
+/// check.sh smoke). Takes effect on the next cache access.
+pub fn set_cache_dir(dir: impl Into<PathBuf>) {
+    *DIR_OVERRIDE.lock().expect("tune dir lock") = Some(dir.into());
+}
+
+/// Resolve the cache directory: [`set_cache_dir`] > `DCMESH_TUNE_DIR` >
+/// `<workspace>/bench_results/tune`.
+pub fn cache_dir() -> PathBuf {
+    if let Some(d) = DIR_OVERRIDE.lock().expect("tune dir lock").clone() {
+        return d;
+    }
+    if let Ok(d) = std::env::var("DCMESH_TUNE_DIR") {
+        if !d.trim().is_empty() {
+            return PathBuf::from(d);
+        }
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results/tune")
+}
+
+/// ISA half of the cache fingerprint (the active SIMD backend label).
+pub fn isa_label() -> &'static str {
+    simd::active_backend().label()
+}
+
+/// Cache file for the current (schema, ISA, threads) fingerprint.
+pub fn cache_file() -> PathBuf {
+    let threads = dcmesh_pool::configured_threads();
+    cache_dir().join(format!(
+        "tune-v{SCHEMA_VERSION}-{}-t{threads}.tsv",
+        isa_label()
+    ))
+}
+
+struct CacheState {
+    /// Which file `entries` mirrors (reload when the override changes).
+    loaded_from: Option<PathBuf>,
+    entries: HashMap<String, Params>,
+}
+
+fn cache() -> &'static Mutex<CacheState> {
+    static CACHE: OnceLock<Mutex<CacheState>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(CacheState {
+            loaded_from: None,
+            entries: HashMap::new(),
+        })
+    })
+}
+
+fn expected_header() -> String {
+    format!(
+        "# dcmesh-tune schema={SCHEMA_VERSION} isa={} threads={}",
+        isa_label(),
+        dcmesh_pool::configured_threads()
+    )
+}
+
+fn parse_cache(contents: &str) -> Option<HashMap<String, Params>> {
+    let mut lines = contents.lines();
+    if lines.next()?.trim() != expected_header() {
+        return None;
+    }
+    let mut entries = HashMap::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, rest) = line.split_once('\t')?;
+        let mut params = Params::new();
+        for kv in rest.split(',') {
+            let (p, v) = kv.split_once('=')?;
+            params.insert(p.trim().to_string(), v.trim().parse().ok()?);
+        }
+        entries.insert(key.to_string(), params);
+    }
+    Some(entries)
+}
+
+/// Ensure the in-memory cache mirrors the current cache file. Warm start
+/// is this single file read, performed at most once per file path.
+fn ensure_loaded(state: &mut CacheState) {
+    let path = cache_file();
+    if state.loaded_from.as_deref() == Some(&path) {
+        return;
+    }
+    state.entries = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| parse_cache(&s))
+        .unwrap_or_default();
+    state.loaded_from = Some(path);
+}
+
+fn persist(state: &CacheState) {
+    let path = cache_file();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut body = expected_header();
+    body.push('\n');
+    let mut keys: Vec<_> = state.entries.keys().collect();
+    keys.sort();
+    for key in keys {
+        let params = &state.entries[key];
+        let rendered: Vec<String> = params.iter().map(|(p, v)| format!("{p}={v}")).collect();
+        body.push_str(&format!("{key}\t{}\n", rendered.join(",")));
+    }
+    let tmp = path.with_extension("tsv.tmp");
+    let ok = std::fs::File::create(&tmp)
+        .and_then(|mut f| f.write_all(body.as_bytes()))
+        .is_ok();
+    if ok {
+        let _ = std::fs::rename(&tmp, &path);
+    }
+}
+
+/// Cached parameters for `key` under the current fingerprint, if tuned.
+pub fn lookup(key: &str) -> Option<Params> {
+    let mut state = cache().lock().expect("tune cache lock");
+    ensure_loaded(&mut state);
+    state.entries.get(key).cloned()
+}
+
+fn store(key: &str, params: Params) {
+    let mut state = cache().lock().expect("tune cache lock");
+    ensure_loaded(&mut state);
+    state.entries.insert(key.to_string(), params);
+    persist(&state);
+}
+
+fn publish_gauges(key: &str, params: &Params) {
+    for (p, v) in params {
+        gauge_set(&format!("tune.{key}.{p}"), *v as f64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timing helpers
+// ---------------------------------------------------------------------------
+
+/// Best-of-`reps` wall time of `f`, in nanoseconds, after one warmup run.
+fn best_time_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    f(); // warmup: page in scratch, resolve dispatch, warm caches
+    let mut best = u128::MAX;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos());
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Generic scalar-parameter tuning
+// ---------------------------------------------------------------------------
+
+/// Pick the fastest of `candidates` for `key`, timing `run(candidate)`
+/// (cold) or returning the cached winner (warm — one map lookup). The
+/// winner is persisted and published as a `tune.<key>.v` gauge.
+pub fn tuned_usize(key: &str, candidates: &[usize], mut run: impl FnMut(usize)) -> usize {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    if let Some(params) = lookup(key) {
+        if let Some(&v) = params.get("v") {
+            counter_add("tune.cache_hits", 1);
+            publish_gauges(key, &params);
+            return v as usize;
+        }
+    }
+    let mut best = (u128::MAX, candidates[0]);
+    for &c in candidates {
+        let t = best_time_ns(3, || run(c));
+        if t < best.0 {
+            best = (t, c);
+        }
+    }
+    let mut params = Params::new();
+    params.insert("v".into(), best.1 as u64);
+    counter_add("tune.cold_searches", 1);
+    publish_gauges(key, &params);
+    store(key, params);
+    best.1
+}
+
+// ---------------------------------------------------------------------------
+// GEMM tile tuning
+// ---------------------------------------------------------------------------
+
+/// Candidate (mc, kc, nc) grid searched on a cold tune.
+fn tile_candidates() -> Vec<GemmTiles> {
+    let mut out = Vec::new();
+    for mc in [32usize, 64, 128] {
+        for kc in [128usize, 256, 512] {
+            for nc in [64usize, 128, 256] {
+                out.push(GemmTiles { mc, kc, nc });
+            }
+        }
+    }
+    out
+}
+
+/// Representative (clipped) search shape for a class: big enough to show
+/// cache effects, small enough that a 27-candidate cold search stays in
+/// the low seconds.
+#[cfg(target_arch = "x86_64")]
+fn search_shape(m: usize, n: usize, k: usize) -> (usize, usize, usize) {
+    let clip = |x: usize, cap: usize| x.max(1).next_power_of_two().min(cap);
+    let (mut mr, nr, mut kr) = (clip(m, 256), clip(n, 256), clip(k, 2048));
+    // Cap the work per timing rep at ~32M complex FMAs.
+    while mr * nr * kr > 32 << 20 && kr > 64 {
+        kr /= 2;
+    }
+    while mr * nr * kr > 32 << 20 && mr > 64 {
+        mr /= 2;
+    }
+    (mr, nr, kr)
+}
+
+/// Ensure tuned GEMM tiles for the shape class of an (m, n, k) problem:
+/// warm cache hit or cold search; either way the winner is installed into
+/// the math tile registry and published to telemetry. Returns the tiles
+/// the packed GEMM will use. On hardware without the AVX2 path the
+/// heuristic defaults are returned (the packed kernel never runs there).
+pub fn gemm_tiles(m: usize, n: usize, k: usize) -> GemmTiles {
+    let class = simd::shape_class(m, n, k);
+    if let Some(params) = lookup(&class) {
+        if let (Some(&mc), Some(&kc), Some(&nc)) =
+            (params.get("mc"), params.get("kc"), params.get("nc"))
+        {
+            let tiles = GemmTiles {
+                mc: mc as usize,
+                kc: kc as usize,
+                nc: nc as usize,
+            };
+            simd::install_tiles(&class, tiles);
+            counter_add("tune.cache_hits", 1);
+            publish_gauges(&class, &params);
+            return tiles;
+        }
+    }
+    let tiles = cold_search_gemm(m, n, k);
+    simd::install_tiles(&class, tiles);
+    let mut params = Params::new();
+    params.insert("mc".into(), tiles.mc as u64);
+    params.insert("kc".into(), tiles.kc as u64);
+    params.insert("nc".into(), tiles.nc as u64);
+    counter_add("tune.cold_searches", 1);
+    publish_gauges(&class, &params);
+    store(&class, params);
+    tiles
+}
+
+#[cfg(target_arch = "x86_64")]
+fn cold_search_gemm(m: usize, n: usize, k: usize) -> GemmTiles {
+    use dcmesh_math::gemm::Op;
+    if !simd::avx2_available() || simd::active_backend() != simd::Backend::Avx2 {
+        return simd::default_tiles();
+    }
+    let (mr, nr, kr) = search_shape(m, n, k);
+    let mut rng = StdRng::seed_from_u64(0x0D0C_5EED);
+    let mut rc = || Complex::new(rng.gen_range(-1.0..1.0f64), rng.gen_range(-1.0..1.0f64));
+    let a: Vec<Complex<f64>> = (0..mr * kr).map(|_| rc()).collect();
+    let b: Vec<Complex<f64>> = (0..kr * nr).map(|_| rc()).collect();
+    let mut c: Vec<Complex<f64>> = vec![Complex::zero(); mr * nr];
+    let mut best = (u128::MAX, simd::default_tiles());
+    for tiles in tile_candidates() {
+        let t = best_time_ns(3, || {
+            simd::gemm_packed_f64(
+                tiles,
+                Complex::one(),
+                &a,
+                (mr, kr),
+                Op::None,
+                &b,
+                (kr, nr),
+                Op::None,
+                Complex::zero(),
+                &mut c,
+                (mr, nr),
+                kr,
+            );
+        });
+        if t < best.0 {
+            best = (t, tiles);
+        }
+    }
+    best.1
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn cold_search_gemm(_m: usize, _n: usize, _k: usize) -> GemmTiles {
+    simd::default_tiles()
+}
+
+/// Publish the tiles the packed GEMM *currently* consults for (m, n, k)
+/// — tuned winner or heuristic default — as telemetry gauges, without
+/// triggering any search. The LFD engine calls this at startup so every
+/// RunRecord carries the consulted tiles and `compare` can flag drift.
+pub fn report_gemm_tiles(m: usize, n: usize, k: usize) -> GemmTiles {
+    let class = simd::shape_class(m, n, k);
+    let tiles = simd::tiles_for(m, n, k);
+    let mut params = Params::new();
+    params.insert("mc".into(), tiles.mc as u64);
+    params.insert("kc".into(), tiles.kc as u64);
+    params.insert("nc".into(), tiles.nc as u64);
+    publish_gauges(&class, &params);
+    tiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_cache_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dcmesh-tune-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn cache_roundtrip_and_warm_hit() {
+        // Serialize all cache-dir-sensitive assertions in one test body
+        // (the override is process-global).
+        let dir = temp_cache_dir("roundtrip");
+        set_cache_dir(&dir);
+
+        // Cold: runs the closure for every candidate.
+        let mut runs = 0;
+        let v1 = tuned_usize("test.knob", &[8, 16, 32], |_| runs += 1);
+        assert!(runs >= 3, "cold search must time every candidate");
+        assert!([8, 16, 32].contains(&v1));
+
+        // Warm: the closure must not run at all (cache hit = map lookup).
+        let mut warm_runs = 0;
+        let v2 = tuned_usize("test.knob", &[8, 16, 32], |_| warm_runs += 1);
+        assert_eq!(warm_runs, 0, "warm start must not re-run candidates");
+        assert_eq!(v1, v2);
+
+        // The file round-trips through the parser.
+        let contents = std::fs::read_to_string(cache_file()).unwrap();
+        let parsed = parse_cache(&contents).expect("header must match");
+        assert_eq!(parsed["test.knob"]["v"], v1 as u64);
+
+        // gemm tile tuning persists and re-loads identically.
+        let t_cold = gemm_tiles(48, 48, 300);
+        let class = simd::shape_class(48, 48, 300);
+        assert_eq!(simd::installed_tiles(&class), Some(t_cold));
+        let t_warm = gemm_tiles(48, 48, 300);
+        assert_eq!(t_cold, t_warm, "warm tiles must equal cold winners");
+
+        // Mismatched header (other fingerprint) is ignored wholesale.
+        assert!(parse_cache("# dcmesh-tune schema=999 isa=x threads=1\n").is_none());
+
+        set_cache_dir(temp_cache_dir("post")); // detach from `dir`
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_does_not_search() {
+        let tiles = report_gemm_tiles(1000, 1000, 1000);
+        assert!(tiles.mc >= 4 && tiles.kc >= 1 && tiles.nc >= 4);
+    }
+}

@@ -22,6 +22,24 @@ DCMESH_THREADS=2 cargo test -q -p dcmesh-pool -p dcmesh-device -p dcmesh-lfd
 echo "== unsafe-hygiene lint gate =="
 cargo run -q -p dcmesh-analyze --bin lint
 
+echo "== SIMD forced-scalar equivalence (math + lfd suites) =="
+# The scalar backend must reproduce today's results bit-compatibly; the
+# bitwise-equality tests in these crates enforce it under the override.
+DCMESH_SIMD=scalar cargo test -q -p dcmesh-math -p dcmesh-lfd -p dcmesh-tune
+
+echo "== tuning-cache smoke (cold search, warm load, identical tiles) =="
+TUNE_DIR=$(mktemp -d /tmp/dcmesh_tune_XXXXXX)
+COLD_OUT=$(DCMESH_TUNE_DIR="$TUNE_DIR" cargo run -q --release -p dcmesh-tune --bin tune_probe 2>/dev/null)
+WARM_LOG=$(mktemp /tmp/dcmesh_tune_warm_XXXXXX.log)
+WARM_OUT=$(DCMESH_TUNE_DIR="$TUNE_DIR" cargo run -q --release -p dcmesh-tune --bin tune_probe 2>"$WARM_LOG")
+grep -q "cache=warm" "$WARM_LOG"
+[ "$COLD_OUT" = "$WARM_OUT" ] || {
+  echo "tuning smoke: warm-start tiles differ from cold search" >&2
+  diff <(echo "$COLD_OUT") <(echo "$WARM_OUT") >&2 || true
+  exit 1
+}
+rm -rf "$TUNE_DIR" "$WARM_LOG"
+
 echo "== concurrency suites under the shadow-access race detector =="
 # --test-threads=1: shadow intervals are raw addresses, so unrelated
 # tests must not interleave reallocations (see crates/analyze/src/race.rs).
