@@ -1,0 +1,6 @@
+//! Fixture: a structured contract using a key outside the grammar.
+
+pub fn entry(x: f64) -> u64 {
+    // SAFETY: (alignment=64) misspelled key — the audit must flag it.
+    unsafe { std::mem::transmute::<f64, u64>(x) }
+}

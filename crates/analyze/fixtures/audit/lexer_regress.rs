@@ -1,0 +1,13 @@
+//! Fixture: raw strings and nested block comments must neither hide
+//! nor invent panic sources. Exactly one real `.unwrap()` lives here.
+
+// AUDIT: no_panic
+pub fn entry() -> usize {
+    let s = r#"panic!("not real"); v.unwrap(); x[0]"#;
+    /* outer /* nested comment with .unwrap() and panic! */ still comment */
+    real(s)
+}
+
+fn real(s: &str) -> usize {
+    s.bytes().next().unwrap() as usize
+}

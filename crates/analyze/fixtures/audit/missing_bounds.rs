@@ -1,0 +1,8 @@
+//! Fixture: raw-pointer access in an audited fn with no `bounds=` claim.
+
+// AUDIT: no_panic
+pub fn entry(p: *const f64, n: usize) -> f64 {
+    // SAFETY: caller passes a live buffer of n elements.
+    let s = unsafe { std::slice::from_raw_parts(p, n) };
+    s.iter().sum()
+}

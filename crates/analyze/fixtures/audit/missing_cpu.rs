@@ -1,0 +1,7 @@
+//! Fixture: a `#[target_feature]` kernel whose contract lacks `cpu=`.
+
+#[target_feature(enable = "avx2")]
+// SAFETY: (bounds=reads exactly the four lanes of x)
+pub unsafe fn kern(x: &[f64; 4]) -> f64 {
+    x[0]
+}

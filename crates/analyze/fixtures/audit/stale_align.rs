@@ -1,0 +1,6 @@
+//! Fixture: an `align=` claim that disagrees with the arena's ALIGN.
+
+pub fn entry(p: *const f64) -> f64 {
+    // SAFETY: (align=32, bounds=caller passes a valid one-element buffer)
+    unsafe { p.read() }
+}

@@ -1,0 +1,15 @@
+//! Fixture: a `no_panic` root that reaches `.unwrap()` two calls deep.
+//! The audit must report the full chain entry -> helper -> deep.
+
+// AUDIT: no_panic
+pub fn entry(v: &[u32]) -> u32 {
+    helper(v)
+}
+
+fn helper(v: &[u32]) -> u32 {
+    deep(v)
+}
+
+fn deep(v: &[u32]) -> u32 {
+    v.first().unwrap() + 1
+}

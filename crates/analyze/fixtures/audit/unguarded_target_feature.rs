@@ -1,0 +1,13 @@
+//! Fixture: a `#[target_feature]` kernel called without a runtime
+//! feature check, from outside the dispatch module.
+
+#[target_feature(enable = "avx2")]
+// SAFETY: (cpu=avx2, bounds=reads exactly the four lanes of x)
+pub unsafe fn kern(x: &[f64; 4]) -> f64 {
+    x[0] + x[1]
+}
+
+pub fn caller(x: &[f64; 4]) -> f64 {
+    // SAFETY: (cpu=avx2) wrong — nothing verified CPU support here.
+    unsafe { kern(x) }
+}

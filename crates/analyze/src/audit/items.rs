@@ -1,0 +1,523 @@
+//! Item extraction: per-file `fn` signatures, attributes, and the
+//! audit annotations (`AUDIT: no_panic`, `AUDIT: waiver(..)`, and
+//! structured `SAFETY` contracts) attached to them.
+//!
+//! The extractor is a token-tree walk over [`crate::lex::Lexed`] — no
+//! expression parsing. For every `fn` keyword it records the name, the
+//! qualifier flags, the `#[target_feature]` attribute, the body token
+//! range (via the matched-delimiter map), and the annotation block of
+//! contiguous comments/attributes directly above the declaration.
+
+use std::collections::HashMap;
+
+use crate::lex::{Lexed, TokKind};
+
+/// Keys the structured SAFETY contract grammar accepts.
+pub const CONTRACT_KEYS: [&str; 4] = ["align", "bounds", "aliasing", "cpu"];
+
+/// One structured safety contract: `// SAFETY: (key=value, ...) prose`.
+///
+/// The parser also accepts the bare `SAFETY(key=value, ...)` spelling
+/// (the grammar in older annotations), but emitted code uses the colon
+/// form so `clippy::undocumented_unsafe_blocks` — which requires the
+/// literal `SAFETY:` — stays satisfied by the same comment.
+#[derive(Clone, Debug)]
+pub struct Contract {
+    /// 1-based line of the comment carrying the contract.
+    pub line: u32,
+    /// `key=value` pairs in source order (keys may repeat, e.g. two
+    /// `bounds=` claims covering two pointers).
+    pub keys: Vec<(String, String)>,
+}
+
+impl Contract {
+    /// First value claimed for `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.keys
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Keys not in the accepted grammar ([`CONTRACT_KEYS`]).
+    pub fn unknown_keys(&self) -> Vec<&str> {
+        self.keys
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .filter(|k| !CONTRACT_KEYS.contains(k))
+            .collect()
+    }
+}
+
+/// Parse a structured contract out of one comment's text, if present.
+///
+/// Grammar: `SAFETY: (key=value, key=value, ...)` or `SAFETY(...)`;
+/// values run to the next comma or the closing paren and are trimmed.
+/// A prose-only `// SAFETY: explanation` (no parenthesized key list)
+/// yields `None` — it documents, but claims nothing checkable.
+pub fn parse_contract(comment: &str, line: u32) -> Option<Contract> {
+    let at = comment.find("SAFETY")?;
+    let rest = &comment[at + "SAFETY".len()..];
+    // Accept `SAFETY: (` and `SAFETY(`; anything else is prose.
+    let body = rest
+        .strip_prefix(": (")
+        .or_else(|| rest.strip_prefix('('))?;
+    let close = body.find(')')?;
+    let list = &body[..close];
+    let mut keys = Vec::new();
+    for part in list.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match part.split_once('=') {
+            Some((k, v)) => keys.push((k.trim().to_string(), v.trim().to_string())),
+            // A bare word in the key list is kept with an empty value
+            // so the syntax check can name it in its finding.
+            None => keys.push((part.to_string(), String::new())),
+        }
+    }
+    if keys.is_empty() {
+        return None;
+    }
+    Some(Contract { line, keys })
+}
+
+/// Parse a contract from a run of comment parts (`(line, text)`),
+/// merging continuation lines: a contract may wrap across several `//`
+/// lines before its closing paren. The contract's line is the line of
+/// the part carrying `SAFETY`.
+pub fn parse_contract_parts(parts: &[(u32, &str)]) -> Option<Contract> {
+    let idx = parts.iter().position(|(_, t)| t.contains("SAFETY"))?;
+    let line = parts[idx].0;
+    let mut text = String::new();
+    for (_, t) in &parts[idx..] {
+        text.push_str(t.trim_start_matches('/').trim());
+        text.push(' ');
+    }
+    parse_contract(&text, line)
+}
+
+/// One `fn` item found in a file.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Index into the corpus file list.
+    pub file: usize,
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Declared `unsafe fn`?
+    pub is_unsafe: bool,
+    /// First parameter is a `self` receiver (`self`, `&self`,
+    /// `&mut self`, `&'a self`, `mut self`, `self: Arc<Self>`).
+    pub has_self: bool,
+    /// The feature string of `#[target_feature(enable = "...")]`.
+    pub target_feature: Option<String>,
+    /// Marked `// AUDIT: no_panic` — a panic-freedom root.
+    pub no_panic: bool,
+    /// Structured contract in the annotation block above the item.
+    pub contract: Option<Contract>,
+    /// Token-index range of the body braces `(open, close)`, if the
+    /// item has a body (trait/extern declarations do not).
+    pub body: Option<(usize, usize)>,
+}
+
+/// Per-file audit annotations that are not attached to a single item.
+#[derive(Default, Debug)]
+pub struct FileAnn {
+    /// Every structured contract in the file, by token index of the
+    /// comment carrying it (items' own contracts are also listed).
+    pub contracts: Vec<(usize, Contract)>,
+    /// Lines covered by an `AUDIT: waiver(reason)` — the comment's own
+    /// line plus the next code line — mapped to the reason.
+    pub waived: HashMap<u32, String>,
+}
+
+/// Is this comment a *plain* comment (`//`, `/*`) rather than a doc
+/// comment? Audit annotations are only recognized in plain comments:
+/// doc text routinely *quotes* the grammar (this module's own docs do)
+/// without claiming anything.
+pub fn is_plain_comment(text: &str) -> bool {
+    if let Some(rest) = text.strip_prefix("//") {
+        !rest.starts_with('/') && !rest.starts_with('!')
+    } else if let Some(rest) = text.strip_prefix("/*") {
+        !rest.starts_with('*') && !rest.starts_with('!')
+    } else {
+        false
+    }
+}
+
+/// Collect contracts and waivers from every plain comment in the file.
+///
+/// Contracts are parsed over *runs* of consecutive plain `//` lines
+/// (token-adjacent, line-consecutive), so a contract may wrap. Waivers
+/// stay single-line.
+pub fn annotations(lx: &Lexed) -> FileAnn {
+    let mut ann = FileAnn::default();
+    let mut i = 0;
+    while i < lx.toks.len() {
+        if !lx.toks[i].kind.is_comment() {
+            i += 1;
+            continue;
+        }
+        let text = lx.text(i);
+        if !is_plain_comment(text) {
+            i += 1;
+            continue;
+        }
+        // Extend the run of adjacent plain line comments.
+        let start = i;
+        let mut end = i;
+        if lx.toks[i].kind == TokKind::LineComment {
+            while end + 1 < lx.toks.len()
+                && lx.toks[end + 1].kind == TokKind::LineComment
+                && lx.toks[end + 1].line == lx.toks[end].line + 1
+                && is_plain_comment(lx.text(end + 1))
+            {
+                end += 1;
+            }
+        }
+        let parts: Vec<(u32, &str)> = (start..=end)
+            .map(|k| (lx.toks[k].line, lx.text(k)))
+            .collect();
+        if let Some(c) = parse_contract_parts(&parts) {
+            ann.contracts.push((start, c));
+        }
+        for k in start..=end {
+            let text = lx.text(k);
+            let line = lx.toks[k].line;
+            if let Some(at) = text.find("AUDIT: waiver(") {
+                let rest = &text[at + "AUDIT: waiver(".len()..];
+                let reason = rest.split(')').next().unwrap_or("").trim().to_string();
+                ann.waived.insert(line, reason.clone());
+                // The waiver also covers the next code line (the idiom
+                // of a waiver comment above the flagged code).
+                if let Some(j) = lx.next_code(end) {
+                    ann.waived.insert(lx.toks[j].line, reason);
+                }
+            }
+        }
+        i = end + 1;
+    }
+    ann
+}
+
+/// Extract every `fn` item from one lexed file.
+pub fn extract_file(file: usize, lx: &Lexed) -> Vec<FnItem> {
+    let mut items = Vec::new();
+    for i in 0..lx.toks.len() {
+        if !lx.is_ident(i, "fn") {
+            continue;
+        }
+        // `fn` pointer types (`fn(u32) -> u32`) have no name ident.
+        let Some(name_tok) = lx.next_code(i) else {
+            continue;
+        };
+        if lx.toks[name_tok].kind != TokKind::Ident {
+            continue;
+        }
+        let name = lx.text(name_tok).to_string();
+        let line = lx.toks[i].line;
+
+        // Qualifiers before `fn`: `pub(crate) const unsafe extern "C"`.
+        let mut is_unsafe = false;
+        let mut decl_start = i;
+        let mut j = i;
+        while let Some(p) = lx.prev_code(j) {
+            let qualifier = match lx.toks[p].kind {
+                TokKind::Ident => matches!(
+                    lx.text(p),
+                    "pub"
+                        | "unsafe"
+                        | "const"
+                        | "extern"
+                        | "async"
+                        | "default"
+                        | "crate"
+                        | "super"
+                        | "self"
+                        | "in"
+                ),
+                TokKind::Str => lx.prev_code(p).is_some_and(|q| lx.is_ident(q, "extern")),
+                TokKind::Punct => {
+                    // `pub(crate)` / `pub(in path)` parens.
+                    (lx.is_punct(p, ')') || lx.is_punct(p, '('))
+                        && lx
+                            .pair(p)
+                            .and_then(|o| lx.prev_code(o.min(p)))
+                            .is_some_and(|q| lx.is_ident(q, "pub"))
+                }
+                _ => false,
+            };
+            if !qualifier {
+                break;
+            }
+            if lx.is_ident(p, "unsafe") {
+                is_unsafe = true;
+            }
+            decl_start = p;
+            j = p;
+        }
+
+        // The annotation block: contiguous comments and `#[...]`
+        // attribute groups directly above the declaration.
+        let mut target_feature = None;
+        let mut no_panic = false;
+        let mut comment_toks: Vec<usize> = Vec::new();
+        let mut k = decl_start;
+        while k > 0 {
+            let prev = k - 1;
+            match lx.toks[prev].kind {
+                TokKind::LineComment | TokKind::BlockComment => {
+                    let text = lx.text(prev);
+                    if is_plain_comment(text) {
+                        if text.contains("AUDIT: no_panic") {
+                            no_panic = true;
+                        }
+                        comment_toks.push(prev);
+                    }
+                    k = prev;
+                }
+                TokKind::Punct if lx.is_punct(prev, ']') => {
+                    // An attribute group `#[...]` ends here.
+                    let Some(open) = lx.pair(prev) else { break };
+                    let Some(hash) = open.checked_sub(1) else {
+                        break;
+                    };
+                    if !lx.is_punct(hash, '#') {
+                        break;
+                    }
+                    if let Some(feat) = attr_target_feature(lx, open, prev) {
+                        target_feature = Some(feat);
+                    }
+                    k = hash;
+                }
+                _ => break,
+            }
+        }
+        // Parse the (possibly multi-line) contract over the block's
+        // plain comments in source order.
+        comment_toks.reverse();
+        let parts: Vec<(u32, &str)> = comment_toks
+            .iter()
+            .map(|&t| (lx.toks[t].line, lx.text(t)))
+            .collect();
+        let contract = parse_contract_parts(&parts);
+
+        let body = find_body(lx, name_tok);
+        items.push(FnItem {
+            file,
+            name,
+            line,
+            is_unsafe,
+            has_self: has_self_receiver(lx, name_tok),
+            target_feature,
+            no_panic,
+            contract,
+            body,
+        });
+    }
+    items
+}
+
+/// If tokens `(open..close)` are a `target_feature(enable = "X")`
+/// attribute body, return `X`.
+fn attr_target_feature(lx: &Lexed, open: usize, close: usize) -> Option<String> {
+    let mut i = open;
+    let mut seen_tf = false;
+    while i < close {
+        if lx.is_ident(i, "target_feature") {
+            seen_tf = true;
+        }
+        if seen_tf && lx.toks[i].kind == TokKind::Str {
+            let s = lx.text(i);
+            return Some(s.trim_matches('"').to_string());
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Does the parameter list open with a `self` receiver? Method calls
+/// (`x.name(..)`) only resolve to fns that take `self`, so an atomic
+/// `.load(Ordering)` cannot alias a free fn named `load`.
+fn has_self_receiver(lx: &Lexed, name_tok: usize) -> bool {
+    let mut angle = 0i32;
+    let mut i = name_tok;
+    while let Some(j) = lx.next_code(i) {
+        i = j;
+        if lx.toks[j].kind != TokKind::Punct {
+            continue;
+        }
+        match lx.src.as_bytes()[lx.toks[j].lo as usize] {
+            b'<' => angle += 1,
+            b'>' => {
+                let arrow = j > 0 && lx.is_punct(j - 1, '-') && lx.toks[j - 1].hi == lx.toks[j].lo;
+                if !arrow && angle > 0 {
+                    angle -= 1;
+                }
+            }
+            b'(' if angle == 0 => {
+                // Walk `& 'a mut` prefixes, then require the ident `self`.
+                let mut k = j;
+                while let Some(m) = lx.next_code(k) {
+                    k = m;
+                    match lx.toks[m].kind {
+                        TokKind::Lifetime => {}
+                        TokKind::Punct if lx.is_punct(m, '&') => {}
+                        TokKind::Ident if lx.text(m) == "mut" => {}
+                        TokKind::Ident => return lx.text(m) == "self",
+                        _ => return false,
+                    }
+                }
+                return false;
+            }
+            b'{' | b';' if angle == 0 => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// From the fn name token, locate the body brace pair: skip the generic
+/// parameter list (tracking `<`/`>` depth, ignoring `->` arrows), jump
+/// the argument parens via the pair map, then scan the return type and
+/// where-clause for the opening `{` (body) or `;` (declaration only).
+fn find_body(lx: &Lexed, name_tok: usize) -> Option<(usize, usize)> {
+    let mut angle = 0i32;
+    let mut i = name_tok;
+    let mut seen_params = false;
+    while let Some(j) = lx.next_code(i) {
+        i = j;
+        if lx.toks[j].kind == TokKind::Punct {
+            let c = lx.src.as_bytes()[lx.toks[j].lo as usize];
+            match c {
+                b'<' => angle += 1,
+                b'>' => {
+                    // `->` is an arrow, not a generic close. The two
+                    // puncts are adjacent in the source.
+                    let arrow =
+                        j > 0 && lx.is_punct(j - 1, '-') && lx.toks[j - 1].hi == lx.toks[j].lo;
+                    if !arrow && angle > 0 {
+                        angle -= 1;
+                    }
+                }
+                b'(' | b'[' => {
+                    let close = lx.pair(j)?;
+                    if c == b'(' && angle == 0 && !seen_params {
+                        seen_params = true;
+                    }
+                    i = close;
+                }
+                b'{' if angle == 0 => {
+                    if !seen_params {
+                        return None; // malformed; bail out
+                    }
+                    return lx.pair(j).map(|close| (j, close));
+                }
+                b';' if angle == 0 && seen_params => return None,
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn items_of(src: &str) -> Vec<FnItem> {
+        extract_file(0, &lex(src))
+    }
+
+    #[test]
+    fn simple_fn_with_body() {
+        let it = items_of("pub fn add(a: u32, b: u32) -> u32 { a + b }\n");
+        assert_eq!(it.len(), 1);
+        assert_eq!(it[0].name, "add");
+        assert!(!it[0].is_unsafe);
+        assert!(it[0].body.is_some());
+    }
+
+    #[test]
+    fn unsafe_and_target_feature_detected() {
+        let src = "#[target_feature(enable = \"avx2\")]\n\
+                   pub unsafe fn k(p: *const f64) {}\n";
+        let it = items_of(src);
+        assert_eq!(it.len(), 1);
+        assert!(it[0].is_unsafe);
+        assert_eq!(it[0].target_feature.as_deref(), Some("avx2"));
+    }
+
+    #[test]
+    fn generics_and_return_types_do_not_confuse_body() {
+        let src = "fn f<F: Fn(u32) -> u32, const N: usize>(x: F) -> [u64; N] { loop {} }\n";
+        let it = items_of(src);
+        assert_eq!(it.len(), 1);
+        let (open, close) = it[0].body.unwrap();
+        assert!(open < close);
+    }
+
+    #[test]
+    fn trait_method_declaration_has_no_body() {
+        let it = items_of("trait T { fn m(&self) -> u32; }\n");
+        assert_eq!(it.len(), 1);
+        assert!(it[0].body.is_none());
+    }
+
+    #[test]
+    fn no_panic_and_contract_read_from_annotation_block() {
+        let src = "// AUDIT: no_panic\n\
+                   // SAFETY: (bounds=i < n, aliasing=disjoint) claimed ranges.\n\
+                   #[inline]\n\
+                   pub unsafe fn k(p: *mut f64, i: usize) {}\n";
+        let it = items_of(src);
+        assert!(it[0].no_panic);
+        let c = it[0].contract.as_ref().unwrap();
+        assert_eq!(c.get("bounds"), Some("i < n"));
+        assert_eq!(c.get("aliasing"), Some("disjoint"));
+    }
+
+    #[test]
+    fn contract_parser_accepts_both_spellings() {
+        let colon = parse_contract("// SAFETY: (cpu=avx2) caller checked.", 1).unwrap();
+        assert_eq!(colon.get("cpu"), Some("avx2"));
+        let bare = parse_contract("// SAFETY(align=64, cpu=avx2)", 2).unwrap();
+        assert_eq!(bare.get("align"), Some("64"));
+        assert!(parse_contract("// SAFETY: plain prose only.", 3).is_none());
+    }
+
+    #[test]
+    fn unknown_keys_reported() {
+        let c = parse_contract("// SAFETY: (cpu=avx2, alignment=64)", 1).unwrap();
+        assert_eq!(c.unknown_keys(), ["alignment"]);
+    }
+
+    #[test]
+    fn waivers_cover_own_and_next_code_line() {
+        let src = "fn f(v: &[u32]) -> u32 {\n\
+                       // AUDIT: waiver(len checked at entry)\n\
+                       v[0]\n\
+                   }\n";
+        let ann = annotations(&lex(src));
+        assert_eq!(
+            ann.waived.get(&2).map(String::as_str),
+            Some("len checked at entry")
+        );
+        assert_eq!(
+            ann.waived.get(&3).map(String::as_str),
+            Some("len checked at entry")
+        );
+        assert!(!ann.waived.contains_key(&1));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let it = items_of("type Op = fn(u32) -> u32;\nfn real() {}\n");
+        assert_eq!(it.len(), 1);
+        assert_eq!(it[0].name, "real");
+    }
+}

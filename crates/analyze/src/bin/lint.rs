@@ -1,41 +1,11 @@
-//! `dcmesh-analyze --bin lint` — walk the workspace sources and fail on
-//! hygiene violations. See [`dcmesh_analyze::lint`] for the rules.
-//!
-//! Usage: `cargo run -p dcmesh-analyze --bin lint [ROOT]`. Without an
-//! argument the workspace root is found by walking up from this crate's
-//! manifest directory.
+//! `dcmesh-analyze --bin lint` — kept as an alias for the `audit`
+//! binary so existing invocations (CI scripts, editor hooks) still
+//! work. The full audit runs: the original hygiene lints plus the
+//! panic-freedom and SAFETY-contract passes. See
+//! [`dcmesh_analyze::audit`].
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = match std::env::args().nth(1) {
-        Some(p) => PathBuf::from(p),
-        None => {
-            let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-            match dcmesh_analyze::lint::find_workspace_root(&manifest) {
-                Some(r) => r,
-                None => {
-                    eprintln!("lint: could not locate workspace root from {manifest:?}");
-                    return ExitCode::FAILURE;
-                }
-            }
-        }
-    };
-    let findings = match dcmesh_analyze::lint::scan_workspace(&root) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("lint: scan failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if findings.is_empty() {
-        println!("lint: clean ({})", root.display());
-        return ExitCode::SUCCESS;
-    }
-    for f in &findings {
-        eprintln!("{f}");
-    }
-    eprintln!("lint: {} finding(s)", findings.len());
-    ExitCode::FAILURE
+    dcmesh_analyze::audit::cli_main(std::env::args().skip(1))
 }

@@ -33,6 +33,8 @@
 //! instrumentation point costs one relaxed atomic load — the same
 //! contract `dcmesh-obs` spans make.
 
+pub mod audit;
+pub mod lex;
 pub mod lint;
 pub mod race;
 pub mod sched;

@@ -1,15 +1,22 @@
 //! Source-level hygiene lint for the repo's concurrency invariants.
 //!
-//! A deliberately lightweight, text-based scanner (no syn, no external
-//! deps — the build environment is offline) that walks the workspace
-//! sources and enforces the rules `cargo` cannot express per-path:
+//! The rules are enforced over the shared lexed-token front end
+//! ([`crate::lex`]) — one lex per file, shared with the [`crate::audit`]
+//! passes — instead of the original regex/strip line scanner. The lexer
+//! closes that scanner's two blind spots (raw string literals and
+//! nested block comments) for good: banned patterns are matched on
+//! *code tokens*, so nothing inside a comment or any string form can
+//! trip a rule, and nothing after a raw string can hide from one.
+//!
+//! The rules `cargo` cannot express per-path:
 //!
 //! 1. **undocumented-unsafe** — every `unsafe` block or `unsafe impl`
 //!    must carry a `// SAFETY:` comment on the same line or within the
 //!    preceding comment block; every `unsafe fn` declaration must have a
 //!    `# Safety` doc section (or a `// SAFETY:` comment). This backstops
 //!    `clippy::undocumented_unsafe_blocks` for the vendored shims and
-//!    for target configurations clippy does not visit.
+//!    for target configurations clippy does not visit. The structured
+//!    contract form `// SAFETY: (key=value, ...)` (see `audit`) counts.
 //! 2. **thread-spawn** — `thread::spawn` is allowed only inside
 //!    `crates/pool` (the one owner of execution resources) and
 //!    `crates/analyze` (the explorer must create controlled threads).
@@ -35,15 +42,16 @@
 //! 7. **target-feature** — every `#[target_feature(...)]` function must
 //!    carry a `SAFETY:` comment (or a `# Safety` doc section) stating
 //!    the CPU-support contract: who proved the features are available
-//!    before this code runs.
+//!    before this code runs. (The `audit` pass additionally requires
+//!    the structured `cpu=` key and checks every call site.)
 //!
-//! Comments and string literals are stripped before matching, so rule
-//! text inside docs (like this paragraph) does not trip the scanner.
 //! Paths containing `/fixtures/` are skipped — they hold deliberately
 //! failing inputs for the negative-path tests.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+use crate::lex::{self, Lexed, TokKind};
 
 /// Crates whose sources must not read wall clocks (rule 3).
 const KERNEL_CRATES: [&str; 6] = [
@@ -56,7 +64,7 @@ const KERNEL_CRATES: [&str; 6] = [
 ];
 
 /// Directories scanned relative to the workspace root.
-const SCAN_ROOTS: [&str; 5] = ["crates", "vendor/rayon", "src", "tests", "examples"];
+pub(crate) const SCAN_ROOTS: [&str; 5] = ["crates", "vendor/rayon", "src", "tests", "examples"];
 
 /// Which invariant a finding violates.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -77,9 +85,10 @@ pub enum Rule {
     TargetFeature,
 }
 
-impl fmt::Display for Rule {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl Rule {
+    /// Stable kebab-case name (CI log and JSON report key).
+    pub fn name(self) -> &'static str {
+        match self {
             Rule::UndocumentedUnsafe => "undocumented-unsafe",
             Rule::ThreadSpawn => "thread-spawn",
             Rule::WallClock => "wall-clock",
@@ -87,8 +96,13 @@ impl fmt::Display for Rule {
             Rule::PrintlnMetrics => "println-metrics",
             Rule::RawArch => "raw-arch",
             Rule::TargetFeature => "target-feature",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -115,203 +129,187 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Strip `//` comments and the contents of string literals from one
-/// line, so pattern matching only sees code. Byte-string and raw-string
-/// edge cases degrade to over-stripping, which is safe (no false
-/// positives; the tree does not hide the banned patterns in raw strings).
-fn code_only(line: &str) -> String {
-    let mut out = String::with_capacity(line.len());
-    let mut chars = line.chars().peekable();
-    let mut in_str = false;
-    let mut in_char = false;
-    while let Some(c) = chars.next() {
-        if in_str {
-            match c {
-                '\\' => {
-                    let _ = chars.next();
-                }
-                '"' => in_str = false,
-                _ => {}
-            }
-            continue;
-        }
-        if in_char {
-            match c {
-                '\\' => {
-                    let _ = chars.next();
-                }
-                '\'' => in_char = false,
-                _ => {}
-            }
-            continue;
-        }
-        match c {
-            '/' if chars.peek() == Some(&'/') => break, // comment tail
-            '"' => {
-                in_str = true;
-                out.push('"');
-            }
-            // A lifetime tick (`'a`) vs. a char literal: treat a quote
-            // followed by an alphanumeric + non-quote as a lifetime.
-            '\'' => {
-                let next_is_alpha = chars
-                    .peek()
-                    .map(|n| n.is_alphanumeric() || *n == '_')
-                    .unwrap_or(false);
-                if next_is_alpha {
-                    // Look ahead two: 'x' is a char literal, 'xy a lifetime.
-                    let mut clone = chars.clone();
-                    let _ = clone.next();
-                    if clone.peek() == Some(&'\'') {
-                        in_char = true;
-                    }
-                }
-                out.push('\'');
-            }
-            _ => out.push(c),
-        }
-    }
-    out
-}
-
-/// Does `code` contain `unsafe` as a standalone keyword?
-fn has_unsafe_keyword(code: &str) -> bool {
-    let bytes = code.as_bytes();
-    let mut start = 0;
-    while let Some(pos) = code[start..].find("unsafe") {
-        let at = start + pos;
-        let before_ok = at == 0 || !bytes[at - 1].is_ascii_alphanumeric() && bytes[at - 1] != b'_';
-        let after = at + "unsafe".len();
-        let after_ok =
-            after >= bytes.len() || !bytes[after].is_ascii_alphanumeric() && bytes[after] != b'_';
-        if before_ok && after_ok {
-            return true;
-        }
-        start = after;
-    }
-    false
-}
-
 /// How many preceding lines may carry the `SAFETY:` comment.
 const SAFETY_LOOKBACK: usize = 6;
 
+/// Does this comment/doc line carry safety evidence? Both the prose
+/// form (`SAFETY: ...`) and the structured contract form
+/// (`SAFETY(key=value, ...)`) count.
+fn has_safety_evidence(line: &str) -> bool {
+    line.contains("SAFETY:") || line.contains("SAFETY(")
+}
+
 /// Scan one file's contents. `rel_path` (workspace-relative, `/`
-/// separators) selects the path-dependent rules.
+/// separators) selects the path-dependent rules. Lexes the file and
+/// delegates to [`scan_lexed`]; when the caller already holds a
+/// [`Lexed`] (the audit corpus), use [`scan_lexed`] directly so the
+/// file is lexed exactly once across all rules and passes.
 pub fn scan_source(rel_path: &str, contents: &str) -> Vec<Finding> {
+    scan_lexed(rel_path, &lex::lex(contents))
+}
+
+/// Run every lint rule over an already-lexed file.
+pub fn scan_lexed(rel_path: &str, lx: &Lexed) -> Vec<Finding> {
     let mut findings = Vec::new();
-    let lines: Vec<&str> = contents.lines().collect();
+    let lines: Vec<&str> = lx.src.lines().collect();
     let in_pool_or_analyze =
         rel_path.starts_with("crates/pool/") || rel_path.starts_with("crates/analyze/");
     let in_kernel_crate = KERNEL_CRATES
         .iter()
         .any(|k| rel_path.starts_with(&format!("{k}/")));
-    let is_obs = rel_path.starts_with("crates/obs/");
-
     let in_simd_module = rel_path.starts_with("crates/math/src/simd/");
 
-    let spawn_pat = ["thread", "spawn"].join("::"); // avoid self-matching
-    let instant_pat = ["Instant", "now"].join("::");
-    let static_mut_pat = ["static", "mut "].join(" ");
-    let println_pats = [
-        ["println", "("].join("!"),
-        ["eprintln", "("].join("!"),
-        ["print", "("].join("!"),
-    ];
-    let arch_pats = [["std", "arch"].join("::"), ["core", "arch"].join("::")];
-    let tf_pat = ["#[target", "feature("].join("_");
+    // One finding per line for the unsafe rule (a line with several
+    // `unsafe` tokens is still one violation, as under the old scanner).
+    let mut unsafe_flagged_line = 0usize;
 
-    for (idx, raw) in lines.iter().enumerate() {
-        let line_no = idx + 1;
-        let code = code_only(raw);
-
-        if code.contains(&static_mut_pat) {
-            findings.push(Finding {
-                path: rel_path.to_string(),
-                line: line_no,
-                rule: Rule::StaticMut,
-                message: "mutable statics are banned; use atomics or OnceLock".into(),
-            });
+    let toks = &lx.toks;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident {
+            continue;
         }
-
-        if !in_pool_or_analyze && code.contains(&spawn_pat) {
-            findings.push(Finding {
-                path: rel_path.to_string(),
-                line: line_no,
-                rule: Rule::ThreadSpawn,
-                message: "raw thread spawns belong to crates/pool; dispatch through the pool"
-                    .into(),
-            });
-        }
-
-        if in_kernel_crate && !is_obs && code.contains(&instant_pat) {
-            findings.push(Finding {
-                path: rel_path.to_string(),
-                line: line_no,
-                rule: Rule::WallClock,
-                message: "kernel crates must not read wall clocks; use dcmesh-obs spans".into(),
-            });
-        }
-
-        if in_kernel_crate && !is_obs && println_pats.iter().any(|p| code.contains(p)) {
-            findings.push(Finding {
-                path: rel_path.to_string(),
-                line: line_no,
-                rule: Rule::PrintlnMetrics,
-                message: "kernel crates must not print; record dcmesh-obs metrics instead".into(),
-            });
-        }
-
-        if !in_simd_module && arch_pats.iter().any(|p| code.contains(p)) {
-            findings.push(Finding {
-                path: rel_path.to_string(),
-                line: line_no,
-                rule: Rule::RawArch,
-                message: "raw arch intrinsics live in crates/math/src/simd/ only; \
-                          dispatch through dcmesh_math::simd"
-                    .into(),
-            });
-        }
-
-        if code.contains(&tf_pat) && !target_feature_is_documented(&lines, idx) {
-            findings.push(Finding {
-                path: rel_path.to_string(),
-                line: line_no,
-                rule: Rule::TargetFeature,
-                message: "target_feature fn needs a SAFETY comment (or `# Safety` doc) \
-                          naming who verified CPU support"
-                    .into(),
-            });
-        }
-
-        if has_unsafe_keyword(&code) && !unsafe_is_documented(&lines, idx, raw) {
-            findings.push(Finding {
-                path: rel_path.to_string(),
-                line: line_no,
-                rule: Rule::UndocumentedUnsafe,
-                message: "missing SAFETY comment (or `# Safety` doc for an unsafe fn)".into(),
-            });
+        let line_no = tok.line as usize;
+        let text = lx.text(i);
+        match text {
+            // `static mut NAME` — the `mut` directly follows.
+            "static" if lx.next_code(i).is_some_and(|j| lx.is_ident(j, "mut")) => {
+                findings.push(Finding {
+                    path: rel_path.to_string(),
+                    line: line_no,
+                    rule: Rule::StaticMut,
+                    message: "mutable statics are banned; use atomics or OnceLock".into(),
+                });
+            }
+            "spawn" if !in_pool_or_analyze && path_prefix_is(lx, i, "thread") => {
+                findings.push(Finding {
+                    path: rel_path.to_string(),
+                    line: line_no,
+                    rule: Rule::ThreadSpawn,
+                    message: "raw thread spawns belong to crates/pool; dispatch through \
+                                 the pool"
+                        .into(),
+                });
+            }
+            "now" if in_kernel_crate && path_prefix_is(lx, i, "Instant") => {
+                findings.push(Finding {
+                    path: rel_path.to_string(),
+                    line: line_no,
+                    rule: Rule::WallClock,
+                    message: "kernel crates must not read wall clocks; use dcmesh-obs \
+                                 spans"
+                        .into(),
+                });
+            }
+            "println" | "eprintln" | "print" if in_kernel_crate && macro_bang_paren(lx, i) => {
+                findings.push(Finding {
+                    path: rel_path.to_string(),
+                    line: line_no,
+                    rule: Rule::PrintlnMetrics,
+                    message: "kernel crates must not print; record dcmesh-obs metrics \
+                                 instead"
+                        .into(),
+                });
+            }
+            "arch"
+                if !in_simd_module
+                    && (path_prefix_is(lx, i, "std") || path_prefix_is(lx, i, "core")) =>
+            {
+                findings.push(Finding {
+                    path: rel_path.to_string(),
+                    line: line_no,
+                    rule: Rule::RawArch,
+                    message: "raw arch intrinsics live in crates/math/src/simd/ \
+                                      only; dispatch through dcmesh_math::simd"
+                        .into(),
+                });
+            }
+            "target_feature" => {
+                // `#[target_feature(...)]`: preceded by `#` `[`,
+                // followed by `(`.
+                let attr = lx.prev_code(i).is_some_and(|j| lx.is_punct(j, '['))
+                    && lx
+                        .prev_code(i)
+                        .and_then(|j| lx.prev_code(j))
+                        .is_some_and(|j| lx.is_punct(j, '#'))
+                    && lx.next_code(i).is_some_and(|j| lx.is_punct(j, '('));
+                if attr && !target_feature_is_documented(&lines, line_no - 1) {
+                    findings.push(Finding {
+                        path: rel_path.to_string(),
+                        line: line_no,
+                        rule: Rule::TargetFeature,
+                        message: "target_feature fn needs a SAFETY comment (or `# Safety` \
+                                     doc) naming who verified CPU support"
+                            .into(),
+                    });
+                }
+            }
+            "unsafe" => {
+                let is_fn_decl = lx
+                    .next_code(i)
+                    .is_some_and(|j| lx.is_ident(j, "fn") || lx.is_ident(j, "trait"));
+                if line_no != unsafe_flagged_line
+                    && !unsafe_is_documented(&lines, line_no - 1, is_fn_decl)
+                {
+                    unsafe_flagged_line = line_no;
+                    findings.push(Finding {
+                        path: rel_path.to_string(),
+                        line: line_no,
+                        rule: Rule::UndocumentedUnsafe,
+                        message: "missing SAFETY comment (or `# Safety` doc for an unsafe fn)"
+                            .into(),
+                    });
+                }
+            }
+            _ => {}
         }
     }
+    findings.sort_by_key(|f| f.line);
     findings
 }
 
-/// Is the `unsafe` at `lines[idx]` covered by a safety comment?
+/// Is token `i` the last segment of a path whose previous segment is
+/// `seg` (i.e. the tokens read `seg :: <i>`)?
+fn path_prefix_is(lx: &Lexed, i: usize, seg: &str) -> bool {
+    let Some(c2) = lx.prev_code(i) else {
+        return false;
+    };
+    if !lx.is_punct(c2, ':') {
+        return false;
+    }
+    let Some(c1) = lx.prev_code(c2) else {
+        return false;
+    };
+    if !lx.is_punct(c1, ':') {
+        return false;
+    }
+    lx.prev_code(c1).is_some_and(|j| lx.is_ident(j, seg))
+}
+
+/// Is token `i` a macro invocation head `ident ! (`?
+fn macro_bang_paren(lx: &Lexed, i: usize) -> bool {
+    let Some(bang) = lx.next_code(i) else {
+        return false;
+    };
+    if !lx.is_punct(bang, '!') {
+        return false;
+    }
+    lx.next_code(bang).is_some_and(|j| lx.is_punct(j, '('))
+}
+
+/// Is the `unsafe` on `lines[idx]` covered by a safety comment?
 ///
 /// Accepted evidence, searching the same line then up to
 /// [`SAFETY_LOOKBACK`] preceding lines without leaving the contiguous
 /// comment/attribute block above the item:
-/// * a `SAFETY:` line comment (the clippy convention), or
+/// * a `SAFETY:` line comment (the clippy convention) or a structured
+///   `SAFETY(...)` contract, or
 /// * a `# Safety` doc heading for `unsafe fn` declarations (which may
 ///   sit further up, above the attributes and other doc text — for fn
 ///   declarations the whole contiguous doc block is searched).
-fn unsafe_is_documented(lines: &[&str], idx: usize, raw: &str) -> bool {
-    if raw.contains("SAFETY:") {
+fn unsafe_is_documented(lines: &[&str], idx: usize, is_fn_decl: bool) -> bool {
+    if lines.get(idx).is_some_and(|l| has_safety_evidence(l)) {
         return true;
     }
-    let code = code_only(raw);
-    // Trait declarations take the same `# Safety` doc convention as fns
-    // (the section states the implementor's contract).
-    let is_fn_decl = code.contains("unsafe fn") || code.contains("unsafe trait");
     // Walk upward through the contiguous comment/attribute block.
     let mut steps = 0;
     let mut i = idx;
@@ -319,7 +317,7 @@ fn unsafe_is_documented(lines: &[&str], idx: usize, raw: &str) -> bool {
         i -= 1;
         let above = lines[i].trim_start();
         let is_annotation = above.starts_with("//") || above.starts_with('#') || above.is_empty();
-        if above.contains("SAFETY:") {
+        if has_safety_evidence(above) {
             return true;
         }
         if is_fn_decl && above.contains("# Safety") {
@@ -344,20 +342,20 @@ fn unsafe_is_documented(lines: &[&str], idx: usize, raw: &str) -> bool {
     false
 }
 
-/// Is the `#[target_feature]` at `lines[idx]` covered by a safety
+/// Is the `#[target_feature]` on `lines[idx]` covered by a safety
 /// contract? Accepted evidence: `SAFETY:` on the attribute line itself,
 /// in the comment/attribute lines *between* the attribute and the fn
 /// signature (the idiom for safe feature-gated helpers), or — searching
 /// upward through the contiguous doc/attribute block — a `SAFETY:`
 /// comment or `# Safety` doc heading.
 fn target_feature_is_documented(lines: &[&str], idx: usize) -> bool {
-    if lines[idx].contains("SAFETY:") {
+    if lines.get(idx).is_some_and(|l| has_safety_evidence(l)) {
         return true;
     }
     let mut i = idx + 1;
     while i < lines.len() {
         let below = lines[i].trim_start();
-        if below.contains("SAFETY:") {
+        if has_safety_evidence(below) {
             return true;
         }
         if !(below.starts_with("//") || below.starts_with('#') || below.is_empty()) {
@@ -369,7 +367,7 @@ fn target_feature_is_documented(lines: &[&str], idx: usize) -> bool {
     while i > 0 {
         i -= 1;
         let above = lines[i].trim_start();
-        if above.contains("SAFETY:") || above.contains("# Safety") {
+        if has_safety_evidence(above) || above.contains("# Safety") {
             return true;
         }
         if !(above.starts_with("//") || above.starts_with('#') || above.is_empty()) {
@@ -381,7 +379,7 @@ fn target_feature_is_documented(lines: &[&str], idx: usize) -> bool {
 
 /// Recursively collect `.rs` files under `dir`, skipping fixtures and
 /// build artifacts.
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+pub(crate) fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
@@ -400,7 +398,11 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Scan the workspace rooted at `root`; returns every finding.
+/// Scan the workspace rooted at `root`; returns every lint finding.
+///
+/// This is the legacy entry point (the `lint` binary). The `audit`
+/// binary runs the same rules *plus* the call-graph and contract passes
+/// over a shared one-lex-per-file corpus — see [`crate::audit`].
 pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut files = Vec::new();
     for sub in SCAN_ROOTS {
@@ -447,6 +449,14 @@ mod tests {
     }
 
     #[test]
+    fn structured_contract_counts_as_documentation() {
+        let src =
+            "fn f() {\n    // SAFETY: (bounds=i<len, aliasing=disjoint) claimed ranges.\n    \
+                   let x = unsafe { *p };\n}\n";
+        assert!(scan_source("crates/pool/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
     fn undocumented_unsafe_flagged() {
         let src = "fn f() {\n    let x = unsafe { *p };\n}\n";
         let f = scan_source("crates/pool/src/lib.rs", src);
@@ -466,6 +476,38 @@ mod tests {
     fn unsafe_in_comment_or_string_ignored() {
         let src = "// this mentions unsafe in prose\nlet s = \"unsafe words\";\n";
         assert!(scan_source("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_raw_string_ignored() {
+        // Regression: the legacy strip scanner lost sync on `r#"..."#`
+        // and could mis-attribute the contents.
+        let src = "fn f() -> &'static str {\n    r#\"let x = unsafe { *p }; \"quoted\" \"#\n}\n";
+        assert!(scan_source("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_raw_string_still_scanned() {
+        // Regression: after a raw string the scanner must be back in
+        // sync — the undocumented unsafe below must still be caught.
+        let src = "fn f() {\n    let s = r#\"some \" text\"#;\n    let x = unsafe { *p };\n}\n";
+        let f = scan_source("crates/core/src/lib.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::UndocumentedUnsafe);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_ignored() {
+        // Regression: the legacy scanner did not track block comments;
+        // banned patterns inside nested block comments must not trip,
+        // and code after them must still be scanned.
+        let src = "/* outer /* static mut INNER: u8 = 0; */ tail */\n\
+                   fn f() {\n    let x = unsafe { *p };\n}\n";
+        let f = scan_source("crates/core/src/lib.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::UndocumentedUnsafe);
+        assert_eq!(f[0].line, 3);
     }
 
     #[test]

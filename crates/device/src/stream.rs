@@ -423,11 +423,11 @@ impl<'scope, 'env> NowaitScope<'scope, 'env> {
             }
             LaunchPolicy::Async => {
                 let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(body);
-                // SAFETY: lifetime erasure only. The task cannot outlive
-                // 'scope: `nowait_scope` drains every lane before its frame
-                // returns (on success and on panic), and `Device::synchronize`
-                // offers an earlier settle point. Until then the captured
-                // borrows are live because 'env outlives 'scope.
+                // SAFETY: (bounds=nowait_scope drains every lane before its
+                // frame returns — on success and on panic — so the task
+                // cannot outlive 'scope, aliasing=lifetime erasure only; the
+                // captured borrows stay live because 'env outlives 'scope)
+                // `Device::synchronize` offers an earlier settle point.
                 let task: Box<dyn FnOnce() + Send + 'static> = unsafe {
                     std::mem::transmute::<
                         Box<dyn FnOnce() + Send + 'scope>,

@@ -543,6 +543,7 @@ fn for_each_plane_base(
 /// Teams sweep for the X axis: chunks are aligned *pairs of x-slabs*
 /// (each slab = `ny*nz*norb` contiguous SoA elements), so every team owns
 /// its pair outright.
+// AUDIT: no_panic
 fn sweep_x_teams<R: Real>(
     data: &mut [Complex<R>],
     m: &Mesh3,
@@ -555,13 +556,13 @@ fn sweep_x_teams<R: Real>(
     let s = pass.start;
     // Head lone point (odd pass).
     if s == 1 {
-        apply_lone(&mut data[..slab], pass.lone);
+        apply_lone(&mut data[..slab], pass.lone); // AUDIT: waiver(slab <= data.len() = nx*slab)
     }
     let paired_slabs = (nx - s) / 2 * 2;
     let body_range = s * slab..(s + paired_slabs) * slab;
     let tail_start = s + paired_slabs;
     // Disjoint pairs: one team per pair of slabs.
-    let body = &mut data[body_range];
+    let body = &mut data[body_range]; // AUDIT: waiver(range capped at nx*slab = data.len())
     let n_teams = paired_slabs / 2;
     teams_distribute_mut(body, n_teams, |_, chunk| {
         debug_assert_eq!(chunk.len(), 2 * slab);
@@ -570,8 +571,8 @@ fn sweep_x_teams<R: Real>(
             for nb in (0..norb).step_by(block_size) {
                 let end = (nb + block_size).min(norb);
                 simd::pair_update(
-                    &mut lo[base + nb..base + end],
-                    &mut hi[base + nb..base + end],
+                    &mut lo[base + nb..base + end], // AUDIT: waiver(base + end <= slab = lo.len())
+                    &mut hi[base + nb..base + end], // AUDIT: waiver(base + end <= slab = hi.len())
                     pass.d,
                     pass.o,
                 );
@@ -581,7 +582,7 @@ fn sweep_x_teams<R: Real>(
     // Tail lone point.
     if tail_start < nx {
         apply_lone(
-            &mut data[tail_start * slab..(tail_start + 1) * slab],
+            &mut data[tail_start * slab..(tail_start + 1) * slab], // AUDIT: waiver(tail_start < nx)
             pass.lone,
         );
     }
@@ -589,6 +590,7 @@ fn sweep_x_teams<R: Real>(
 
 /// Teams sweep for the Y or Z axis: one team per x-slab; the coupled pairs
 /// live entirely inside a slab.
+// AUDIT: no_panic
 fn sweep_yz_teams<R: Real>(
     data: &mut [Complex<R>],
     m: &Mesh3,
@@ -601,7 +603,7 @@ fn sweep_yz_teams<R: Real>(
     let (n_axis, stride, n_other) = match axis {
         Axis::Y => (m.ny, m.nz * norb, m.nz),
         Axis::Z => (m.nz, norb, m.ny),
-        Axis::X => unreachable!("X handled by sweep_x_teams"),
+        Axis::X => unreachable!("X handled by sweep_x_teams"), // AUDIT: waiver(caller dispatches X to sweep_x_teams)
     };
     teams_distribute_mut(data, m.nx, |_, chunk| {
         debug_assert_eq!(chunk.len(), slab);
@@ -610,10 +612,10 @@ fn sweep_yz_teams<R: Real>(
             let line0 = match axis {
                 Axis::Y => other * norb,        // other = k
                 Axis::Z => other * m.nz * norb, // other = j
-                Axis::X => unreachable!(),
+                Axis::X => unreachable!(), // AUDIT: waiver(caller dispatches X to sweep_x_teams)
             };
             if pass.start == 1 {
-                apply_lone(&mut chunk[line0..line0 + norb], pass.lone);
+                apply_lone(&mut chunk[line0..line0 + norb], pass.lone); // AUDIT: waiver(line0 + norb <= slab)
             }
             let mut i = pass.start;
             while i + 1 < n_axis {
@@ -624,8 +626,8 @@ fn sweep_yz_teams<R: Real>(
                 for nb in (0..norb).step_by(block_size) {
                     let end = (nb + block_size).min(norb);
                     simd::pair_update(
-                        &mut head[a + nb..a + end],
-                        &mut tail[nb..end],
+                        &mut head[a + nb..a + end], // AUDIT: waiver(a + end <= b = head.len())
+                        &mut tail[nb..end], // AUDIT: waiver(end <= norb <= stride <= tail.len())
                         pass.d,
                         pass.o,
                     );
@@ -634,12 +636,13 @@ fn sweep_yz_teams<R: Real>(
             }
             if i < n_axis {
                 let c = line0 + i * stride;
-                apply_lone(&mut chunk[c..c + norb], pass.lone);
+                apply_lone(&mut chunk[c..c + norb], pass.lone); // AUDIT: waiver(c + norb <= slab)
             }
         }
     });
 }
 
+// AUDIT: no_panic
 #[inline(always)]
 fn apply_lone<R: Real>(zs: &mut [Complex<R>], lone: Complex<R>) {
     simd::scale(zs, lone);

@@ -34,8 +34,10 @@ type C64 = Complex<f64>;
 /// (re, im) vectors with lane order `[z0 z2 z1 z3]`.
 #[inline]
 #[target_feature(enable = "avx2", enable = "fma")]
-// SAFETY: pure register permutation; inherits the module-wide
-// target-feature caller contract (see `# Safety` on the public kernels).
+// AUDIT: no_panic
+// SAFETY: (cpu=avx2) pure register permutation; inherits the
+// module-wide target-feature caller contract (see `# Safety` on the
+// public kernels).
 fn deinterleave(lo: __m256d, hi: __m256d) -> (__m256d, __m256d) {
     (_mm256_unpacklo_pd(lo, hi), _mm256_unpackhi_pd(lo, hi))
 }
@@ -44,7 +46,8 @@ fn deinterleave(lo: __m256d, hi: __m256d) -> (__m256d, __m256d) {
 /// the two original interleaved ymm registers.
 #[inline]
 #[target_feature(enable = "avx2", enable = "fma")]
-// SAFETY: pure register permutation; see `deinterleave`.
+// AUDIT: no_panic
+// SAFETY: (cpu=avx2) pure register permutation; see `deinterleave`.
 fn interleave(re: __m256d, im: __m256d) -> (__m256d, __m256d) {
     (_mm256_unpacklo_pd(re, im), _mm256_unpackhi_pd(re, im))
 }
@@ -59,6 +62,10 @@ fn interleave(re: __m256d, im: __m256d) -> (__m256d, __m256d) {
 /// Caller must have verified AVX2 and FMA support on this CPU. Slice
 /// lengths must be at least `kw * MR` (a panels) and `kw * NR` (b panels).
 #[target_feature(enable = "avx2", enable = "fma")]
+// AUDIT: no_panic
+// SAFETY: (cpu=avx2, bounds=panel reads capped by kw*MR and kw*NR;
+// tile writes by the MR*NR entry assert, aliasing=disjoint &mut
+// out_re/out_im borrows) loads/stores are unaligned by design.
 pub unsafe fn mk4x4(
     kw: usize,
     a_re: &[f64],
@@ -70,6 +77,7 @@ pub unsafe fn mk4x4(
 ) {
     debug_assert!(a_re.len() >= kw * MR && a_im.len() >= kw * MR);
     debug_assert!(b_re.len() >= kw * NR && b_im.len() >= kw * NR);
+    // AUDIT: waiver(entry guard before the hot loop; tile-size misuse must fail loudly)
     assert!(out_re.len() >= MR * NR && out_im.len() >= MR * NR);
     let mut cre = [_mm256_setzero_pd(); NR];
     let mut cim = [_mm256_setzero_pd(); NR];
@@ -84,15 +92,15 @@ pub unsafe fn mk4x4(
             // SAFETY: as above.
             let bi = _mm256_set1_pd(unsafe { *b_im.get_unchecked(p * NR + j) });
             // (ar + i*ai)(br + i*bi): re = ar*br - ai*bi, im = ar*bi + ai*br.
-            cre[j] = _mm256_fnmadd_pd(ai, bi, _mm256_fmadd_pd(ar, br, cre[j]));
-            cim[j] = _mm256_fmadd_pd(ai, br, _mm256_fmadd_pd(ar, bi, cim[j]));
+            cre[j] = _mm256_fnmadd_pd(ai, bi, _mm256_fmadd_pd(ar, br, cre[j])); // AUDIT: waiver(j < NR tile bound)
+            cim[j] = _mm256_fmadd_pd(ai, br, _mm256_fmadd_pd(ar, bi, cim[j])); // AUDIT: waiver(j < NR tile bound)
         }
     }
     for j in 0..NR {
         // SAFETY: out slices hold >= MR*NR f64 (asserted); j*MR + MR <= MR*NR.
         unsafe {
-            _mm256_storeu_pd(out_re.as_mut_ptr().add(j * MR), cre[j]);
-            _mm256_storeu_pd(out_im.as_mut_ptr().add(j * MR), cim[j]);
+            _mm256_storeu_pd(out_re.as_mut_ptr().add(j * MR), cre[j]); // AUDIT: waiver(j < NR tile bound)
+            _mm256_storeu_pd(out_im.as_mut_ptr().add(j * MR), cim[j]); // AUDIT: waiver(j < NR tile bound)
         }
     }
 }
@@ -104,6 +112,9 @@ pub unsafe fn mk4x4(
 ///
 /// Caller must have verified AVX2 and FMA support on this CPU.
 #[target_feature(enable = "avx2", enable = "fma")]
+// AUDIT: no_panic
+// SAFETY: (cpu=avx2, bounds=vector loop reads i+4 <= vec_n <= n
+// complex values per step; remainder is safe slice iteration)
 pub unsafe fn dotc(a: &[C64], b: &[C64]) -> C64 {
     debug_assert_eq!(a.len(), b.len());
     let n = a.len();
@@ -137,6 +148,7 @@ pub unsafe fn dotc(a: &[C64], b: &[C64]) -> C64 {
     }
     let mut re = hsum(accr);
     let mut im = hsum(acci);
+    // AUDIT: waiver(vec_n = n - n%4 <= n so the remainder range is valid)
     for (x, y) in a[vec_n..].iter().zip(&b[vec_n..]) {
         let z = x.conj() * *y;
         re += z.re;
@@ -148,12 +160,14 @@ pub unsafe fn dotc(a: &[C64], b: &[C64]) -> C64 {
 /// Horizontal sum of a ymm vector's four lanes.
 #[inline]
 #[target_feature(enable = "avx2", enable = "fma")]
-// SAFETY: pure register arithmetic; see `deinterleave`.
+// AUDIT: no_panic
+// SAFETY: (cpu=avx2, bounds=one 4-lane store into the local [f64; 4])
+// pure register arithmetic otherwise; see `deinterleave`.
 fn hsum(v: __m256d) -> f64 {
     let mut lanes = [0.0f64; 4];
     // SAFETY: `lanes` is exactly 4 f64s.
     unsafe { _mm256_storeu_pd(lanes.as_mut_ptr(), v) };
-    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) // AUDIT: waiver(constant lanes 0..4 of [f64; 4])
 }
 
 /// `y += alpha * x` over interleaved complex slices.
@@ -162,6 +176,9 @@ fn hsum(v: __m256d) -> f64 {
 ///
 /// Caller must have verified AVX2 and FMA support on this CPU.
 #[target_feature(enable = "avx2", enable = "fma")]
+// AUDIT: no_panic
+// SAFETY: (cpu=avx2, bounds=vector loop touches i+4 <= vec_n <= n
+// complex values per step, aliasing=x and y are distinct borrows)
 pub unsafe fn axpy(alpha: C64, x: &[C64], y: &mut [C64]) {
     debug_assert_eq!(x.len(), y.len());
     let n = x.len();
@@ -193,6 +210,7 @@ pub unsafe fn axpy(alpha: C64, x: &[C64], y: &mut [C64]) {
         }
         i += 4;
     }
+    // AUDIT: waiver(vec_n = n - n%4 <= n so the remainder range is valid)
     for (xi, yi) in x[vec_n..].iter().zip(&mut y[vec_n..]) {
         *yi += alpha * *xi;
     }
@@ -204,6 +222,9 @@ pub unsafe fn axpy(alpha: C64, x: &[C64], y: &mut [C64]) {
 ///
 /// Caller must have verified AVX2 and FMA support on this CPU.
 #[target_feature(enable = "avx2", enable = "fma")]
+// AUDIT: no_panic
+// SAFETY: (cpu=avx2, bounds=vector loop touches i+4 <= vec_n <= n
+// complex values per step; remainder is safe slice iteration)
 pub unsafe fn scale(zs: &mut [C64], ph: C64) {
     let n = zs.len();
     let pz = zs.as_mut_ptr() as *mut f64;
@@ -228,6 +249,7 @@ pub unsafe fn scale(zs: &mut [C64], ph: C64) {
         }
         i += 4;
     }
+    // AUDIT: waiver(vec_n = n - n%4 <= n so the remainder range is valid)
     for z in &mut zs[vec_n..] {
         *z *= ph;
     }
@@ -240,6 +262,9 @@ pub unsafe fn scale(zs: &mut [C64], ph: C64) {
 ///
 /// Caller must have verified AVX2 and FMA support on this CPU.
 #[target_feature(enable = "avx2", enable = "fma")]
+// AUDIT: no_panic
+// SAFETY: (cpu=avx2, bounds=vector loop touches i+4 <= vec_n <= n
+// complex values per step, aliasing=a and b are disjoint &mut borrows)
 pub unsafe fn pair_update(a: &mut [C64], b: &mut [C64], d: C64, o: C64) {
     debug_assert_eq!(a.len(), b.len());
     let n = a.len();
@@ -287,6 +312,7 @@ pub unsafe fn pair_update(a: &mut [C64], b: &mut [C64], d: C64, o: C64) {
         }
         i += 4;
     }
+    // AUDIT: waiver(vec_n = n - n%4 <= n so the remainder range is valid)
     for (x, y) in a[vec_n..].iter_mut().zip(&mut b[vec_n..]) {
         let u = *x;
         let v = *y;

@@ -148,6 +148,8 @@ fn is_f64<R: Real>() -> bool {
 ///
 /// Caller must have proven `R == f64` (e.g. via [`is_f64`]); the layouts
 /// are then identical and the cast is the identity.
+// SAFETY: (bounds=identity cast; element layout and slice length are
+// unchanged, aliasing=borrow rules carry over from the input reference)
 #[inline(always)]
 unsafe fn cast_slice<R: Real>(s: &[Complex<R>]) -> &[Complex<f64>] {
     // SAFETY: R == f64 per the caller contract, so element layout and
@@ -160,6 +162,8 @@ unsafe fn cast_slice<R: Real>(s: &[Complex<R>]) -> &[Complex<f64>] {
 /// # Safety
 ///
 /// Same contract as [`cast_slice`].
+// SAFETY: (bounds=identity cast; element layout and slice length are
+// unchanged, aliasing=the exclusive borrow carries over from the input)
 #[inline(always)]
 unsafe fn cast_slice_mut<R: Real>(s: &mut [Complex<R>]) -> &mut [Complex<f64>] {
     // SAFETY: R == f64 per the caller contract.
@@ -248,9 +252,9 @@ pub fn pair_update_scalar<R: Real>(
 pub fn dotc_with<R: Real>(backend: Backend, a: &[Complex<R>], b: &[Complex<R>]) -> Complex<R> {
     #[cfg(target_arch = "x86_64")]
     if use_avx2::<R>(backend) {
-        // SAFETY: `use_avx2` proved R == f64.
+        // SAFETY: (bounds=R == f64 per use_avx2 so the casts are identity)
         let (a64, b64) = unsafe { (cast_slice(a), cast_slice(b)) };
-        // SAFETY: `use_avx2` verified AVX2+FMA CPU support.
+        // SAFETY: (cpu=avx2) `use_avx2` verified AVX2+FMA CPU support.
         let r = unsafe { avx2::dotc(a64, b64) };
         return Complex::new(R::from_f64(r.re), R::from_f64(r.im));
     }
@@ -273,9 +277,9 @@ pub fn axpy_with<R: Real>(
 ) {
     #[cfg(target_arch = "x86_64")]
     if use_avx2::<R>(backend) {
-        // SAFETY: `use_avx2` proved R == f64.
+        // SAFETY: (bounds=R == f64 per use_avx2 so the casts are identity)
         let (x64, y64) = unsafe { (cast_slice(x), cast_slice_mut(y)) };
-        // SAFETY: `use_avx2` verified AVX2+FMA CPU support.
+        // SAFETY: (cpu=avx2) `use_avx2` verified AVX2+FMA CPU support.
         unsafe { avx2::axpy(cast_c(alpha), x64, y64) };
         return;
     }
@@ -293,9 +297,9 @@ pub fn axpy<R: Real>(alpha: Complex<R>, x: &[Complex<R>], y: &mut [Complex<R>]) 
 pub fn scale_with<R: Real>(backend: Backend, zs: &mut [Complex<R>], ph: Complex<R>) {
     #[cfg(target_arch = "x86_64")]
     if use_avx2::<R>(backend) {
-        // SAFETY: `use_avx2` proved R == f64.
+        // SAFETY: (bounds=R == f64 per use_avx2 so the casts are identity)
         let z64 = unsafe { cast_slice_mut(zs) };
-        // SAFETY: `use_avx2` verified AVX2+FMA CPU support.
+        // SAFETY: (cpu=avx2) `use_avx2` verified AVX2+FMA CPU support.
         unsafe { avx2::scale(z64, cast_c(ph)) };
         return;
     }
@@ -319,9 +323,9 @@ pub fn pair_update_with<R: Real>(
 ) {
     #[cfg(target_arch = "x86_64")]
     if use_avx2::<R>(backend) {
-        // SAFETY: `use_avx2` proved R == f64.
+        // SAFETY: (bounds=R == f64 per use_avx2 so the casts are identity)
         let (a64, b64) = unsafe { (cast_slice_mut(a), cast_slice_mut(b)) };
-        // SAFETY: `use_avx2` verified AVX2+FMA CPU support.
+        // SAFETY: (cpu=avx2) `use_avx2` verified AVX2+FMA CPU support.
         unsafe { avx2::pair_update(a64, b64, cast_c(d), cast_c(o)) };
         return;
     }

@@ -68,11 +68,13 @@ impl RawArena {
             return;
         }
         let new_cap = bytes.next_power_of_two().max(4096);
+        // AUDIT: waiver(layout error and allocation failure are fatal by design; scratch has no fallible path)
         let layout = Layout::from_size_align(new_cap, ALIGN).expect("arena layout");
-        // SAFETY: `layout` has non-zero size (>= 4096) and valid alignment.
+        // SAFETY: (align=64, bounds=layout covers exactly new_cap zeroed bytes) non-zero size >= 4096.
         let new_ptr = unsafe { alloc_zeroed(layout) };
-        assert!(!new_ptr.is_null(), "arena allocation failed");
+        assert!(!new_ptr.is_null(), "arena allocation failed"); // AUDIT: waiver(OOM is fatal by design)
         if !self.ptr.is_null() {
+            // AUDIT: waiver(cap/ALIGN made a valid layout when allocated; round-trip cannot fail)
             let old_layout = Layout::from_size_align(self.cap, ALIGN).expect("arena layout");
             // SAFETY: `self.ptr` was allocated with exactly `old_layout`.
             unsafe { dealloc(self.ptr, old_layout) };
@@ -114,11 +116,13 @@ fn padded_len<T>(len: usize) -> usize {
 /// Slice `i` has exactly `lens[i]` elements. Contents are **unspecified**
 /// (zero on first use, stale scratch afterwards) — write before reading.
 /// Nested calls are fine: each depth gets a distinct arena.
+// AUDIT: no_panic
 pub fn with_scratch<T: Pod, const N: usize, R>(
     lens: [usize; N],
     f: impl FnOnce([&mut [T]; N]) -> R,
 ) -> R {
     let size = std::mem::size_of::<T>();
+    // AUDIT: waiver(entry guard; a non-dividing element size must fail loudly before any pointer math)
     assert!(
         size > 0 && ALIGN.is_multiple_of(size),
         "arena element size must divide {ALIGN}"
@@ -128,15 +132,13 @@ pub fn with_scratch<T: Pod, const N: usize, R>(
         .with(|stack| stack.borrow_mut().pop())
         .unwrap_or_else(RawArena::new);
     arena.ensure(total_elems * size);
-    let mut slices: [&mut [T]; N] = std::array::from_fn(|_| &mut [][..]);
+    let mut slices: [&mut [T]; N] = std::array::from_fn(|_| &mut [][..]); // AUDIT: waiver(full-range slice of an empty array literal)
     let mut offset = 0usize; // in elements
     for (slot, &len) in slices.iter_mut().zip(lens.iter()) {
-        // SAFETY: `arena.ptr` is live with >= `total_elems * size` bytes at
-        // ALIGN alignment; every slice starts at an element offset that is
-        // a multiple of `ALIGN / size` (offsets accumulate padded lengths),
-        // so each pointer is ALIGN-aligned, and the strictly increasing
-        // offsets keep the N slices pairwise disjoint. `T: Pod` makes the
-        // recycled (or zeroed) bytes valid values.
+        // SAFETY: (align=64, bounds=offset + len stays within the total_elems ensured on the live
+        // arena allocation, aliasing=strictly increasing element offsets keep the N slices pairwise
+        // disjoint) every offset accumulates padded lengths — a multiple of ALIGN/size — so each
+        // slice pointer is ALIGN-aligned, and `T: Pod` makes recycled (or zeroed) bytes valid.
         *slot = unsafe { std::slice::from_raw_parts_mut((arena.ptr as *mut T).add(offset), len) };
         offset += padded_len::<T>(len);
     }

@@ -174,6 +174,7 @@ impl<T> SlicePtr<T> {
             // discard stale shadow state so a reallocation at the same
             // address is not compared against its previous owner's writes.
             let base = slice.as_mut_ptr() as usize;
+            // AUDIT: waiver(race detector is opt-in debug tooling; its panics are the diagnostics)
             race::claim(base, base + std::mem::size_of_val(slice));
         }
         Self {
@@ -209,6 +210,9 @@ impl<T> SlicePtr<T> {
     ///
     /// The original allocation must still be live and no other reference to
     /// any part of it may be active for the returned lifetime.
+    // SAFETY: (bounds=reconstitutes exactly the len elements captured from
+    // the original borrow, aliasing=caller promises the allocation is live
+    // and no other reference overlaps it for the returned lifetime)
     pub unsafe fn as_mut_slice<'a>(self) -> &'a mut [T] {
         self.shadow_write(0, self.len, "sliceptr.as_mut_slice");
         // SAFETY: caller upholds liveness and exclusivity (see above).
@@ -221,6 +225,8 @@ impl<T> SlicePtr<T> {
     ///
     /// Same liveness requirement as [`Self::as_mut_slice`], and no other
     /// reference to element `i` may be active for the returned lifetime.
+    // SAFETY: (bounds=i < len asserted on entry, aliasing=caller promises
+    // element i is otherwise unreferenced while the allocation stays live)
     pub unsafe fn get_mut<'a>(self, i: usize) -> &'a mut T {
         assert!(i < self.len);
         self.shadow_write(i, i + 1, "sliceptr.get_mut");
@@ -236,6 +242,8 @@ impl<T> SlicePtr<T> {
     /// Same liveness requirement as [`Self::as_mut_slice`], and accesses to
     /// overlapping ranges must not be concurrent. `lo <= hi <= len` is
     /// checked.
+    // SAFETY: (bounds=lo <= hi <= len asserted on entry, aliasing=caller
+    // promises concurrent accesses never overlap this range)
     pub unsafe fn subslice_mut<'a>(self, lo: usize, hi: usize) -> &'a mut [T] {
         assert!(lo <= hi && hi <= self.len);
         self.shadow_write(lo, hi, "sliceptr.subslice_mut");
@@ -319,14 +327,17 @@ impl Drop for DispatchFlagGuard {
 }
 
 /// Claim-loop body shared by workers and the dispatching thread.
+// AUDIT: no_panic
 fn run_job(job: JobRef, participant: usize) {
-    // SAFETY: see `JobRef` — the dispatch protocol keeps both pointers live
-    // for as long as any participant is inside this function.
+    // SAFETY: (bounds=the dispatch protocol keeps both pointers live while
+    // any participant is inside this fn, aliasing=the closure is Sync and
+    // JobCore is all atomics and locks) see `JobRef` docs.
     let (core, func) = unsafe { (&*job.core, &*job.func) };
     core.participants.fetch_add(1, Ordering::Relaxed);
     if let Some(pkt) = &core.race_launch {
         // Everything the dispatcher did before publishing the job
         // happens-before this participant's writes.
+        // AUDIT: waiver(race detector is opt-in debug tooling; its panics are the diagnostics)
         race::join(pkt);
     }
     loop {
@@ -362,6 +373,7 @@ fn run_job(job: JobRef, participant: usize) {
     }
     if core.race_launch.is_some() {
         // This participant's writes happen-before the dispatcher's settle.
+        // AUDIT: waiver(race detector is opt-in debug tooling; its panics are the diagnostics)
         let done = race::fork();
         core.race_done
             .lock()
@@ -500,9 +512,10 @@ impl ThreadPool {
             race_launch: race::enabled().then(race::fork),
             race_done: std::sync::Mutex::new(Vec::new()),
         };
-        // SAFETY: lifetime erasure only — the fat-pointer layout is
-        // unchanged, and the dispatch protocol guarantees the pointee
-        // outlives every dereference (see `JobRef`).
+        // SAFETY: (bounds=the dispatch protocol joins every participant
+        // before returning so the pointee outlives every dereference,
+        // aliasing=lifetime erasure only; the fat-pointer layout is
+        // unchanged) see `JobRef` docs.
         let func: *const (dyn Fn(usize) + Sync) = unsafe {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(func)
         };

@@ -19,8 +19,9 @@ cargo bench --workspace --no-run
 echo "== pool tests at DCMESH_THREADS=2 =="
 DCMESH_THREADS=2 cargo test -q -p dcmesh-pool -p dcmesh-device -p dcmesh-lfd
 
-echo "== unsafe-hygiene lint gate =="
-cargo run -q -p dcmesh-analyze --bin lint
+echo "== static-analysis audit gate (lint + panic-freedom + SAFETY contracts) =="
+# `lint` is kept as an alias of `audit` for older scripts/muscle memory.
+cargo run -q -p dcmesh-analyze --bin audit -- --report
 
 echo "== SIMD forced-scalar equivalence (math + lfd suites) =="
 # The scalar backend must reproduce today's results bit-compatibly; the
