@@ -241,6 +241,44 @@ impl Condvar {
         }
     }
 
+    /// Release `guard`'s mutex, wait for a notification or `timeout`,
+    /// re-acquire. Returns the guard plus whether the wait timed out.
+    ///
+    /// Under exploration the timeout is ignored and this degrades to
+    /// [`Condvar::wait`]: timeouts are a wall-clock escape hatch, and the
+    /// explorer's job is to find the schedules where the notification
+    /// never comes — those must surface as detected deadlocks, not be
+    /// papered over by a timer. Callers therefore must treat a
+    /// `timed_out == false` wakeup as "re-check the predicate", which the
+    /// usual predicate loop already does.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        if guard.controlled && sched::current().is_some() {
+            return (self.wait(guard), false);
+        }
+        let lock = guard.lock;
+        let mut guard = guard;
+        // SAFETY: `mem::forget(guard)` below ensures the std guard is not
+        // dropped a second time.
+        let std_guard = unsafe { ManuallyDrop::take(&mut guard.inner) };
+        std::mem::forget(guard);
+        let (reacquired, result) = self
+            .0
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        (
+            MutexGuard {
+                inner: ManuallyDrop::new(reacquired),
+                lock,
+                controlled: false,
+            },
+            result.timed_out(),
+        )
+    }
+
     /// Wake one waiter (the lowest-tid one, deterministically, under
     /// exploration).
     pub fn notify_one(&self) {

@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! compare [--latency-ratio X] [--phase-ratio X] [--noise-floor-s S]
-//!         [--max-energy-drift X] [--allow-config-change]
+//!         [--max-energy-drift X] [--modeled-ratio X] [--allow-config-change]
 //!         BASELINE.json CANDIDATE.json
 //! ```
 //!
 //! Checks, in order: schema compatibility (hard error), config
 //! fingerprint, log₂-histogram p50 latency ratios, per-phase wall-time
-//! ratios, and the candidate's invariant summary against absolute
+//! ratios, modeled scaling step-time gauges (`--modeled-ratio`, exact
+//! simulated clocks so 1.0 is a meaningful bound — the overlap-ablation
+//! gate uses it), and the candidate's invariant summary against absolute
 //! thresholds. Exit code 0 = no regression, 1 = regressions listed on
 //! stdout, 2 = usage or unreadable/incomparable records.
 
@@ -20,7 +22,8 @@ use dcmesh_telemetry::{compare, CompareConfig, RunRecord};
 fn usage() -> ! {
     eprintln!(
         "usage: compare [--latency-ratio X] [--phase-ratio X] [--noise-floor-s S] \
-         [--max-energy-drift X] [--allow-config-change] BASELINE.json CANDIDATE.json"
+         [--max-energy-drift X] [--modeled-ratio X] [--allow-config-change] \
+         BASELINE.json CANDIDATE.json"
     );
     std::process::exit(2)
 }
@@ -42,6 +45,7 @@ fn main() -> ExitCode {
             "--phase-ratio" => cfg.phase_ratio = next_f64("--phase-ratio"),
             "--noise-floor-s" => cfg.noise_floor_s = next_f64("--noise-floor-s"),
             "--max-energy-drift" => cfg.max_energy_drift = next_f64("--max-energy-drift"),
+            "--modeled-ratio" => cfg.modeled_step_ratio = next_f64("--modeled-ratio"),
             "--allow-config-change" => cfg.require_same_config = false,
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => {

@@ -1,5 +1,11 @@
 //! Fig. 2: weak-scaling parallel efficiency of DC-MESH, 40 atoms per rank,
 //! P = 4 ... 1024 simulated ranks on the modeled Slingshot fabric.
+//!
+//! `--no-overlap` runs the paper's "disable nowait" ablation (halo
+//! exchanges blocking instead of posted before the compute slice), and
+//! `--ranks 4,8,16` overrides the sweep. With `--record`, the modeled
+//! per-step times land in the RunRecord as `scaling.modeled_step_s.p{P}`
+//! gauges so the `compare` bin can gate overlap regressions exactly.
 
 use dcmesh_bench::{paper, BenchArgs};
 use dcmesh_core::metrics::Table;
@@ -10,10 +16,17 @@ fn main() {
     println!("Fig. 2 reproduction — weak-scaling parallel efficiency");
     println!("(one OS thread per simulated rank; compute = calibrated roofline model,");
     println!(" communication = modeled Slingshot dragonfly; see DESIGN.md)\n");
+    if args.no_overlap {
+        println!("halo/compute overlap DISABLED (--no-overlap ablation)\n");
+    }
     args.init_obs();
 
-    let cfg = ScalingConfig::default();
-    let ranks = [4usize, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let cfg = ScalingConfig {
+        overlap: !args.no_overlap,
+        ..ScalingConfig::default()
+    };
+    let default_ranks = vec![4usize, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let ranks = args.ranks.clone().unwrap_or(default_ranks);
     let points = weak_scaling(&cfg, &ranks);
 
     // Fit-free analytic overlay with the paper's functional form.
@@ -27,6 +40,8 @@ fn main() {
         "Atoms",
         "t/MD step (s, simulated)",
         "Efficiency",
+        "Comm wait (s)",
+        "Overlap",
         "Analytic model",
     ]);
     for p in &points {
@@ -35,13 +50,23 @@ fn main() {
             p.atoms.to_string(),
             format!("{:.3}", p.sim_seconds),
             format!("{:.4}", p.efficiency),
+            format!("{:.2e}", p.comm_wait_s),
+            format!("{:.3}", p.overlap_ratio),
             format!("{:.4}", analytic.weak(cfg.atoms_per_rank as f64, p.ranks)),
         ]);
+        dcmesh_obs::metrics::gauge_set(
+            &format!("scaling.modeled_step_s.p{}", p.ranks),
+            p.sim_seconds,
+        );
+    }
+    if let Some(last) = points.last() {
+        dcmesh_obs::metrics::gauge_set("comm.overlap_ratio", last.overlap_ratio);
     }
     println!("{}", table.render());
     let last = points.last().unwrap();
     println!(
-        "efficiency at P = 1024: {:.4} (paper: {:.4})",
+        "efficiency at P = {}: {:.4} (paper at P = 1024: {:.4})",
+        last.ranks,
         last.efficiency,
         paper::WEAK_EFF_1024
     );

@@ -1,5 +1,10 @@
 //! Fig. 3: strong-scaling parallel efficiency for 5,120- and 10,240-atom
 //! PbTiO3 systems (constant total problem, rank sweep).
+//!
+//! `--no-overlap` runs the paper's "disable nowait" ablation (blocking
+//! halo exchanges), and `--ranks 64,128,256` overrides both sweeps. With
+//! `--record`, modeled per-step times are published as
+//! `scaling.modeled_step_s.a{atoms}.p{P}` gauges for the compare gate.
 
 use dcmesh_bench::{paper, BenchArgs};
 use dcmesh_core::metrics::Table;
@@ -9,15 +14,21 @@ fn main() {
     let args = BenchArgs::parse();
     println!("Fig. 3 reproduction — strong-scaling parallel efficiency");
     println!("(simulated ranks; compute modeled, communication modeled; see DESIGN.md)\n");
+    if args.no_overlap {
+        println!("halo/compute overlap DISABLED (--no-overlap ablation)\n");
+    }
     args.init_obs();
 
-    let cfg = ScalingConfig::default();
+    let cfg = ScalingConfig {
+        overlap: !args.no_overlap,
+        ..ScalingConfig::default()
+    };
     let analytic = AnalyticEfficiency {
         alpha: 0.6,
         beta: 1.2,
     };
 
-    for (atoms, ranks, paper_eff, paper_at) in [
+    for (atoms, default_ranks, paper_eff, paper_at) in [
         (
             5120usize,
             vec![64usize, 128, 256],
@@ -31,6 +42,7 @@ fn main() {
             512,
         ),
     ] {
+        let ranks = args.ranks.clone().unwrap_or(default_ranks);
         println!("--- {atoms}-atom PbTiO3 ---");
         let points = strong_scaling(&cfg, atoms, &ranks);
         let mut table = Table::new(&[
@@ -38,6 +50,8 @@ fn main() {
             "Atoms/rank",
             "t/MD step (s, simulated)",
             "Efficiency",
+            "Comm wait (s)",
+            "Overlap",
             "Analytic model",
         ]);
         for p in &points {
@@ -46,18 +60,24 @@ fn main() {
                 (atoms / p.ranks).to_string(),
                 format!("{:.3}", p.sim_seconds),
                 format!("{:.4}", p.efficiency),
+                format!("{:.2e}", p.comm_wait_s),
+                format!("{:.3}", p.overlap_ratio),
                 format!(
                     "{:.4}",
                     analytic.strong(atoms as f64, p.ranks)
                         / analytic.strong(atoms as f64, ranks[0])
                 ),
             ]);
+            dcmesh_obs::metrics::gauge_set(
+                &format!("scaling.modeled_step_s.a{atoms}.p{}", p.ranks),
+                p.sim_seconds,
+            );
         }
         println!("{}", table.render());
         let last = points.last().unwrap();
         println!(
-            "efficiency at P = {paper_at}: {:.4} (paper: {paper_eff:.4})\n",
-            last.efficiency
+            "efficiency at P = {}: {:.4} (paper at P = {paper_at}: {paper_eff:.4})\n",
+            last.ranks, last.efficiency
         );
     }
     println!("shape check: strong scaling degrades faster than weak (P^(1/3), P log P terms),");

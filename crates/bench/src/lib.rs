@@ -54,6 +54,13 @@ pub struct BenchArgs {
     /// RunRecord output path (`--record PATH`); defaults to
     /// `bench_results/<bin>.runrecord.json`.
     pub record: Option<PathBuf>,
+    /// Disable halo/compute overlap in the scaling benches
+    /// (`--no-overlap`) — the paper's "disable nowait" ablation. Halo
+    /// exchanges run blocking (send, then receive, then compute) instead
+    /// of posted-early with the wait after the compute slice.
+    pub no_overlap: bool,
+    /// Override the scaling benches' rank sweep (`--ranks 4,8,16`).
+    pub ranks: Option<Vec<usize>>,
     /// Binary name (from `argv[0]`), used in records and default paths.
     pub bin: String,
 }
@@ -62,7 +69,8 @@ impl BenchArgs {
     /// Parse `--full`, `--scale X`, `--quick`, `--trace PATH`, `--report`,
     /// `--deterministic`, `--threads N`, `--checkpoint-every N`,
     /// `--checkpoint PATH`, `--restore PATH`, `--telemetry`,
-    /// `--record PATH` from `std::env::args`.
+    /// `--record PATH`, `--no-overlap`, `--ranks P1,P2,...` from
+    /// `std::env::args`.
     pub fn parse() -> Self {
         Self::parse_with_default(0.25)
     }
@@ -90,6 +98,8 @@ impl BenchArgs {
             restore: None,
             telemetry: false,
             record: None,
+            no_overlap: false,
+            ranks: None,
             bin,
         };
         let mut it = args.iter().skip(1);
@@ -136,11 +146,25 @@ impl BenchArgs {
                         Some(PathBuf::from(it.next().expect("--record requires a path")));
                     parsed.telemetry = true;
                 }
+                "--no-overlap" => parsed.no_overlap = true,
+                "--ranks" => {
+                    let list = it.next().expect("--ranks requires a comma-separated list");
+                    let ranks: Vec<usize> = list
+                        .split(',')
+                        .map(|v| {
+                            v.trim()
+                                .parse()
+                                .unwrap_or_else(|_| panic!("--ranks: bad rank count {v:?}"))
+                        })
+                        .collect();
+                    assert!(!ranks.is_empty(), "--ranks requires at least one entry");
+                    parsed.ranks = Some(ranks);
+                }
                 other => panic!(
                     "unknown argument: {other} (use --full | --quick | --scale X | \
                      --trace PATH | --report | --deterministic | --threads N | \
                      --checkpoint-every N | --checkpoint PATH | --restore PATH | \
-                     --telemetry | --record PATH)"
+                     --telemetry | --record PATH | --no-overlap | --ranks P1,P2,...)"
                 ),
             }
         }
@@ -486,6 +510,8 @@ mod tests {
             restore: None,
             telemetry: false,
             record: None,
+            no_overlap: false,
+            ranks: None,
             bin: "test_bench".into(),
         }
     }

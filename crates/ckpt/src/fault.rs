@@ -74,6 +74,12 @@ pub struct FaultPlan {
     pub delay_s: f64,
     /// Probability a message is duplicated.
     pub dup_prob: f64,
+    /// Defer each duplicate copy until the sender has posted this many
+    /// *further* messages (0 = replay immediately, adjacent to the
+    /// original). A deferred duplicate models a retransmitted packet
+    /// surfacing long after the original — the adversarial case for any
+    /// bounded receive-side dedup window.
+    pub dup_defer_msgs: u64,
     /// Kill rank `.0` when it performs its `.1`-th communication operation.
     pub kill_rank: Option<(usize, u64)>,
     /// Plant a NaN in a kernel output at this engine step (one-shot).
@@ -88,6 +94,7 @@ impl Default for FaultPlan {
             delay_prob: 0.0,
             delay_s: 0.0,
             dup_prob: 0.0,
+            dup_defer_msgs: 0,
             kill_rank: None,
             nan_at_step: None,
         }
@@ -102,8 +109,9 @@ impl FaultPlan {
 
     /// Parse the `DCMESH_FAULT_PLAN` syntax: comma-separated directives
     /// `seed=N`, `drop=P`, `delay=P@S` (probability `P`, extra seconds
-    /// `S`), `dup=P`, `kill=R@OP` (rank `R` at its `OP`-th comm
-    /// operation), `nan@STEP`.
+    /// `S`), `dup=P` or `dup=P@N` (replay the duplicate after `N` further
+    /// sends), `kill=R@OP` (rank `R` at its `OP`-th comm operation),
+    /// `nan@STEP`.
     ///
     /// Example: `seed=42,drop=0.1,delay=0.5@0.25,kill=1@3,nan@2`.
     pub fn parse(spec: &str) -> Result<Self, String> {
@@ -122,7 +130,15 @@ impl FaultPlan {
                     .parse()
                     .map_err(|_| format!("bad delay seconds: {part}"))?;
             } else if let Some(v) = part.strip_prefix("dup=") {
-                plan.dup_prob = parse_prob(v, part)?;
+                match v.split_once('@') {
+                    Some((p, defer)) => {
+                        plan.dup_prob = parse_prob(p, part)?;
+                        plan.dup_defer_msgs = defer
+                            .parse()
+                            .map_err(|_| format!("bad dup defer count: {part}"))?;
+                    }
+                    None => plan.dup_prob = parse_prob(v, part)?,
+                }
             } else if let Some(v) = part.strip_prefix("kill=") {
                 let (r, op) = v
                     .split_once('@')
@@ -156,7 +172,11 @@ impl FaultPlan {
             parts.push(format!("delay={}@{}", self.delay_prob, self.delay_s));
         }
         if self.dup_prob > 0.0 {
-            parts.push(format!("dup={}", self.dup_prob));
+            if self.dup_defer_msgs > 0 {
+                parts.push(format!("dup={}@{}", self.dup_prob, self.dup_defer_msgs));
+            } else {
+                parts.push(format!("dup={}", self.dup_prob));
+            }
         }
         if let Some((r, op)) = self.kill_rank {
             parts.push(format!("kill={r}@{op}"));
@@ -287,6 +307,13 @@ pub fn message_action(from: usize, to: usize, tag: u64, seq: u64) -> MessageActi
     .unwrap_or(MessageAction::Deliver)
 }
 
+/// How many subsequent messages the sender should post before replaying a
+/// duplicate copy (see [`FaultPlan::dup_defer_msgs`]). Zero — replay
+/// immediately — when disarmed or unset; one relaxed load when disarmed.
+pub fn dup_defer() -> u64 {
+    with_plan(|plan| plan.dup_defer_msgs).unwrap_or(0)
+}
+
 /// True when `rank` should die at its `op`-th communication operation.
 /// Records the kill when it fires.
 pub fn should_kill(rank: usize, op: u64) -> bool {
@@ -410,15 +437,19 @@ mod tests {
 
     #[test]
     fn parse_full_spec() {
-        let plan = FaultPlan::parse("seed=42, drop=0.1, delay=0.5@0.25, dup=0.2, kill=1@3, nan@2")
-            .unwrap();
+        let plan =
+            FaultPlan::parse("seed=42, drop=0.1, delay=0.5@0.25, dup=0.2@100, kill=1@3, nan@2")
+                .unwrap();
         assert_eq!(plan.seed, 42);
         assert_eq!(plan.drop_prob, 0.1);
         assert_eq!(plan.delay_prob, 0.5);
         assert_eq!(plan.delay_s, 0.25);
         assert_eq!(plan.dup_prob, 0.2);
+        assert_eq!(plan.dup_defer_msgs, 100);
         assert_eq!(plan.kill_rank, Some((1, 3)));
         assert_eq!(plan.nan_at_step, Some(2));
+        // Bare `dup=P` keeps the immediate-replay default.
+        assert_eq!(FaultPlan::parse("dup=0.5").unwrap().dup_defer_msgs, 0);
     }
 
     #[test]
@@ -429,12 +460,31 @@ mod tests {
             delay_prob: 0.5,
             delay_s: 0.25,
             dup_prob: 0.2,
+            dup_defer_msgs: 100,
             kill_rank: Some((1, 3)),
             nan_at_step: Some(2),
         };
         assert_eq!(FaultPlan::parse(&plan.spec()).unwrap(), plan);
+        let immediate = FaultPlan {
+            dup_defer_msgs: 0,
+            ..plan
+        };
+        assert_eq!(FaultPlan::parse(&immediate.spec()).unwrap(), immediate);
         assert_eq!(FaultPlan::none().spec(), "");
         assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::none());
+    }
+
+    #[test]
+    fn dup_defer_visible_only_while_armed() {
+        let plan = FaultPlan {
+            dup_prob: 1.0,
+            dup_defer_msgs: 7,
+            ..FaultPlan::none()
+        };
+        with_installed(plan, || assert_eq!(dup_defer(), 7));
+        let _guard = test_lock();
+        clear();
+        assert_eq!(dup_defer(), 0);
     }
 
     #[test]

@@ -7,6 +7,36 @@
 //! every communication operation adds *modeled* network time from
 //! [`NetworkModel`], so a laptop reproduces full-machine timing structure.
 //!
+//! ## Nonblocking API and overlap accounting
+//!
+//! The paper's multi-node headroom (§IV) comes from hiding halo exchange
+//! behind per-domain compute — the same async `nowait` discipline its
+//! Alg. 5 applies on-device. The fabric therefore exposes MPI-style
+//! requests: [`Rank::isend`] / [`Rank::irecv`] post an operation and
+//! return a typed handle ([`SendRequest`] / [`RecvRequest`]); the payload
+//! is claimed at [`Rank::wait`] / [`Rank::wait_all`], probed with
+//! [`Rank::test`]. The simulated clock makes the overlap *measurable*: a
+//! receive posted at clock `t0` whose message arrives at `t0 + L` and is
+//! waited on after `C` seconds of compute costs `max(C, L)`, not `C + L` —
+//! the blocking [`Rank::recv`] (post and wait at the same instant)
+//! degenerates to the sum. Per-rank [`OverlapStats`] split every modeled
+//! transfer into a hidden part (behind compute) and a stall part (exposed
+//! at the wait), and feed the `comm.wait_ns` counter.
+//!
+//! ## Transport
+//!
+//! Each rank owns a mailbox — a queue guarded by the explorer-aware
+//! `dcmesh_analyze::sync` mutex/condvar pair. Outside a schedule
+//! exploration those delegate to `std` after one relaxed load; under
+//! [`dcmesh_analyze::sched::explore`] every mailbox operation becomes a
+//! scheduling point, so the *real* request lifecycle (post → fault
+//! resolution → wait) is model-checked exhaustively, the way the pool's
+//! dispatch protocol is. [`World::endpoints`] hands out the connected
+//! [`Rank`] endpoints without spawning threads, so a model check can own
+//! thread creation. Receive deadlines are a wall-clock escape hatch and
+//! never fire under exploration: a receive that can block forever there
+//! surfaces as a detected deadlock, not a timeout.
+//!
 //! ## Failure handling
 //!
 //! Production campaigns lose ranks, so the fabric must fail loudly rather
@@ -21,22 +51,30 @@
 //!   typed [`CommError`] on peer failure or deadline expiry
 //!   (`DCMESH_COMM_DEADLINE_MS`, default 5000). Messages a rank managed to
 //!   send before dying still deliver — queued data outranks failure flags.
+//!   A rank that dies *between* a posted receive and its wait surfaces as
+//!   [`CommError::RankFailed`] from the wait.
 //! * Messages carry per-sender sequence numbers; receivers drop duplicates
-//!   (windowed dedup), which is what makes the duplicate fault in
-//!   `dcmesh-ckpt`'s [`dcmesh_ckpt::fault::FaultPlan`] recoverable.
+//!   by a low-water-mark rule (per-sender delivery is FIFO, so any arrival
+//!   at or below the sender's admission high-water mark is a replayed
+//!   copy). Unlike a bounded recent-sequence window, the rule is immune to
+//!   duplicates deferred arbitrarily far past the original — the
+//!   adversarial case `dcmesh-ckpt`'s `dup=P@N` fault injects.
 //!
 //! Fault injection hooks (drop/delay/duplicate/kill) live on the send path
-//! and cost one relaxed atomic load when no plan is installed.
+//! but *resolve at the wait*, like real network faults: a dropped message
+//! is a receive deadline, a delay moves the modeled arrival clock, a
+//! duplicate is absorbed at admission time. The hooks cost one relaxed
+//! atomic load when no plan is installed.
 
 use crate::network::NetworkModel;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use dcmesh_analyze::sync::{Condvar, Mutex};
 use dcmesh_ckpt::fault::{self, MessageAction};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A message between ranks: payload of f64 words plus the sender's clock.
@@ -63,10 +101,6 @@ const POLL_MS: u64 = 1;
 
 /// Default receive deadline when `DCMESH_COMM_DEADLINE_MS` is unset.
 const DEFAULT_DEADLINE_MS: u64 = 5000;
-
-/// How many recent sender sequence numbers each rank remembers for
-/// duplicate suppression.
-const DEDUP_WINDOW: usize = 64;
 
 /// A typed communication failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -127,20 +161,100 @@ impl fmt::Display for WorldError {
 
 impl std::error::Error for WorldError {}
 
+// ---------------------------------------------------------------------------
+// Mailbox transport
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct MailboxState {
+    queue: VecDeque<Message>,
+    closed: bool,
+}
+
+/// One rank's inbox: a queue on the explorer-aware mutex/condvar pair, so
+/// under `sched::explore` every push/drain/wait is a scheduling point and
+/// a receive with no matching send is a *detected deadlock*.
+#[derive(Debug, Default)]
+struct Mailbox {
+    state: Mutex<MailboxState>,
+    available: Condvar,
+}
+
+/// What a bounded wait on a mailbox observed.
+enum WaitOutcome {
+    /// Messages are queued (or the wait should simply be retried).
+    Ready,
+    /// The timeout elapsed with the queue still empty.
+    TimedOut,
+    /// The receiver endpoint was dropped and the queue is empty.
+    Closed,
+}
+
+impl Mailbox {
+    /// Enqueue one message; `Err` if the owning endpoint was dropped.
+    fn push(&self, msg: Message) -> Result<(), ()> {
+        {
+            let mut st = self.state.lock();
+            if st.closed {
+                return Err(());
+            }
+            st.queue.push_back(msg);
+        }
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Mark the owning endpoint gone; pending messages stay poppable.
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Take everything currently queued (per-sender FIFO order preserved).
+    fn drain(&self) -> Vec<Message> {
+        let mut st = self.state.lock();
+        st.queue.drain(..).collect()
+    }
+
+    /// Block until a message is queued, the box closes, or `timeout`
+    /// elapses. Spurious wakeups report [`WaitOutcome::Ready`]; callers
+    /// loop around a drain anyway. Under schedule exploration the timeout
+    /// never fires (see [`dcmesh_analyze::sync::Condvar::wait_timeout`]).
+    fn wait_nonempty(&self, timeout: Duration) -> WaitOutcome {
+        let st = self.state.lock();
+        if !st.queue.is_empty() {
+            return WaitOutcome::Ready;
+        }
+        if st.closed {
+            return WaitOutcome::Closed;
+        }
+        let (st, timed_out) = self.available.wait_timeout(st, timeout);
+        if !st.queue.is_empty() {
+            WaitOutcome::Ready
+        } else if st.closed {
+            WaitOutcome::Closed
+        } else if timed_out {
+            WaitOutcome::TimedOut
+        } else {
+            WaitOutcome::Ready
+        }
+    }
+}
+
 /// Shared world state: which ranks have failed, and why. Ranks poll the
 /// flags between receive chunks, so a dead peer surfaces as a typed error
 /// within one poll interval instead of a deadlock.
 #[derive(Debug)]
 struct WorldCtrl {
     failed: Vec<AtomicBool>,
-    reasons: Mutex<Vec<Option<String>>>,
+    reasons: std::sync::Mutex<Vec<Option<String>>>,
 }
 
 impl WorldCtrl {
     fn new(nranks: usize) -> Self {
         Self {
             failed: (0..nranks).map(|_| AtomicBool::new(false)).collect(),
-            reasons: Mutex::new(vec![None; nranks]),
+            reasons: std::sync::Mutex::new(vec![None; nranks]),
         }
     }
 
@@ -208,6 +322,39 @@ impl World {
         Self::try_run(nranks, net, f).unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// Build the `nranks` connected endpoints of a world *without*
+    /// spawning threads. Each returned [`Rank`] is `Send` and owns its
+    /// transport, so the caller controls thread creation — the hook the
+    /// `analyze::sched` model checks use to run the real request
+    /// machinery under `dcmesh_analyze::sync::spawn_named`.
+    pub fn endpoints(nranks: usize, net: NetworkModel) -> Vec<Rank> {
+        assert!(nranks >= 1, "need at least one rank");
+        let mailboxes: Vec<Arc<Mailbox>> =
+            (0..nranks).map(|_| Arc::new(Mailbox::default())).collect();
+        let ctrl = Arc::new(WorldCtrl::new(nranks));
+        let deadline_ms = deadline_from_env();
+        (0..nranks)
+            .map(|id| Rank {
+                id,
+                size: nranks,
+                inbox: Arc::clone(&mailboxes[id]),
+                outboxes: mailboxes.clone(),
+                pending: Vec::new(),
+                clock: 0.0,
+                net: net.clone(),
+                collective_seq: 0,
+                ctrl: Arc::clone(&ctrl),
+                deadline_ms,
+                send_seq: Cell::new(0),
+                comm_ops: Cell::new(0),
+                dedup_floor: vec![0; nranks],
+                dup_stash: RefCell::new(Vec::new()),
+                overlap: OverlapStats::default(),
+                p2p_names: vec![None; nranks],
+            })
+            .collect()
+    }
+
     /// Like [`World::run`], but rank failures are reported instead of
     /// propagated: if any rank panics (including a comm failure escalated
     /// to a panic by the legacy API), the returned [`WorldError`] names
@@ -219,50 +366,30 @@ impl World {
         T: Send,
         F: Fn(&mut Rank) -> T + Sync,
     {
-        assert!(nranks >= 1, "need at least one rank");
-        let mut senders: Vec<Sender<Message>> = Vec::with_capacity(nranks);
-        let mut receivers: Vec<Option<Receiver<Message>>> = Vec::with_capacity(nranks);
-        for _ in 0..nranks {
-            let (s, r) = unbounded();
-            senders.push(s);
-            receivers.push(Some(r));
-        }
-        let ctrl = Arc::new(WorldCtrl::new(nranks));
-        let deadline_ms = deadline_from_env();
-        let senders_ref = &senders;
+        let ranks = Self::endpoints(nranks, net);
+        let ctrl = Arc::clone(&ranks[0].ctrl);
         let f_ref = &f;
-        let net_ref = &net;
         let results: Vec<Option<T>> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(nranks);
-            for (id, recv_slot) in receivers.iter_mut().enumerate() {
-                let receiver = recv_slot.take().expect("receiver taken once");
-                let ctrl = Arc::clone(&ctrl);
-                handles.push(scope.spawn(move || {
-                    let mut rank = Rank {
-                        id,
-                        size: nranks,
-                        senders: senders_ref.to_vec(),
-                        receiver,
-                        pending: Vec::new(),
-                        clock: 0.0,
-                        net: net_ref.clone(),
-                        collective_seq: 0,
-                        ctrl: Arc::clone(&ctrl),
-                        deadline_ms,
-                        send_seq: Cell::new(0),
-                        comm_ops: Cell::new(0),
-                        dedup: vec![VecDeque::new(); nranks],
-                        p2p_names: vec![None; nranks],
-                    };
-                    match catch_unwind(AssertUnwindSafe(|| f_ref(&mut rank))) {
-                        Ok(t) => Some(t),
-                        Err(payload) => {
-                            ctrl.mark_failed(id, panic_reason(payload.as_ref()));
-                            None
+            let handles: Vec<_> = ranks
+                .into_iter()
+                .map(|mut rank| {
+                    let ctrl = Arc::clone(&ctrl);
+                    scope.spawn(move || {
+                        let id = rank.id;
+                        match catch_unwind(AssertUnwindSafe(|| f_ref(&mut rank))) {
+                            Ok(t) => Some(t),
+                            Err(payload) => {
+                                // The failure flag is published before
+                                // `rank` drops (closing its inbox), so
+                                // peers that see the closed box also see
+                                // which rank died.
+                                ctrl.mark_failed(id, panic_reason(payload.as_ref()));
+                                None
+                            }
                         }
-                    }
-                }));
-            }
+                    })
+                })
+                .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("rank thread join"))
@@ -280,13 +407,146 @@ impl World {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// Handle for a posted send. Sends are eagerly buffered (the mailbox is
+/// unbounded), so the request is complete the moment it is posted; the
+/// handle exists so send/receive code reads symmetrically and so a future
+/// rendezvous transport has a place to block.
+#[derive(Debug)]
+#[must_use = "a send request should be waited on (wait is free for buffered sends)"]
+pub struct SendRequest {
+    to: usize,
+    tag: u64,
+}
+
+impl SendRequest {
+    /// Destination rank.
+    pub fn peer(&self) -> usize {
+        self.to
+    }
+
+    /// Message tag.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Complete the send. Trivial for the buffered transport.
+    pub fn wait(self) {}
+
+    /// Whether the send has completed (always, for buffered sends).
+    pub fn test(&self) -> bool {
+        true
+    }
+}
+
+#[derive(Debug)]
+enum RecvState {
+    /// No matching message claimed yet.
+    Pending,
+    /// A matching message was claimed by [`Rank::test`]; the clock
+    /// settlement still happens at the wait.
+    Done(Message),
+}
+
+/// Handle for a posted receive. Created by [`Rank::irecv`] /
+/// [`Rank::irecv_modeled`]; consumed by [`Rank::wait`] and friends, which
+/// perform the modeled-clock settlement. The post captures the rank's
+/// clock, so the settlement can split the transfer into hidden and
+/// stalled time (see [`OverlapStats`]).
+#[derive(Debug)]
+#[must_use = "an unwaited receive leaves its message (and modeled time) unclaimed"]
+pub struct RecvRequest {
+    from: usize,
+    tag: u64,
+    posted_clock: f64,
+    modeled: bool,
+    state: RecvState,
+}
+
+impl RecvRequest {
+    /// Source rank this receive is matched against.
+    pub fn peer(&self) -> usize {
+        self.from
+    }
+
+    /// Tag this receive is matched against.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Simulated clock at which the receive was posted.
+    pub fn posted_clock(&self) -> f64 {
+        self.posted_clock
+    }
+}
+
+/// Per-rank accounting of how much modeled communication time was hidden
+/// behind compute versus exposed as a stall at a wait point.
+///
+/// For one receive posted at clock `t_post`, waited on at `t_wait`, with
+/// modeled arrival `t_arr` (sender clock + p2p time):
+///
+/// * `span_s` accumulates `max(0, t_arr - t_post)` — the transfer's
+///   in-flight window,
+/// * `hidden_s` accumulates `max(0, min(t_wait, t_arr) - t_post)` — the
+///   part of that window the rank spent computing,
+/// * `wait_s` accumulates `max(0, t_arr - t_wait)` — the exposed stall
+///   (what `MPI_Wait` would block for).
+///
+/// Blocking receives have `t_post == t_wait`, so they hide nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OverlapStats {
+    /// Receives settled (blocking and nonblocking).
+    pub receives: u64,
+    /// Total exposed stall time at wait points, seconds.
+    pub wait_s: f64,
+    /// Total in-flight transfer window, seconds.
+    pub span_s: f64,
+    /// Portion of the transfer window hidden behind compute, seconds.
+    pub hidden_s: f64,
+}
+
+impl OverlapStats {
+    /// Fraction of the modeled transfer window hidden behind compute, in
+    /// `[0, 1]`; zero when nothing was in flight.
+    pub fn overlap_ratio(&self) -> f64 {
+        if self.span_s > 0.0 {
+            (self.hidden_s / self.span_s).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Accumulate another rank's stats (for world-level aggregation).
+    pub fn merge(&mut self, other: &OverlapStats) {
+        self.receives += other.receives;
+        self.wait_s += other.wait_s;
+        self.span_s += other.span_s;
+        self.hidden_s += other.hidden_s;
+    }
+}
+
+/// A duplicate copy the fault plan asked to replay later: it is pushed to
+/// `to` once the owning rank has posted `remaining` further messages.
+#[derive(Debug)]
+struct DeferredDup {
+    to: usize,
+    remaining: u64,
+    msg: Message,
+}
+
 /// One rank's endpoint: identity, point-to-point plumbing, collectives,
 /// and the simulated clock.
 pub struct Rank {
     id: usize,
     size: usize,
-    senders: Vec<Sender<Message>>,
-    receiver: Receiver<Message>,
+    /// This rank's own mailbox (closed when the endpoint drops).
+    inbox: Arc<Mailbox>,
+    /// Every rank's mailbox, indexed by rank id (the send fabric).
+    outboxes: Vec<Arc<Mailbox>>,
     pending: Vec<Message>,
     clock: f64,
     net: NetworkModel,
@@ -297,8 +557,15 @@ pub struct Rank {
     send_seq: Cell<u64>,
     /// Communication-operation counter driving the kill fault.
     comm_ops: Cell<u64>,
-    /// Recently seen sequence numbers per sender (duplicate suppression).
-    dedup: Vec<VecDeque<u64>>,
+    /// Per-sender duplicate-suppression low-water mark: the next sequence
+    /// number still admissible from that sender. Because per-sender
+    /// delivery is FIFO, any arrival below the mark is a replayed copy —
+    /// no bounded window to age out of.
+    dedup_floor: Vec<u64>,
+    /// Fault-injected duplicates awaiting their deferred replay.
+    dup_stash: RefCell<Vec<DeferredDup>>,
+    /// Hidden-vs-stalled communication time accounting.
+    overlap: OverlapStats,
     /// Lazily built per-neighbor latency metric names, so the receive hot
     /// path never allocates a metric key.
     p2p_names: Vec<Option<String>>,
@@ -310,6 +577,15 @@ impl std::fmt::Debug for Rank {
             .field("id", &self.id)
             .field("size", &self.size)
             .finish_non_exhaustive()
+    }
+}
+
+impl Drop for Rank {
+    fn drop(&mut self) {
+        // Closing the inbox turns sends to a gone rank into typed errors
+        // instead of silent buffering; already-queued messages stay
+        // deliverable (not that a dropped endpoint will read them).
+        self.inbox.close();
     }
 }
 
@@ -338,6 +614,11 @@ impl Rank {
     /// Network model in use.
     pub fn network(&self) -> &NetworkModel {
         &self.net
+    }
+
+    /// This rank's hidden-vs-stalled communication accounting so far.
+    pub fn overlap(&self) -> OverlapStats {
+        self.overlap
     }
 
     /// Receive deadline in milliseconds (see `DCMESH_COMM_DEADLINE_MS`).
@@ -395,24 +676,91 @@ impl Rank {
         }
     }
 
+    /// Enqueue `msg` at rank `to`. A closed peer inbox means the peer is
+    /// gone: if any rank has *failed*, that is a typed error the sender
+    /// must see; if the peer simply exited cleanly (it already received
+    /// everything it wanted — e.g. its last wait was satisfied by an
+    /// injected duplicate while the original was still in flight), the
+    /// buffered send completes locally and the payload is dropped, as a
+    /// real fabric would once the receiver has finalized.
+    fn push_to(&self, to: usize, msg: Message) -> Result<(), CommError> {
+        match self.outboxes[to].push(msg) {
+            Ok(()) => Ok(()),
+            Err(()) => match self.ctrl.first_failed() {
+                Some(rank) => Err(CommError::RankFailed { rank }),
+                None => {
+                    dcmesh_obs::metrics::counter_add("comm.sent_after_exit", 1);
+                    Ok(())
+                }
+            },
+        }
+    }
+
+    /// Advance the deferred-duplicate countdowns by one posted message and
+    /// replay any copy that came due. Replays bypass the fault hooks (a
+    /// copy is not re-dropped or re-duplicated) and ignore closed peers.
+    fn tick_dup_stash(&self) {
+        let mut stash = self.dup_stash.borrow_mut();
+        if stash.is_empty() {
+            return;
+        }
+        let mut due = Vec::new();
+        stash.retain_mut(|d| {
+            if d.remaining <= 1 {
+                due.push((
+                    d.to,
+                    std::mem::replace(
+                        &mut d.msg,
+                        Message {
+                            from: 0,
+                            tag: 0,
+                            seq: 0,
+                            payload: Vec::new(),
+                            clock: 0.0,
+                            logical_bytes: None,
+                        },
+                    ),
+                ));
+                false
+            } else {
+                d.remaining -= 1;
+                true
+            }
+        });
+        drop(stash);
+        for (to, msg) in due {
+            let _ = self.outboxes[to].push(msg);
+        }
+    }
+
     /// Push one message to `to`, applying any installed fault plan:
-    /// drop, extra modeled latency, or duplication (the duplicate carries
-    /// the same sequence number, so the receiver's dedup window absorbs
-    /// it).
+    /// drop, extra modeled latency, or duplication. An immediate duplicate
+    /// carries the same sequence number and is absorbed by the receiver's
+    /// low-water-mark admission; a deferred duplicate (`dup=P@N`) is
+    /// replayed after `N` further posts from this rank — the fault
+    /// *resolves* at the receiver's wait, not here.
     fn post(&self, to: usize, mut msg: Message) -> Result<(), CommError> {
         if fault::armed() {
+            self.tick_dup_stash();
             match fault::message_action(msg.from, to, msg.tag, msg.seq) {
                 MessageAction::Deliver => {}
                 MessageAction::Drop => return Ok(()),
                 MessageAction::Delay(s) => msg.clock += s,
                 MessageAction::Duplicate => {
-                    self.senders[to]
-                        .send(msg.clone())
-                        .map_err(|_| self.channel_error())?;
+                    let defer = fault::dup_defer();
+                    if defer == 0 {
+                        self.push_to(to, msg.clone())?;
+                    } else {
+                        self.dup_stash.borrow_mut().push(DeferredDup {
+                            to,
+                            remaining: defer,
+                            msg: msg.clone(),
+                        });
+                    }
                 }
             }
         }
-        self.senders[to].send(msg).map_err(|_| self.channel_error())
+        self.push_to(to, msg)
     }
 
     /// Non-blocking send of `payload` to rank `to` with a user `tag`
@@ -426,9 +774,30 @@ impl Rank {
 
     /// Fallible form of [`Rank::send`].
     pub fn try_send(&self, to: usize, tag: u64, payload: &[f64]) -> Result<(), CommError> {
+        self.try_isend(to, tag, payload).map(SendRequest::wait)
+    }
+
+    /// Post a send and return its request handle. Buffered transport:
+    /// the send is complete at post, so [`SendRequest::wait`] is free.
+    /// Panics on a dead peer; see [`Rank::try_isend`].
+    pub fn isend(&self, to: usize, tag: u64, payload: &[f64]) -> SendRequest {
+        match self.try_isend(to, tag, payload) {
+            Ok(req) => req,
+            Err(e) => self.escalate(e),
+        }
+    }
+
+    /// Fallible form of [`Rank::isend`].
+    pub fn try_isend(
+        &self,
+        to: usize,
+        tag: u64,
+        payload: &[f64],
+    ) -> Result<SendRequest, CommError> {
         assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^60");
         self.fault_op();
-        self.send_raw(to, tag, payload.to_vec())
+        self.send_raw(to, tag, payload.to_vec())?;
+        Ok(SendRequest { to, tag })
     }
 
     fn send_raw(&self, to: usize, tag: u64, payload: Vec<f64>) -> Result<(), CommError> {
@@ -451,16 +820,159 @@ impl Rank {
 
     /// Fallible form of [`Rank::recv`]: returns a typed error when a peer
     /// rank has failed, the channel closed, or no matching message arrived
-    /// within the deadline.
+    /// within the deadline. Equivalent to an [`Rank::irecv`] waited on
+    /// immediately (post clock == wait clock, so nothing is hidden).
     pub fn try_recv(&mut self, from: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+        let req = self.irecv(from, tag);
+        self.try_wait(req)
+    }
+
+    /// Post a selective receive and return its request handle. The rank's
+    /// current clock is captured as the post time; compute advanced before
+    /// the matching [`Rank::wait`] overlaps the modeled transfer.
+    pub fn irecv(&mut self, from: usize, tag: u64) -> RecvRequest {
         assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^60");
         self.fault_op();
-        let msg = self.recv_raw(from, tag)?;
-        let bytes = msg.payload.len() * 8;
-        let latency = self.net.p2p_time(bytes, from, self.id);
-        self.clock = self.clock.max(msg.clock + latency);
-        self.record_p2p(from, bytes as u64, latency);
-        Ok(msg.payload)
+        dcmesh_obs::metrics::counter_add("comm.recv_posted", 1);
+        RecvRequest {
+            from,
+            tag,
+            posted_clock: self.clock,
+            modeled: false,
+            state: RecvState::Pending,
+        }
+    }
+
+    /// [`Rank::irecv`] for modeled messages (see [`Rank::send_modeled`]).
+    pub fn irecv_modeled(&mut self, from: usize, tag: u64) -> RecvRequest {
+        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^60");
+        self.fault_op();
+        dcmesh_obs::metrics::counter_add("comm.recv_posted", 1);
+        RecvRequest {
+            from,
+            tag,
+            posted_clock: self.clock,
+            modeled: true,
+            state: RecvState::Pending,
+        }
+    }
+
+    /// Non-blocking completion probe: true once a matching message has
+    /// been claimed for `req`, after which the corresponding wait settles
+    /// without blocking. Does not advance the clock — modeled time is
+    /// charged at the wait.
+    pub fn test(&mut self, req: &mut RecvRequest) -> bool {
+        if matches!(req.state, RecvState::Done(_)) {
+            return true;
+        }
+        if let Some(msg) = self.claim_pending(req.from, req.tag) {
+            req.state = RecvState::Done(msg);
+            return true;
+        }
+        let drained = self.inbox.drain();
+        for msg in drained {
+            if let Some(m) = self.admit(msg) {
+                self.pending.push(m);
+            }
+        }
+        if let Some(msg) = self.claim_pending(req.from, req.tag) {
+            req.state = RecvState::Done(msg);
+            return true;
+        }
+        false
+    }
+
+    /// Complete a posted receive, returning its payload. Panics
+    /// (structured) on peer failure or deadline expiry; see
+    /// [`Rank::try_wait`].
+    pub fn wait(&mut self, req: RecvRequest) -> Vec<f64> {
+        match self.try_wait(req) {
+            Ok(payload) => payload,
+            Err(e) => self.escalate(e),
+        }
+    }
+
+    /// Fallible form of [`Rank::wait`]. A peer that died after the post
+    /// surfaces here as [`CommError::RankFailed`]; a message the fault
+    /// plan dropped surfaces as [`CommError::Timeout`] — faults resolve at
+    /// the wait.
+    pub fn try_wait(&mut self, req: RecvRequest) -> Result<Vec<f64>, CommError> {
+        debug_assert!(!req.modeled, "modeled request waited as a payload receive");
+        self.settle(req).map(|(_bytes, payload)| payload)
+    }
+
+    /// Complete a posted modeled receive, returning the logical byte
+    /// count. Panics (structured) on failure; see
+    /// [`Rank::try_wait_modeled`].
+    pub fn wait_modeled(&mut self, req: RecvRequest) -> u64 {
+        match self.try_wait_modeled(req) {
+            Ok(bytes) => bytes,
+            Err(e) => self.escalate(e),
+        }
+    }
+
+    /// Fallible form of [`Rank::wait_modeled`].
+    pub fn try_wait_modeled(&mut self, req: RecvRequest) -> Result<u64, CommError> {
+        debug_assert!(req.modeled, "payload request waited as a modeled receive");
+        self.settle(req).map(|(bytes, _payload)| bytes)
+    }
+
+    /// Complete a batch of posted receives in order, returning their
+    /// payloads. Panics (structured) on the first failure; see
+    /// [`Rank::try_wait_all`].
+    pub fn wait_all(&mut self, reqs: Vec<RecvRequest>) -> Vec<Vec<f64>> {
+        match self.try_wait_all(reqs) {
+            Ok(payloads) => payloads,
+            Err(e) => self.escalate(e),
+        }
+    }
+
+    /// Fallible form of [`Rank::wait_all`]: settles requests in order and
+    /// returns the first error (e.g. [`CommError::RankFailed`] when a peer
+    /// died between the posts and this wait). Requests after the failed
+    /// one are abandoned — their messages, if any, stay claimable.
+    pub fn try_wait_all(&mut self, reqs: Vec<RecvRequest>) -> Result<Vec<Vec<f64>>, CommError> {
+        reqs.into_iter().map(|r| self.try_wait(r)).collect()
+    }
+
+    /// Batch form of [`Rank::wait_modeled`].
+    pub fn wait_all_modeled(&mut self, reqs: Vec<RecvRequest>) -> Vec<u64> {
+        match self.try_wait_all_modeled(reqs) {
+            Ok(bytes) => bytes,
+            Err(e) => self.escalate(e),
+        }
+    }
+
+    /// Fallible batch form of [`Rank::wait_modeled`].
+    pub fn try_wait_all_modeled(&mut self, reqs: Vec<RecvRequest>) -> Result<Vec<u64>, CommError> {
+        reqs.into_iter().map(|r| self.try_wait_modeled(r)).collect()
+    }
+
+    /// Settle one posted receive: obtain the matching message (claimed by
+    /// an earlier [`Rank::test`] or received now), charge the modeled
+    /// transfer to the clock, and split it into hidden vs stalled time.
+    fn settle(&mut self, req: RecvRequest) -> Result<(u64, Vec<f64>), CommError> {
+        let msg = match req.state {
+            RecvState::Done(msg) => msg,
+            RecvState::Pending => self.recv_raw(req.from, req.tag)?,
+        };
+        let bytes = if req.modeled {
+            msg.logical_bytes.unwrap_or((msg.payload.len() * 8) as u64)
+        } else {
+            (msg.payload.len() * 8) as u64
+        };
+        let latency = self.net.p2p_time(bytes as usize, req.from, self.id);
+        let arrival = msg.clock + latency;
+        let wait_clock = self.clock;
+        let stall = (arrival - wait_clock).max(0.0);
+        self.overlap.receives += 1;
+        self.overlap.wait_s += stall;
+        self.overlap.span_s += (arrival - req.posted_clock).max(0.0);
+        self.overlap.hidden_s += (wait_clock.min(arrival) - req.posted_clock).max(0.0);
+        self.clock = wait_clock.max(arrival);
+        dcmesh_obs::metrics::counter_add("comm.wait_ns", (stall * 1e9) as u64);
+        self.record_p2p(req.from, bytes, latency);
+        Ok((bytes, msg.payload))
     }
 
     /// Feed modeled p2p traffic into the metrics registry: total exchanged
@@ -512,71 +1024,68 @@ impl Rank {
 
     /// Fallible form of [`Rank::recv_modeled`].
     pub fn try_recv_modeled(&mut self, from: usize, tag: u64) -> Result<u64, CommError> {
-        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^60");
-        self.fault_op();
-        let msg = self.recv_raw(from, tag)?;
-        let bytes = msg.logical_bytes.unwrap_or((msg.payload.len() * 8) as u64);
-        let latency = self.net.p2p_time(bytes as usize, from, self.id);
-        self.clock = self.clock.max(msg.clock + latency);
-        self.record_p2p(from, bytes, latency);
-        Ok(bytes)
+        let req = self.irecv_modeled(from, tag);
+        self.try_wait_modeled(req)
     }
 
-    /// Admit a message off the wire, dropping duplicates: a sequence
-    /// number already in the sender's dedup window means this copy was
-    /// injected (or retransmitted) and must not be delivered twice.
+    /// Admit a message off the wire, dropping duplicates by the per-sender
+    /// low-water mark: per-sender delivery is FIFO, so a fresh message
+    /// always carries a higher sequence number than everything admitted
+    /// before it — any arrival at or below the mark is an injected (or
+    /// retransmitted) copy, no matter how long it was deferred.
     fn admit(&mut self, msg: Message) -> Option<Message> {
-        let window = &mut self.dedup[msg.from];
-        if window.contains(&msg.seq) {
+        let floor = &mut self.dedup_floor[msg.from];
+        if msg.seq < *floor {
             dcmesh_obs::metrics::counter_add("comm.dup_dropped", 1);
             return None;
         }
-        if window.len() == DEDUP_WINDOW {
-            window.pop_front();
-        }
-        window.push_back(msg.seq);
+        *floor = msg.seq + 1;
         Some(msg)
+    }
+
+    /// Take the first pending message matching `(from, tag)`, if any.
+    fn claim_pending(&mut self, from: usize, tag: u64) -> Option<Message> {
+        self.pending
+            .iter()
+            .position(|m| m.from == from && m.tag == tag)
+            .map(|pos| self.pending.remove(pos))
     }
 
     /// Deadline-bounded selective receive. Polls in `POLL_MS` chunks:
     /// queued messages are drained first (data a rank sent before dying
     /// still delivers), then the failed-rank flags are checked, then one
-    /// timed wait. The deadline accumulates from the timed-out chunks —
-    /// no wall clock is read.
+    /// timed wait on the mailbox. The deadline accumulates from the
+    /// timed-out chunks — no wall clock is read — and never fires under
+    /// schedule exploration, where a stuck receive must surface as a
+    /// detected deadlock instead.
     fn recv_raw(&mut self, from: usize, tag: u64) -> Result<Message, CommError> {
+        if let Some(m) = self.claim_pending(from, tag) {
+            return Ok(m);
+        }
         let mut waited_ms: u64 = 0;
         loop {
-            if let Some(pos) = self
-                .pending
-                .iter()
-                .position(|m| m.from == from && m.tag == tag)
-            {
-                return Ok(self.pending.remove(pos));
-            }
             // Drain whatever is already queued before consulting failure
-            // flags, so delivered-then-died messages win. Empty and
-            // Disconnected both fall through to the failure check below.
-            while let Ok(msg) = self.receiver.try_recv() {
+            // flags, so delivered-then-died messages win.
+            let drained = self.inbox.drain();
+            let mut found = None;
+            for msg in drained {
                 if let Some(m) = self.admit(msg) {
-                    if m.from == from && m.tag == tag {
-                        return Ok(m);
+                    if found.is_none() && m.from == from && m.tag == tag {
+                        found = Some(m);
+                    } else {
+                        self.pending.push(m);
                     }
-                    self.pending.push(m);
                 }
+            }
+            if let Some(m) = found {
+                return Ok(m);
             }
             if let Some(rank) = self.ctrl.first_failed() {
                 return Err(CommError::RankFailed { rank });
             }
-            match self.receiver.recv_timeout(Duration::from_millis(POLL_MS)) {
-                Ok(msg) => {
-                    if let Some(m) = self.admit(msg) {
-                        if m.from == from && m.tag == tag {
-                            return Ok(m);
-                        }
-                        self.pending.push(m);
-                    }
-                }
-                Err(RecvTimeoutError::Timeout) => {
+            match self.inbox.wait_nonempty(Duration::from_millis(POLL_MS)) {
+                WaitOutcome::Ready => {}
+                WaitOutcome::TimedOut => {
                     waited_ms += POLL_MS;
                     if waited_ms >= self.deadline_ms {
                         dcmesh_obs::metrics::counter_add("comm.timeouts", 1);
@@ -587,9 +1096,7 @@ impl Rank {
                         });
                     }
                 }
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(self.channel_error());
-                }
+                WaitOutcome::Closed => return Err(self.channel_error()),
             }
         }
     }
@@ -909,5 +1416,135 @@ mod tests {
             assert_eq!(a, 3.0);
             assert_eq!(b, 30.0);
         }
+    }
+
+    // --- Nonblocking request API ---
+
+    #[test]
+    fn irecv_wait_delivers_payload() {
+        let out = World::run(2, NetworkModel::slingshot11(), |r| {
+            if r.id() == 0 {
+                r.isend(1, 4, &[2.5, -1.0]).wait();
+                Vec::new()
+            } else {
+                let req = r.irecv(0, 4);
+                r.wait(req)
+            }
+        });
+        assert_eq!(out[1], vec![2.5, -1.0]);
+    }
+
+    #[test]
+    fn posted_receive_overlaps_compute() {
+        // Symmetric halo-style exchange: posting the exchange before the
+        // 1 s compute slice hides the modeled transfer entirely
+        // (max(compute, comm)); the blocking order stamps the send after
+        // the slice and pays the sum.
+        let step = |overlap: bool| {
+            let out = World::run(2, NetworkModel::slingshot11(), move |r| {
+                let peer = 1 - r.id();
+                if overlap {
+                    r.send_modeled(peer, 9, 1 << 28);
+                    let req = r.irecv_modeled(peer, 9);
+                    r.advance(1.0);
+                    r.wait_modeled(req);
+                } else {
+                    r.advance(1.0);
+                    r.send_modeled(peer, 9, 1 << 28);
+                    r.recv_modeled(peer, 9);
+                }
+                (r.time(), r.overlap())
+            });
+            out[1]
+        };
+        let (t_overlap, s_overlap) = step(true);
+        let (t_blocking, s_blocking) = step(false);
+        // 256 MiB on-node at 600 GB/s ~ 0.45 ms of modeled transfer.
+        assert!((t_overlap - 1.0).abs() < 1e-9, "fully hidden: {t_overlap}");
+        assert!(t_blocking > 1.0003, "blocking pays the sum: {t_blocking}");
+        assert!(s_overlap.overlap_ratio() > 0.99, "{s_overlap:?}");
+        assert_eq!(s_blocking.hidden_s, 0.0, "{s_blocking:?}");
+        assert!(s_blocking.wait_s > 3e-4, "{s_blocking:?}");
+    }
+
+    #[test]
+    fn exposed_stall_when_compute_is_short() {
+        let out = World::run(2, NetworkModel::slingshot11(), |r| {
+            if r.id() == 0 {
+                r.send_modeled(1, 9, 1 << 30);
+                OverlapStats::default()
+            } else {
+                let req = r.irecv_modeled(0, 9);
+                r.advance(1e-6); // far less than the ~21 ms transfer
+                r.wait_modeled(req);
+                r.overlap()
+            }
+        });
+        let s = out[1];
+        assert!(s.wait_s > 1e-3, "stall must be exposed: {s:?}");
+        assert!(s.hidden_s > 0.0 && s.hidden_s < s.span_s, "{s:?}");
+    }
+
+    #[test]
+    fn test_probe_claims_without_clock_advance() {
+        let out = World::run(2, NetworkModel::slingshot11(), |r| {
+            if r.id() == 0 {
+                r.send(1, 6, &[7.0]);
+                true
+            } else {
+                let mut req = r.irecv(0, 6);
+                // Spin until the probe claims the message.
+                let mut probes = 0u32;
+                while !r.test(&mut req) {
+                    probes += 1;
+                    assert!(probes < 1_000_000, "probe never completed");
+                    std::thread::yield_now();
+                }
+                let t_before = r.time();
+                assert_eq!(t_before, 0.0, "test must not advance the clock");
+                let got = r.wait(req);
+                assert_eq!(got, vec![7.0]);
+                r.time() >= t_before
+            }
+        });
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn wait_all_settles_in_order() {
+        let n = 4;
+        let out = World::run(n, NetworkModel::slingshot11(), |r| {
+            let id = r.id();
+            for to in 0..n {
+                if to != id {
+                    r.send(to, 30 + id as u64, &[id as f64]);
+                }
+            }
+            let reqs: Vec<RecvRequest> = (0..n)
+                .filter(|&from| from != id)
+                .map(|from| r.irecv(from, 30 + from as u64))
+                .collect();
+            let got = r.wait_all(reqs);
+            got.iter().map(|v| v[0] as usize).collect::<Vec<_>>()
+        });
+        for (id, got) in out.iter().enumerate() {
+            let want: Vec<usize> = (0..n).filter(|&f| f != id).collect();
+            assert_eq!(*got, want);
+        }
+    }
+
+    #[test]
+    fn endpoints_work_without_world_threads() {
+        let mut ranks = World::endpoints(2, NetworkModel::ideal());
+        let r1 = ranks.pop().expect("rank 1");
+        let mut r0 = ranks.pop().expect("rank 0");
+        let h = dcmesh_analyze::sync::spawn_named("endpoint-sender", move || {
+            let r1 = r1;
+            r1.send(0, 5, &[9.0]);
+        });
+        let req = r0.irecv(1, 5);
+        let got = r0.wait(req);
+        assert_eq!(got, vec![9.0]);
+        h.join().expect("sender thread");
     }
 }

@@ -180,6 +180,130 @@ fn killed_rank_is_named_in_world_error() {
     });
 }
 
+/// The dedup-window regression: a duplicate deferred beyond any bounded
+/// receive-side window (the old implementation remembered only the last
+/// 64 sequence numbers) used to be re-delivered as a fresh message. The
+/// low-water-mark admission has no window to fall out of: a copy of
+/// sequence 0 surfacing 70 posts later must still be dropped.
+#[test]
+fn duplicate_deferred_beyond_any_bounded_window_is_still_deduped() {
+    let plan = FaultPlan {
+        seed: 5,
+        dup_prob: 1.0,
+        dup_defer_msgs: 70,
+        ..FaultPlan::none()
+    };
+    fault::with_installed(plan, || {
+        dcmesh_obs::enable();
+        dcmesh_obs::metrics::clear();
+        let n = 80u64;
+        let out = World::run(2, NetworkModel::ideal(), |r| {
+            if r.id() == 0 {
+                for i in 0..n {
+                    r.send(1, i, &[i as f64]);
+                }
+                vec![]
+            } else {
+                (0..n).map(|i| r.recv(0, i)[0]).collect::<Vec<f64>>()
+            }
+        });
+        dcmesh_obs::disable();
+        assert_eq!(
+            out[1],
+            (0..n).map(|i| i as f64).collect::<Vec<f64>>(),
+            "every payload must deliver exactly once, in order"
+        );
+        // Duplicates of messages 0..=9 replay at posts 70..=79, each
+        // queued ahead of that post's own message — so by the time tag 79
+        // is received, all ten stale copies have been drained and must
+        // have died at admission, not been re-delivered.
+        let snap = dcmesh_obs::metrics::snapshot();
+        assert!(
+            snap.counters.get("comm.dup_dropped").copied().unwrap_or(0) >= 10,
+            "stale duplicates must be dropped by the low-water mark: {:?}",
+            snap.counters.get("comm.dup_dropped")
+        );
+    });
+}
+
+/// A rank dying *between* a peer's post and its wait: the receive is
+/// outstanding when the sender is killed, so the failure must surface at
+/// `try_wait` as a typed `RankFailed`, not a hang or a bare timeout.
+#[test]
+fn wait_on_rank_that_died_after_post_returns_rank_failed() {
+    let plan = FaultPlan {
+        kill_rank: Some((1, 0)),
+        ..FaultPlan::none()
+    };
+    fault::with_installed(plan, || {
+        let seen: std::sync::Mutex<Option<CommError>> = std::sync::Mutex::new(None);
+        let err = World::try_run(2, NetworkModel::ideal(), |r| {
+            if r.id() == 0 {
+                r.set_deadline_ms(2_000);
+                let req = r.irecv(1, 8);
+                let got = r.try_wait(req).expect_err("peer died before sending");
+                *seen.lock().unwrap() = Some(got.clone());
+                Err::<(), _>(got)
+            } else {
+                // First comm op trips the kill before anything is sent.
+                let _ = r.try_send(0, 8, &[1.0]);
+                Ok(())
+            }
+        })
+        .expect_err("the killed rank must surface as a WorldError");
+        assert!(
+            err.failures
+                .iter()
+                .any(|(rank, reason)| *rank == 1 && reason.contains("fault injection")),
+            "rank 1's kill must be reported: {err}"
+        );
+        assert_eq!(
+            *seen.lock().unwrap(),
+            Some(CommError::RankFailed { rank: 1 }),
+            "the outstanding wait must resolve to RankFailed, not Timeout"
+        );
+    });
+}
+
+/// Deadlock-freedom at large halo sizes: 8 ranks on a ring exchange
+/// ~1 MiB faces with both neighbours for several rounds, posting every
+/// receive before waiting on any. Buffered sends plus posted receives
+/// must complete on every round — no rendezvous cycle, no timeout.
+#[test]
+fn posted_receive_ring_exchange_is_deadlock_free_at_large_halos() {
+    let _guard = fault::test_lock();
+    let p = 8usize;
+    let face = 131_072; // 1 MiB of f64 per face
+    let out = World::run(p, NetworkModel::slingshot11(), |r| {
+        let me = r.id();
+        let next = (me + 1) % p;
+        let prev = (me + p - 1) % p;
+        let payload = vec![me as f64; face];
+        let mut checked = 0usize;
+        for round in 0..3u64 {
+            let tag_fwd = 2 * round;
+            let tag_bwd = 2 * round + 1;
+            r.isend(next, tag_fwd, &payload).wait();
+            r.isend(prev, tag_bwd, &payload).wait();
+            let from_prev = r.irecv(prev, tag_fwd);
+            let from_next = r.irecv(next, tag_bwd);
+            r.advance(1e-3);
+            let got_prev = r.wait(from_prev);
+            let got_next = r.wait(from_next);
+            for (src, got) in [(prev, got_prev), (next, got_next)] {
+                assert_eq!(got.len(), face);
+                assert!(got.iter().all(|&v| v == src as f64));
+                checked += 1;
+            }
+        }
+        checked
+    });
+    assert!(
+        out.iter().all(|&c| c == 6),
+        "every face must arrive: {out:?}"
+    );
+}
+
 /// The deadline itself: a receive on a tag nobody ever sends must come
 /// back as `Timeout` (bounded), not hang.
 #[test]

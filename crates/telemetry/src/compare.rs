@@ -20,6 +20,11 @@ pub struct CompareConfig {
     pub max_norm_error: f64,
     /// Absolute ceiling on the candidate's FSSH population error.
     pub max_population_error: f64,
+    /// Candidate `scaling.modeled_step_s.*` gauges (simulated per-step
+    /// makespan at each rank count) may be at most this multiple of the
+    /// baseline's. Modeled clocks are deterministic, so the overlap
+    /// ablation gate runs this at 1.0: overlap must never cost time.
+    pub modeled_step_ratio: f64,
     /// Require identical config fingerprints (apples-to-apples physics).
     pub require_same_config: bool,
 }
@@ -33,6 +38,7 @@ impl Default for CompareConfig {
             max_energy_drift: 0.05,
             max_norm_error: 1e-3,
             max_population_error: 1e-3,
+            modeled_step_ratio: 1.5,
             require_same_config: true,
         }
     }
@@ -165,6 +171,32 @@ pub fn compare(
                 baseline: *base_v,
                 candidate: *cand_v,
                 detail: "tile-choice drift: autotuned parameter changed between runs".into(),
+            });
+        }
+    }
+
+    // Modeled scaling makespans (`scaling.modeled_step_s.pN` gauges, one
+    // per simulated rank count). These come from the deterministic
+    // simulated clocks, not wall time, so no noise floor applies; the
+    // overlap-ablation gate compares them at ratio 1.0. NaN-hostile like
+    // every other ratio check. Keys on only one side are skipped (a sweep
+    // over different rank counts is not a regression).
+    for (name, base_v) in &baseline.gauges {
+        if !name.starts_with("scaling.modeled_step_s") {
+            continue;
+        }
+        let Some(cand_v) = candidate.gauges.get(name) else {
+            continue;
+        };
+        if ratio_regressed(*base_v, *cand_v, cfg.modeled_step_ratio) {
+            regressions.push(Regression {
+                what: format!("modeled gauge {name}"),
+                baseline: *base_v,
+                candidate: *cand_v,
+                detail: format!(
+                    "modeled step time exceeds {}x baseline",
+                    cfg.modeled_step_ratio
+                ),
             });
         }
     }
@@ -336,6 +368,46 @@ mod tests {
         extra.gauges.insert("tune.gemm-m8-n8-k8.mc".into(), 32.0);
         let regs = compare(&base, &extra, &CompareConfig::default()).unwrap();
         assert!(regs.is_empty(), "new class is not drift: {regs:?}");
+    }
+
+    #[test]
+    fn modeled_step_gauges_gate_at_configured_ratio() {
+        let with_steps = |p8: f64, p16: f64| {
+            let mut r = record_with_step_time(0.05);
+            r.gauges.insert("scaling.modeled_step_s.p8".into(), p8);
+            r.gauges.insert("scaling.modeled_step_s.p16".into(), p16);
+            r
+        };
+        let base = with_steps(1.0, 1.1);
+        // At the strict 1.0 ratio even a 1% slowdown at one rank count is
+        // flagged — the overlap-ablation contract.
+        let strict = CompareConfig {
+            modeled_step_ratio: 1.0,
+            ..CompareConfig::default()
+        };
+        let slower = with_steps(1.0, 1.111);
+        let regs = compare(&base, &slower, &strict).unwrap();
+        assert!(
+            regs.iter()
+                .any(|r| r.what == "modeled gauge scaling.modeled_step_s.p16"),
+            "1% modeled slowdown must trip ratio 1.0: {regs:?}"
+        );
+        // Equal or faster passes; default 1.5 tolerates the 1%.
+        assert!(compare(&base, &base, &strict).unwrap().is_empty());
+        let faster = with_steps(0.9, 1.0);
+        assert!(compare(&base, &faster, &strict).unwrap().is_empty());
+        assert!(compare(&base, &slower, &CompareConfig::default())
+            .unwrap()
+            .is_empty());
+        // NaN is always a regression.
+        let poisoned = with_steps(1.0, f64::NAN);
+        assert!(!compare(&base, &poisoned, &strict).unwrap().is_empty());
+        // A rank count present only on one side is skipped.
+        let mut extra = base.clone();
+        extra
+            .gauges
+            .insert("scaling.modeled_step_s.p32".into(), 9.0);
+        assert!(compare(&base, &extra, &strict).unwrap().is_empty());
     }
 
     #[test]

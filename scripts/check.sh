@@ -66,6 +66,22 @@ cargo run -q --release -p dcmesh-bench --bin fig7_flux_closure -- \
 grep -q "restored checkpoint" "$SMOKE_OUT"
 rm -f "$CKPT_SMOKE" "$SMOKE_OUT"
 
+echo "== comm request-lifecycle model check (sched explorer) =="
+cargo test -q --test comm_request_modelcheck
+
+echo "== overlap-ablation gate (weak scaling with vs without --no-overlap) =="
+# The scaling clocks are fully modeled (deterministic), so the gate runs
+# the compare bin at --modeled-ratio 1.0: halo/compute overlap must never
+# produce a slower modeled step than the blocking ablation, at any P.
+OVL_DIR=$(mktemp -d /tmp/dcmesh_overlap_XXXXXX)
+cargo run -q --release -p dcmesh-bench --bin fig2_weak_scaling -- \
+  --ranks 4,8,16,32 --no-overlap --record "$OVL_DIR/baseline.runrecord.json" > /dev/null
+cargo run -q --release -p dcmesh-bench --bin fig2_weak_scaling -- \
+  --ranks 4,8,16,32 --record "$OVL_DIR/overlap.runrecord.json" > /dev/null
+cargo run -q --release -p dcmesh-bench --bin compare -- \
+  --modeled-ratio 1.0 "$OVL_DIR/baseline.runrecord.json" "$OVL_DIR/overlap.runrecord.json"
+rm -rf "$OVL_DIR"
+
 echo "== telemetry smoke (fig5 RunRecord + self-compare gate) =="
 REC_DIR=$(mktemp -d /tmp/dcmesh_telemetry_XXXXXX)
 cargo run -q --release -p dcmesh-bench --bin fig5_kernels -- \
