@@ -1,13 +1,14 @@
 //! Regression gate: diff two RunRecords and exit nonzero on regression.
 //!
 //! ```text
-//! compare [--latency-ratio X] [--phase-ratio X] [--noise-floor-s S]
-//!         [--max-energy-drift X] [--modeled-ratio X] [--allow-config-change]
-//!         BASELINE.json CANDIDATE.json
+//! compare [--latency-ratio X] [--p95-ratio X] [--phase-ratio X]
+//!         [--noise-floor-s S] [--max-energy-drift X] [--modeled-ratio X]
+//!         [--allow-config-change] BASELINE.json CANDIDATE.json
 //! ```
 //!
 //! Checks, in order: schema compatibility (hard error), config
-//! fingerprint, log₂-histogram p50 latency ratios, per-phase wall-time
+//! fingerprint, log₂-histogram p50/p95 latency ratios (`--latency-ratio`
+//! / `--p95-ratio` — the serve gate leans on the tail), per-phase wall-time
 //! ratios, modeled scaling step-time gauges (`--modeled-ratio`, exact
 //! simulated clocks so 1.0 is a meaningful bound — the overlap-ablation
 //! gate uses it), and the candidate's invariant summary against absolute
@@ -21,9 +22,9 @@ use dcmesh_telemetry::{compare, CompareConfig, RunRecord};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: compare [--latency-ratio X] [--phase-ratio X] [--noise-floor-s S] \
-         [--max-energy-drift X] [--modeled-ratio X] [--allow-config-change] \
-         BASELINE.json CANDIDATE.json"
+        "usage: compare [--latency-ratio X] [--p95-ratio X] [--phase-ratio X] \
+         [--noise-floor-s S] [--max-energy-drift X] [--modeled-ratio X] \
+         [--allow-config-change] BASELINE.json CANDIDATE.json"
     );
     std::process::exit(2)
 }
@@ -42,6 +43,7 @@ fn main() -> ExitCode {
         };
         match a.as_str() {
             "--latency-ratio" => cfg.latency_ratio = next_f64("--latency-ratio"),
+            "--p95-ratio" => cfg.latency_tail_ratio = next_f64("--p95-ratio"),
             "--phase-ratio" => cfg.phase_ratio = next_f64("--phase-ratio"),
             "--noise-floor-s" => cfg.noise_floor_s = next_f64("--noise-floor-s"),
             "--max-energy-drift" => cfg.max_energy_drift = next_f64("--max-energy-drift"),

@@ -61,6 +61,15 @@ pub struct BenchArgs {
     pub no_overlap: bool,
     /// Override the scaling benches' rank sweep (`--ranks 4,8,16`).
     pub ranks: Option<Vec<usize>>,
+    /// Jobs to offer in the `serve_load` driver (`--jobs N`).
+    pub jobs: Option<usize>,
+    /// Concurrency sweep for `serve_load` (`--concurrency 1,2,4`).
+    pub concurrency: Option<Vec<usize>>,
+    /// Per-job wall-clock deadline for `serve_load` (`--deadline-ms MS`).
+    pub deadline_ms: Option<u64>,
+    /// Mean open-loop interarrival gap for `serve_load`
+    /// (`--arrival-ms MS`, 0 = burst).
+    pub arrival_ms: Option<f64>,
     /// Binary name (from `argv[0]`), used in records and default paths.
     pub bin: String,
 }
@@ -69,8 +78,9 @@ impl BenchArgs {
     /// Parse `--full`, `--scale X`, `--quick`, `--trace PATH`, `--report`,
     /// `--deterministic`, `--threads N`, `--checkpoint-every N`,
     /// `--checkpoint PATH`, `--restore PATH`, `--telemetry`,
-    /// `--record PATH`, `--no-overlap`, `--ranks P1,P2,...` from
-    /// `std::env::args`.
+    /// `--record PATH`, `--no-overlap`, `--ranks P1,P2,...`,
+    /// `--jobs N`, `--concurrency C1,C2,...`, `--deadline-ms MS`,
+    /// `--arrival-ms MS` from `std::env::args`.
     pub fn parse() -> Self {
         Self::parse_with_default(0.25)
     }
@@ -100,6 +110,10 @@ impl BenchArgs {
             record: None,
             no_overlap: false,
             ranks: None,
+            jobs: None,
+            concurrency: None,
+            deadline_ms: None,
+            arrival_ms: None,
             bin,
         };
         let mut it = args.iter().skip(1);
@@ -160,11 +174,52 @@ impl BenchArgs {
                     assert!(!ranks.is_empty(), "--ranks requires at least one entry");
                     parsed.ranks = Some(ranks);
                 }
+                "--jobs" => {
+                    parsed.jobs = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--jobs requires a positive integer"),
+                    );
+                }
+                "--concurrency" => {
+                    let list = it
+                        .next()
+                        .expect("--concurrency requires a comma-separated list");
+                    let sweep: Vec<usize> = list
+                        .split(',')
+                        .map(|v| {
+                            v.trim()
+                                .parse()
+                                .unwrap_or_else(|_| panic!("--concurrency: bad worker count {v:?}"))
+                        })
+                        .collect();
+                    assert!(
+                        !sweep.is_empty(),
+                        "--concurrency requires at least one entry"
+                    );
+                    parsed.concurrency = Some(sweep);
+                }
+                "--deadline-ms" => {
+                    parsed.deadline_ms = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--deadline-ms requires a millisecond count"),
+                    );
+                }
+                "--arrival-ms" => {
+                    parsed.arrival_ms = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--arrival-ms requires a millisecond value"),
+                    );
+                }
                 other => panic!(
                     "unknown argument: {other} (use --full | --quick | --scale X | \
                      --trace PATH | --report | --deterministic | --threads N | \
                      --checkpoint-every N | --checkpoint PATH | --restore PATH | \
-                     --telemetry | --record PATH | --no-overlap | --ranks P1,P2,...)"
+                     --telemetry | --record PATH | --no-overlap | --ranks P1,P2,... | \
+                     --jobs N | --concurrency C1,C2,... | --deadline-ms MS | \
+                     --arrival-ms MS)"
                 ),
             }
         }
@@ -512,6 +567,10 @@ mod tests {
             record: None,
             no_overlap: false,
             ranks: None,
+            jobs: None,
+            concurrency: None,
+            deadline_ms: None,
+            arrival_ms: None,
             bin: "test_bench".into(),
         }
     }

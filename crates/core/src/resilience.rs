@@ -109,6 +109,19 @@ impl ResilientRunner {
         self.observer = Some(Box::new(observer));
     }
 
+    /// Rebuild a runner from a snapshot an earlier runner produced — the
+    /// scheduler's eviction/retry path. The fingerprint check is bypassed
+    /// because a degraded schedule (halved `dt_qd`) legitimately shifts
+    /// it; structural checks still apply.
+    pub fn from_snapshot(
+        cfg: DcMeshConfig,
+        snapshot: &[u8],
+        checkpoint_every: u64,
+    ) -> Result<Self, ResilienceError> {
+        let sim = DcMeshSim::restore_from_bytes(cfg.clone(), snapshot, false)?;
+        Ok(Self::from_sim(sim, cfg, checkpoint_every))
+    }
+
     /// Mirror every periodic snapshot to `path` (atomic write).
     pub fn with_checkpoint_path(mut self, path: PathBuf) -> Self {
         self.checkpoint_path = Some(path);
@@ -135,6 +148,22 @@ impl ResilientRunner {
     /// Rollbacks performed so far.
     pub fn rollbacks(&self) -> u32 {
         self.rollbacks
+    }
+
+    /// The configuration currently driving the simulation. After a
+    /// rollback this differs from the construction config (`dt_qd` halved,
+    /// `n_qd` doubled) — a retry from [`ResilientRunner::last_snapshot`]
+    /// should carry it forward.
+    pub fn config(&self) -> &DcMeshConfig {
+        &self.cfg
+    }
+
+    /// The last good in-memory snapshot (taken at construction and every
+    /// `checkpoint_every` successful steps). A scheduler that evicts an
+    /// unrecoverable job can requeue it from these bytes via
+    /// [`ResilientRunner::from_snapshot`].
+    pub fn last_snapshot(&self) -> &[u8] {
+        &self.last_snapshot
     }
 
     /// Advance one MD step, rolling back and retrying with a halved QD

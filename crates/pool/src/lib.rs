@@ -302,12 +302,44 @@ thread_local! {
     /// Set while a non-worker thread is inside `dispatch` (it participates
     /// in the claim loop while holding the dispatch lock).
     static IN_DISPATCH: Cell<bool> = const { Cell::new(false) };
+    /// Set while the thread is inside [`run_inline`]: every dispatch from
+    /// this thread runs serially on the calling thread instead of waking
+    /// the workers. This is the per-job thread-share knob the serve
+    /// scheduler uses — an "inline" job occupies exactly its own scheduler
+    /// thread and never contends for the shared pool.
+    static INLINE_SCOPE: Cell<bool> = const { Cell::new(false) };
 }
 
 /// True when the current thread is a pool worker executing a job. Nested
 /// dispatches consult this to run inline instead of deadlocking.
 pub fn on_worker_thread() -> bool {
     IN_POOL_WORKER.get()
+}
+
+/// True when the current thread is inside a [`run_inline`] scope.
+pub fn in_inline_scope() -> bool {
+    INLINE_SCOPE.get()
+}
+
+/// Run `f` with every pool dispatch from this thread forced onto the
+/// calling thread (the serial fast path), leaving the shared workers free
+/// for other threads.
+///
+/// This is the building block of per-job thread-share policies: a
+/// multi-tenant scheduler marks low-priority or many-at-once jobs inline
+/// so one tenant cannot monopolize the pool's dispatch lock. Nesting is
+/// safe (the scope is re-entrant and restored on unwind), and a nested
+/// real dispatch from inside the scope keeps the usual nested-dispatch
+/// semantics: it runs inline too.
+pub fn run_inline<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            INLINE_SCOPE.set(self.0);
+        }
+    }
+    let _restore = Restore(INLINE_SCOPE.replace(true));
+    f()
 }
 
 /// Resets `IN_DISPATCH` even if the job body panics out of `dispatch`.
@@ -474,10 +506,16 @@ impl ThreadPool {
         }
         let grain = grain.max(1);
         // Serial fast paths: degenerate pool, job no bigger than one chunk,
-        // or nested dispatch (from a worker, or from a caller thread that is
+        // nested dispatch (from a worker, or from a caller thread that is
         // already inside `dispatch` and holds the dispatch lock) — nested
-        // calls must run inline rather than wait on the pool.
-        if self.size <= 1 || n_items <= grain || IN_POOL_WORKER.get() || IN_DISPATCH.get() {
+        // calls must run inline rather than wait on the pool — or an
+        // explicit `run_inline` thread-share scope.
+        if self.size <= 1
+            || n_items <= grain
+            || IN_POOL_WORKER.get()
+            || IN_DISPATCH.get()
+            || INLINE_SCOPE.get()
+        {
             let result = catch_unwind(AssertUnwindSafe(|| {
                 for i in 0..n_items {
                     func(i);
@@ -990,6 +1028,46 @@ mod tests {
         // The lane survives a panicking task.
         lane.enqueue(Box::new(|| {}));
         assert!(lane.wait_idle().is_none());
+    }
+
+    #[test]
+    fn run_inline_keeps_every_index_on_the_calling_thread() {
+        let pool = ThreadPool::new(4);
+        let caller = std::thread::current().id();
+        let foreign = AtomicUsize::new(0);
+        run_inline(|| {
+            assert!(in_inline_scope());
+            pool.for_each_index_coarse(0..64, |_| {
+                if std::thread::current().id() != caller {
+                    foreign.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert!(!in_inline_scope(), "scope must end with the closure");
+        assert_eq!(
+            foreign.load(Ordering::Relaxed),
+            0,
+            "inline scope must never wake a worker"
+        );
+    }
+
+    #[test]
+    fn run_inline_restores_the_scope_on_panic() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_inline(|| panic!("inline boom"));
+        }));
+        assert!(err.is_err());
+        assert!(
+            !in_inline_scope(),
+            "a panicking inline body must not leak the scope flag"
+        );
+        // And the shared pool still parallelizes afterwards.
+        let pool = ThreadPool::new(4);
+        let sum = AtomicU64::new(0);
+        pool.for_each_index(0..100, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..100).sum::<u64>());
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! dcmesh-serve: a batched, multi-tenant simulation job service.
+//!
+//! The paper's target deployment runs many small DC-MESH trajectories
+//! concurrently (parameter sweeps, ensemble averaging, interactive
+//! what-if jobs) on one node. This crate is the front door for that mode:
+//!
+//! - **Admission control** — a bounded [`JobQueue`](queue) rejects work
+//!   beyond its capacity with a typed [`Rejected`] instead of queueing
+//!   unboundedly; backpressure is the caller's signal to shed or retry.
+//! - **Scheduling** — N worker threads drain the queue over the shared
+//!   `dcmesh-pool` executor, with a per-job thread-share policy
+//!   ([`PoolShare`]): time-share every core per parallel region, or pin
+//!   each job to its scheduler thread for contention-free batch
+//!   throughput.
+//! - **Deadlines & cancellation** — both are cooperative, checked at
+//!   every MD-step boundary; a cancel releases the worker and its pool
+//!   capacity at the next step edge.
+//! - **Graceful degradation** — a job that trips the fault path
+//!   (`ResilienceError::Unrecoverable`) is retried from its last good
+//!   checkpoint with the degraded time-step schedule carried forward,
+//!   then evicted ([`JobStatus::Evicted`]) if the retry budget runs out.
+//!   Panics become [`JobStatus::Failed`]. The service itself never goes
+//!   down with a tenant.
+//! - **Per-job telemetry** — every job gets its own flight-recorder ring
+//!   and a [`RunRecord`](dcmesh_telemetry::RunRecord) in its
+//!   [`JobOutcome`], so a tenant's regression gating works unchanged.
+//!
+//! [`load`] is the open-loop load harness behind the `serve_load` bench
+//! driver and the deterministic-replay test.
+
+pub mod job;
+pub mod load;
+pub mod queue;
+pub mod service;
+
+pub use job::{JobHandle, JobOutcome, JobSpec, JobStatus, PoolShare};
+pub use load::{run_load, LoadConfig, LoadReport};
+pub use queue::Rejected;
+pub use service::{ServeConfig, Service};

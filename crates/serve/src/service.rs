@@ -1,0 +1,494 @@
+//! The scheduler: N worker threads draining the admission queue over the
+//! shared compute pool.
+//!
+//! Each worker builds the simulation (and its non-`Send` telemetry
+//! runner) locally from the `Send` [`JobSpec`], then steps it to
+//! completion, checking the cancel flag and deadline at every MD-step
+//! boundary. Kernel dispatches go through the process-wide
+//! `dcmesh-pool` executor; under [`PoolShare::Shared`] concurrent jobs
+//! serialize on the pool's dispatch lock (each parallel region gets every
+//! core), under [`PoolShare::Inline`] each job pins its kernels to its
+//! own scheduler thread so N jobs use N cores with no contention.
+//!
+//! Graceful degradation: an attempt that exhausts its rollback budget
+//! (`ResilienceError::Unrecoverable`, e.g. the `ckpt` fault path
+//! injecting a NaN) is retried from its last good snapshot — with the
+//! degraded `dt_qd` schedule carried forward — up to `retries` times,
+//! then evicted with a terminal [`JobStatus::Evicted`]. A panic inside an
+//! attempt is caught and converted to [`JobStatus::Failed`]. Either way
+//! the worker thread survives and moves to the next job; one tenant's
+//! pathology never takes the service down.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dcmesh_analyze::sync::{spawn_named, AtomicUsize, JoinHandle};
+use dcmesh_core::{ResilienceError, ResilientRunner};
+use dcmesh_obs::metrics::{self, Histogram, MetricsSnapshot};
+use dcmesh_telemetry::{
+    GitMeta, InvariantSummary, RecorderConfig, RunRecord, TelemetryRunner, WatchdogThresholds,
+};
+
+use crate::job::{JobHandle, JobOutcome, JobShared, JobSpec, JobStatus, PoolShare};
+use crate::queue::{Job, JobQueue, Rejected, ResumeState};
+
+/// Service sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Bound on jobs waiting for a worker; submissions beyond it are
+    /// rejected with [`Rejected::QueueFull`].
+    pub queue_capacity: usize,
+    /// Worker threads draining the queue (jobs running concurrently).
+    pub concurrency: usize,
+    /// Per-job flight-recorder sizing.
+    pub recorder: RecorderConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 32,
+            concurrency: 2,
+            recorder: RecorderConfig::default(),
+        }
+    }
+}
+
+/// Immutable context shared by every worker.
+struct WorkerCtx {
+    git: GitMeta,
+    threads: usize,
+    recorder: RecorderConfig,
+}
+
+/// A running job service: admission queue plus worker threads.
+pub struct Service {
+    queue: Arc<JobQueue>,
+    workers: Vec<JoinHandle>,
+    next_id: AtomicUsize,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("concurrency", &self.workers.len())
+            .field("queued", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Service {
+    /// Spawn the worker threads and start accepting jobs. Git metadata
+    /// for per-job RunRecords is detected once here (it shells out), not
+    /// per job.
+    pub fn start(cfg: ServeConfig) -> Self {
+        let queue = Arc::new(JobQueue::new(cfg.queue_capacity));
+        let ctx = Arc::new(WorkerCtx {
+            git: GitMeta::detect(),
+            threads: dcmesh_pool::configured_threads(),
+            recorder: cfg.recorder,
+        });
+        let workers = (0..cfg.concurrency.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let ctx = Arc::clone(&ctx);
+                spawn_named(&format!("dcmesh-serve-{i}"), move || {
+                    worker_loop(&ctx, &queue)
+                })
+            })
+            .collect();
+        Self {
+            queue,
+            workers,
+            next_id: AtomicUsize::new(0),
+        }
+    }
+
+    /// Admission control: enqueue the job or reject it immediately.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, Rejected> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) as u64;
+        let shared = Arc::new(JobShared::new());
+        let deadline_at = spec.deadline.map(|d| Instant::now() + d);
+        let job = Job {
+            id,
+            spec,
+            shared: Arc::clone(&shared),
+            submitted_at: Instant::now(),
+            deadline_at,
+            attempts: 0,
+            rollbacks: 0,
+            queue_wait_s: None,
+            run_s: 0.0,
+            resume: None,
+        };
+        match self.queue.submit(job) {
+            Ok(()) => {
+                metrics::counter_add("serve.submitted", 1);
+                Ok(JobHandle { id, shared })
+            }
+            Err((_job, why)) => {
+                metrics::counter_add("serve.rejected", 1);
+                Err(why)
+            }
+        }
+    }
+
+    /// Jobs waiting for a worker (excludes running jobs).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Worker threads.
+    pub fn concurrency(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stop the service and join every worker. With `drain`, the backlog
+    /// is finished first; without it, queued jobs resolve immediately as
+    /// [`JobStatus::Cancelled`] (running jobs still finish their step
+    /// loop's cooperative checks).
+    pub fn shutdown(self, drain: bool) {
+        for job in self.queue.shutdown(drain) {
+            metrics::counter_add("serve.cancelled", 1);
+            job.shared.finish(JobOutcome {
+                status: JobStatus::Cancelled,
+                steps_done: 0,
+                rollbacks: 0,
+                attempts: 0,
+                queue_wait_s: job.submitted_at.elapsed().as_secs_f64(),
+                run_s: 0.0,
+                excited_population: f64::NAN,
+                record: None,
+                step_series_jsonl: String::new(),
+            });
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// How one attempt ended, plus everything the outcome needs from it.
+enum AttemptEnd {
+    /// Terminal — publish the outcome.
+    Finished(JobStatus),
+    /// Unrecoverable but retry budget remains — requeue from the snapshot.
+    Retry(ResumeState),
+}
+
+/// What an attempt measured, independent of how it ended.
+struct AttemptStats {
+    steps_done: u64,
+    attempt_rollbacks: u32,
+    excited_population: f64,
+    step_hist: Histogram,
+    jsonl: String,
+    summary: Option<InvariantSummary>,
+    run_s: f64,
+}
+
+impl AttemptStats {
+    fn empty(started: Instant) -> Self {
+        Self {
+            steps_done: 0,
+            attempt_rollbacks: 0,
+            excited_population: f64::NAN,
+            step_hist: Histogram::default(),
+            jsonl: String::new(),
+            summary: None,
+            run_s: started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+fn worker_loop(ctx: &WorkerCtx, queue: &JobQueue) {
+    while let Some(job) = queue.pop_wait() {
+        process(ctx, queue, job);
+    }
+}
+
+/// Run one pass over a job: pre-flight checks, one attempt, then either
+/// publish the outcome or requeue the retry.
+fn process(ctx: &WorkerCtx, queue: &JobQueue, mut job: Job) {
+    if job.queue_wait_s.is_none() {
+        let wait = job.submitted_at.elapsed().as_secs_f64();
+        job.queue_wait_s = Some(wait);
+        metrics::histogram_record("serve.queue_seconds", wait);
+    }
+    // Pre-SCF checks: a cancel or an expired deadline that landed while
+    // the job was queued resolves it before any state is built.
+    if job.shared.cancel.load(Ordering::Acquire) {
+        return finish(ctx, job, JobStatus::Cancelled, None);
+    }
+    if job.deadline_at.is_some_and(|d| Instant::now() >= d) {
+        return finish(ctx, job, JobStatus::DeadlineExceeded, None);
+    }
+    job.shared.set_running();
+    job.attempts += 1;
+    match catch_unwind(AssertUnwindSafe(|| run_attempt(ctx, &job))) {
+        Err(payload) => {
+            let reason = panic_reason(payload.as_ref());
+            finish(ctx, job, JobStatus::Failed { reason }, None);
+        }
+        Ok((end, stats)) => {
+            job.run_s += stats.run_s;
+            job.rollbacks += stats.attempt_rollbacks;
+            match end {
+                AttemptEnd::Retry(resume) => {
+                    metrics::counter_add("serve.retried", 1);
+                    job.resume = Some(resume);
+                    queue.requeue_front(job);
+                }
+                AttemptEnd::Finished(status) => finish(ctx, job, status, Some(&stats)),
+            }
+        }
+    }
+}
+
+/// One attempt: build the runner (fresh or from the retry snapshot), wrap
+/// it in telemetry, and step to the target with cooperative checks at
+/// every MD-step boundary.
+fn run_attempt(ctx: &WorkerCtx, job: &Job) -> (AttemptEnd, AttemptStats) {
+    let spec = &job.spec;
+    let started = Instant::now();
+    let runner = match &job.resume {
+        Some(r) => {
+            match ResilientRunner::from_snapshot(r.cfg.clone(), &r.snapshot, spec.checkpoint_every)
+            {
+                Ok(runner) => runner,
+                Err(e) => {
+                    return (
+                        AttemptEnd::Finished(JobStatus::Failed {
+                            reason: format!("resume failed: {e}"),
+                        }),
+                        AttemptStats::empty(started),
+                    )
+                }
+            }
+        }
+        None => ResilientRunner::new(spec.cfg.clone(), spec.checkpoint_every),
+    }
+    .with_max_rollbacks(spec.max_rollbacks);
+    let mut tr = TelemetryRunner::from_runner(runner, ctx.recorder, WatchdogThresholds::default());
+
+    let mut step_hist = Histogram::default();
+    let mut excited = f64::NAN;
+    let step_loop = |tr: &mut TelemetryRunner, step_hist: &mut Histogram, excited: &mut f64| loop {
+        if job.shared.cancel.load(Ordering::Acquire) {
+            break AttemptEnd::Finished(JobStatus::Cancelled);
+        }
+        if job.deadline_at.is_some_and(|d| Instant::now() >= d) {
+            break AttemptEnd::Finished(JobStatus::DeadlineExceeded);
+        }
+        if tr.runner().md_steps() >= spec.target_steps {
+            break AttemptEnd::Finished(JobStatus::Completed);
+        }
+        let t0 = Instant::now();
+        match tr.step() {
+            Ok(report) => {
+                step_hist.record(t0.elapsed().as_secs_f64());
+                metrics::counter_add("serve.steps", 1);
+                *excited = report.excited_population;
+            }
+            Err(ResilienceError::Unrecoverable { .. }) => {
+                if job.attempts <= spec.retries {
+                    break AttemptEnd::Retry(ResumeState {
+                        cfg: tr.runner().config().clone(),
+                        snapshot: tr.runner().last_snapshot().to_vec(),
+                    });
+                }
+                break AttemptEnd::Finished(JobStatus::Evicted {
+                    rollbacks: job.rollbacks + tr.rollbacks(),
+                    attempts: job.attempts,
+                });
+            }
+            Err(ResilienceError::Ckpt(e)) => {
+                break AttemptEnd::Finished(JobStatus::Failed {
+                    reason: format!("checkpoint: {e}"),
+                });
+            }
+        }
+    };
+    let end = match spec.pool_share {
+        PoolShare::Inline => {
+            dcmesh_pool::run_inline(|| step_loop(&mut tr, &mut step_hist, &mut excited))
+        }
+        PoolShare::Shared => step_loop(&mut tr, &mut step_hist, &mut excited),
+    };
+
+    (
+        end,
+        AttemptStats {
+            steps_done: tr.runner().md_steps(),
+            attempt_rollbacks: tr.rollbacks(),
+            excited_population: excited,
+            step_hist,
+            jsonl: tr.to_jsonl(),
+            summary: tr.summary(),
+            run_s: started.elapsed().as_secs_f64(),
+        },
+    )
+}
+
+/// Publish the terminal outcome (with its per-job RunRecord when the job
+/// actually ran) and bump the per-status service counters.
+fn finish(ctx: &WorkerCtx, job: Job, status: JobStatus, rep: Option<&AttemptStats>) {
+    let counter = match &status {
+        JobStatus::Completed => "serve.completed",
+        JobStatus::Cancelled => "serve.cancelled",
+        JobStatus::DeadlineExceeded => "serve.deadline_exceeded",
+        JobStatus::Evicted { .. } => "serve.evicted",
+        JobStatus::Failed { .. } => "serve.failed",
+        JobStatus::Queued | JobStatus::Running => unreachable!("finish() takes terminal statuses"),
+    };
+    metrics::counter_add(counter, 1);
+    metrics::histogram_record("serve.run_seconds", job.run_s);
+
+    let record = rep.map(|r| {
+        let mut m = MetricsSnapshot::default();
+        m.counters.insert("serve.job.steps".into(), r.steps_done);
+        m.counters
+            .insert("serve.job.rollbacks".into(), u64::from(job.rollbacks));
+        m.counters
+            .insert("serve.job.attempts".into(), u64::from(job.attempts));
+        m.histograms
+            .insert("serve.job.step_seconds".into(), r.step_hist.clone());
+        RunRecord::from_parts(
+            "serve",
+            &job.spec.name,
+            None,
+            ctx.threads,
+            dcmesh_ckpt::fault::current()
+                .map(|p| p.spec())
+                .unwrap_or_default(),
+            ctx.git.clone(),
+            &[],
+            &m,
+            r.summary,
+        )
+    });
+
+    job.shared.finish(JobOutcome {
+        status,
+        steps_done: rep.map_or(0, |r| r.steps_done),
+        rollbacks: job.rollbacks,
+        attempts: job.attempts,
+        queue_wait_s: job.queue_wait_s.unwrap_or(0.0),
+        run_s: job.run_s,
+        excited_population: rep.map_or(f64::NAN, |r| r.excited_population),
+        record,
+        step_series_jsonl: rep.map_or(String::new(), |r| r.jsonl.clone()),
+    });
+}
+
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcmesh_core::{DcMeshConfig, DcMeshSim};
+
+    fn quick_spec(name: &str) -> JobSpec {
+        JobSpec {
+            name: name.to_string(),
+            cfg: DcMeshConfig {
+                n_qd: 5,
+                ..DcMeshConfig::default()
+            },
+            target_steps: 3,
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn a_served_job_matches_a_direct_run_bit_for_bit() {
+        let _guard = dcmesh_ckpt::fault::test_lock();
+        let service = Service::start(ServeConfig::default());
+        let handle = service.submit(quick_spec("direct-equiv")).unwrap();
+        let outcome = handle.wait();
+        service.shutdown(true);
+        assert_eq!(outcome.status, JobStatus::Completed);
+        assert_eq!(outcome.steps_done, 3);
+        assert_eq!(outcome.attempts, 1);
+
+        let mut sim = DcMeshSim::new(quick_spec("direct-equiv").cfg);
+        let mut direct = f64::NAN;
+        for _ in 0..3 {
+            direct = sim.md_step().excited_population;
+        }
+        assert_eq!(
+            outcome.excited_population.to_bits(),
+            direct.to_bits(),
+            "serving must not perturb the physics"
+        );
+        let record = outcome.record.expect("completed jobs carry a RunRecord");
+        assert_eq!(record.counters.get("serve.job.steps"), Some(&3));
+        assert!(!outcome.step_series_jsonl.is_empty());
+    }
+
+    #[test]
+    fn inline_and_shared_pool_policies_agree_on_the_physics() {
+        let _guard = dcmesh_ckpt::fault::test_lock();
+        let service = Service::start(ServeConfig::default());
+        let shared = service
+            .submit(JobSpec {
+                pool_share: PoolShare::Shared,
+                ..quick_spec("policy")
+            })
+            .unwrap();
+        let inline = service
+            .submit(JobSpec {
+                pool_share: PoolShare::Inline,
+                ..quick_spec("policy")
+            })
+            .unwrap();
+        let (a, b) = (shared.wait(), inline.wait());
+        service.shutdown(true);
+        assert_eq!(a.status, JobStatus::Completed);
+        assert_eq!(b.status, JobStatus::Completed);
+        assert_eq!(
+            a.excited_population.to_bits(),
+            b.excited_population.to_bits(),
+            "thread-share policy is a performance knob, not a physics knob"
+        );
+    }
+
+    #[test]
+    fn a_panicking_job_fails_without_taking_the_worker_down() {
+        let _guard = dcmesh_ckpt::fault::test_lock();
+        let service = Service::start(ServeConfig {
+            concurrency: 1,
+            ..ServeConfig::default()
+        });
+        // domains_x = 0 is structurally invalid and panics inside the
+        // attempt; the single worker must survive to serve the next job.
+        let bad = service
+            .submit(JobSpec {
+                cfg: DcMeshConfig {
+                    domains_x: 0,
+                    ..quick_spec("bad").cfg
+                },
+                ..quick_spec("bad")
+            })
+            .unwrap();
+        let good = service.submit(quick_spec("good")).unwrap();
+        let bad_out = bad.wait();
+        let good_out = good.wait();
+        service.shutdown(true);
+        assert!(
+            matches!(bad_out.status, JobStatus::Failed { .. }),
+            "{bad_out:?}"
+        );
+        assert_eq!(good_out.status, JobStatus::Completed);
+    }
+}

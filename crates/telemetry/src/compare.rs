@@ -8,6 +8,11 @@ pub struct CompareConfig {
     /// Candidate histogram p50 may be at most this multiple of the
     /// baseline's before it counts as a latency regression.
     pub latency_ratio: f64,
+    /// Candidate histogram p95 may be at most this multiple of the
+    /// baseline's — the tail-latency gate. Tails are noisier than medians,
+    /// so the default is looser; the serve queue/run latency gate tightens
+    /// it explicitly.
+    pub latency_tail_ratio: f64,
     /// Candidate per-phase total seconds may be at most this multiple of
     /// the baseline's.
     pub phase_ratio: f64,
@@ -33,6 +38,7 @@ impl Default for CompareConfig {
     fn default() -> Self {
         Self {
             latency_ratio: 1.5,
+            latency_tail_ratio: 2.5,
             phase_ratio: 1.5,
             noise_floor_s: 5e-3,
             max_energy_drift: 0.05,
@@ -104,27 +110,33 @@ pub fn compare(
         });
     }
 
-    // Histogram latency: compare p50s re-derived from the sparse buckets,
-    // so both sides go through identical quantile math.
+    // Histogram latency: compare p50s (and the p95 tail) re-derived from
+    // the sparse buckets, so both sides go through identical quantile
+    // math.
     for base_h in &baseline.histograms {
         let Some(cand_h) = candidate.histograms.iter().find(|h| h.name == base_h.name) else {
             continue;
         };
-        let base_p50 = base_h.to_histogram().p50();
-        let cand_p50 = cand_h.to_histogram().p50();
-        if base_p50.is_nan() {
-            continue;
-        }
-        if base_p50 < cfg.noise_floor_s && cand_p50 < cfg.noise_floor_s {
-            continue;
-        }
-        if ratio_regressed(base_p50, cand_p50, cfg.latency_ratio) {
-            regressions.push(Regression {
-                what: format!("histogram {} p50", base_h.name),
-                baseline: base_p50,
-                candidate: cand_p50,
-                detail: format!("exceeds {}x baseline", cfg.latency_ratio),
-            });
+        let base = base_h.to_histogram();
+        let cand = cand_h.to_histogram();
+        for (quantile, base_q, cand_q, ratio) in [
+            ("p50", base.p50(), cand.p50(), cfg.latency_ratio),
+            ("p95", base.p95(), cand.p95(), cfg.latency_tail_ratio),
+        ] {
+            if base_q.is_nan() {
+                continue;
+            }
+            if base_q < cfg.noise_floor_s && cand_q < cfg.noise_floor_s {
+                continue;
+            }
+            if ratio_regressed(base_q, cand_q, ratio) {
+                regressions.push(Regression {
+                    what: format!("histogram {} {quantile}", base_h.name),
+                    baseline: base_q,
+                    candidate: cand_q,
+                    detail: format!("exceeds {ratio}x baseline"),
+                });
+            }
         }
     }
 
@@ -302,6 +314,47 @@ mod tests {
         let jittery = record_with_step_time(3e-5);
         let regs = compare(&base, &jittery, &CompareConfig::default()).unwrap();
         assert!(regs.is_empty(), "microsecond jitter is noise: {regs:?}");
+    }
+
+    #[test]
+    fn tail_latency_blowup_trips_the_p95_gate() {
+        // Identical medians, but the candidate grows a fat tail: 8 of 64
+        // samples land two orders of magnitude out. The p50 gate stays
+        // quiet; the p95 gate must fire.
+        let mk = |tail_s: f64| {
+            let mut m = MetricsSnapshot::default();
+            let mut h = Histogram::default();
+            for i in 0..64 {
+                h.record(if i % 8 == 0 { tail_s } else { 0.05 });
+            }
+            m.histograms.insert("serve.run_seconds".into(), h);
+            RunRecord::from_parts(
+                "serve_load",
+                "test",
+                None,
+                4,
+                String::new(),
+                GitMeta::unknown(),
+                &[],
+                &m,
+                None,
+            )
+        };
+        let base = mk(0.05);
+        let fat_tail = mk(8.0);
+        let regs = compare(&base, &fat_tail, &CompareConfig::default()).unwrap();
+        assert!(
+            regs.iter()
+                .any(|r| r.what == "histogram serve.run_seconds p95"),
+            "tail blowup must trip the p95 gate: {regs:?}"
+        );
+        assert!(
+            !regs.iter().any(|r| r.what.ends_with("p50")),
+            "median unchanged — p50 must stay quiet: {regs:?}"
+        );
+        // Self-compare is clean even with the tail present.
+        let regs = compare(&fat_tail, &fat_tail, &CompareConfig::default()).unwrap();
+        assert!(regs.is_empty(), "{regs:?}");
     }
 
     #[test]

@@ -138,6 +138,13 @@ impl TelemetryRunner {
         self.runner.sim()
     }
 
+    /// The underlying resilient runner (for its snapshot/config accessors
+    /// — the serve scheduler's eviction path retries from
+    /// `runner().last_snapshot()`).
+    pub fn runner(&self) -> &ResilientRunner {
+        &self.runner
+    }
+
     /// Rollbacks performed so far.
     pub fn rollbacks(&self) -> u32 {
         self.runner.rollbacks()

@@ -1,96 +1,150 @@
 #!/usr/bin/env bash
-# Repo-wide hygiene gate: formatting, lints-as-errors, full test suite.
-# Run from anywhere; operates on the workspace root.
+# Tiered repo-wide hygiene gate. Run from anywhere; operates on the
+# workspace root. Shared by local runs and CI (.github/workflows/ci.yml):
+#
+#   check.sh quick   fast lane — fmt, clippy -D warnings, workspace tests
+#   check.sh gates   heavy gates — audit, racecheck, fault matrix, model
+#                    check, overlap ablation, serve p95 latency gate, ...
+#   check.sh all     quick + gates (default)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check =="
-cargo fmt --all -- --check
-
-echo "== cargo clippy --workspace -- -D warnings =="
-cargo clippy --workspace --all-targets -- -D warnings
-
-echo "== cargo test --workspace -q =="
-cargo test --workspace -q
-
-echo "== cargo bench --workspace --no-run =="
-cargo bench --workspace --no-run
-
-echo "== pool tests at DCMESH_THREADS=2 =="
-DCMESH_THREADS=2 cargo test -q -p dcmesh-pool -p dcmesh-device -p dcmesh-lfd
-
-echo "== static-analysis audit gate (lint + panic-freedom + SAFETY contracts) =="
-# `lint` is kept as an alias of `audit` for older scripts/muscle memory.
-cargo run -q -p dcmesh-analyze --bin audit -- --report
-
-echo "== SIMD forced-scalar equivalence (math + lfd suites) =="
-# The scalar backend must reproduce today's results bit-compatibly; the
-# bitwise-equality tests in these crates enforce it under the override.
-DCMESH_SIMD=scalar cargo test -q -p dcmesh-math -p dcmesh-lfd -p dcmesh-tune
-
-echo "== tuning-cache smoke (cold search, warm load, identical tiles) =="
-TUNE_DIR=$(mktemp -d /tmp/dcmesh_tune_XXXXXX)
-COLD_OUT=$(DCMESH_TUNE_DIR="$TUNE_DIR" cargo run -q --release -p dcmesh-tune --bin tune_probe 2>/dev/null)
-WARM_LOG=$(mktemp /tmp/dcmesh_tune_warm_XXXXXX.log)
-WARM_OUT=$(DCMESH_TUNE_DIR="$TUNE_DIR" cargo run -q --release -p dcmesh-tune --bin tune_probe 2>"$WARM_LOG")
-grep -q "cache=warm" "$WARM_LOG"
-[ "$COLD_OUT" = "$WARM_OUT" ] || {
-  echo "tuning smoke: warm-start tiles differ from cold search" >&2
-  diff <(echo "$COLD_OUT") <(echo "$WARM_OUT") >&2 || true
-  exit 1
+# Every mktemp dir/file registers here; the EXIT trap removes them even
+# when a gate fails mid-way (they used to leak on error).
+SCRATCH=()
+cleanup() {
+  if [ "${#SCRATCH[@]}" -gt 0 ]; then
+    rm -rf -- "${SCRATCH[@]}"
+  fi
 }
-rm -rf "$TUNE_DIR" "$WARM_LOG"
+trap cleanup EXIT
 
-echo "== concurrency suites under the shadow-access race detector =="
-# --test-threads=1: shadow intervals are raw addresses, so unrelated
-# tests must not interleave reallocations (see crates/analyze/src/race.rs).
-DCMESH_RACECHECK=1 cargo test -q -p dcmesh-pool -p dcmesh-device -p dcmesh-lfd -- --test-threads=1
+tier_quick() {
+  echo "== cargo fmt --check =="
+  cargo fmt --all -- --check
 
-echo "== fault-injection matrix (comm failures, NaN recovery, restart equivalence) =="
-# Fault plans and the metrics registry are process-global, so these
-# suites serialize injection internally (fault::test_lock).
-cargo test -q -p dcmesh-comm --test faults
-cargo test -q -p dcmesh-ckpt
-cargo test -q -p dcmesh-core resilience
-cargo test -q --test restart_equivalence
+  echo "== cargo clippy --workspace -- -D warnings =="
+  cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== checkpoint/restore smoke (fig7 driver round-trip) =="
-CKPT_SMOKE=$(mktemp -u /tmp/dcmesh_smoke_XXXXXX.ckpt)
-SMOKE_OUT=$(mktemp /tmp/dcmesh_smoke_out_XXXXXX.log)
-cargo run -q --release -p dcmesh-bench --bin fig7_flux_closure -- \
-  --checkpoint "$CKPT_SMOKE" --checkpoint-every 6 > /dev/null
-# Capture to a file rather than piping into grep -q: an early-exiting
-# grep would SIGPIPE the driver mid-run.
-cargo run -q --release -p dcmesh-bench --bin fig7_flux_closure -- \
-  --restore "$CKPT_SMOKE" > "$SMOKE_OUT"
-grep -q "restored checkpoint" "$SMOKE_OUT"
-rm -f "$CKPT_SMOKE" "$SMOKE_OUT"
+  echo "== cargo test --workspace -q =="
+  cargo test --workspace -q
+}
 
-echo "== comm request-lifecycle model check (sched explorer) =="
-cargo test -q --test comm_request_modelcheck
+tier_gates() {
+  echo "== cargo bench --workspace --no-run =="
+  cargo bench --workspace --no-run
 
-echo "== overlap-ablation gate (weak scaling with vs without --no-overlap) =="
-# The scaling clocks are fully modeled (deterministic), so the gate runs
-# the compare bin at --modeled-ratio 1.0: halo/compute overlap must never
-# produce a slower modeled step than the blocking ablation, at any P.
-OVL_DIR=$(mktemp -d /tmp/dcmesh_overlap_XXXXXX)
-cargo run -q --release -p dcmesh-bench --bin fig2_weak_scaling -- \
-  --ranks 4,8,16,32 --no-overlap --record "$OVL_DIR/baseline.runrecord.json" > /dev/null
-cargo run -q --release -p dcmesh-bench --bin fig2_weak_scaling -- \
-  --ranks 4,8,16,32 --record "$OVL_DIR/overlap.runrecord.json" > /dev/null
-cargo run -q --release -p dcmesh-bench --bin compare -- \
-  --modeled-ratio 1.0 "$OVL_DIR/baseline.runrecord.json" "$OVL_DIR/overlap.runrecord.json"
-rm -rf "$OVL_DIR"
+  echo "== pool tests at DCMESH_THREADS=2 =="
+  DCMESH_THREADS=2 cargo test -q -p dcmesh-pool -p dcmesh-device -p dcmesh-lfd
 
-echo "== telemetry smoke (fig5 RunRecord + self-compare gate) =="
-REC_DIR=$(mktemp -d /tmp/dcmesh_telemetry_XXXXXX)
-cargo run -q --release -p dcmesh-bench --bin fig5_kernels -- \
-  --quick --deterministic --telemetry --record "$REC_DIR/fig5.runrecord.json" > /dev/null
-test -s "$REC_DIR/fig5.runrecord.json"
-test -s "$REC_DIR/fig5.runrecord.steps.jsonl"
-# A record diffed against itself must never regress (exit 0).
-cargo run -q --release -p dcmesh-bench --bin compare -- \
-  "$REC_DIR/fig5.runrecord.json" "$REC_DIR/fig5.runrecord.json"
-rm -rf "$REC_DIR"
+  echo "== static-analysis audit gate (lint + panic-freedom + SAFETY contracts) =="
+  # `lint` is kept as an alias of `audit` for older scripts/muscle memory.
+  cargo run -q -p dcmesh-analyze --bin audit -- --report
 
-echo "All checks passed."
+  echo "== SIMD forced-scalar equivalence (math + lfd suites) =="
+  # The scalar backend must reproduce today's results bit-compatibly; the
+  # bitwise-equality tests in these crates enforce it under the override.
+  DCMESH_SIMD=scalar cargo test -q -p dcmesh-math -p dcmesh-lfd -p dcmesh-tune
+
+  echo "== tuning-cache smoke (cold search, warm load, identical tiles) =="
+  TUNE_DIR=$(mktemp -d /tmp/dcmesh_tune_XXXXXX)
+  SCRATCH+=("$TUNE_DIR")
+  COLD_OUT=$(DCMESH_TUNE_DIR="$TUNE_DIR" cargo run -q --release -p dcmesh-tune --bin tune_probe 2>/dev/null)
+  WARM_LOG=$(mktemp /tmp/dcmesh_tune_warm_XXXXXX.log)
+  SCRATCH+=("$WARM_LOG")
+  WARM_OUT=$(DCMESH_TUNE_DIR="$TUNE_DIR" cargo run -q --release -p dcmesh-tune --bin tune_probe 2>"$WARM_LOG")
+  grep -q "cache=warm" "$WARM_LOG"
+  [ "$COLD_OUT" = "$WARM_OUT" ] || {
+    echo "tuning smoke: warm-start tiles differ from cold search" >&2
+    diff <(echo "$COLD_OUT") <(echo "$WARM_OUT") >&2 || true
+    exit 1
+  }
+
+  echo "== concurrency suites under the shadow-access race detector =="
+  # --test-threads=1: shadow intervals are raw addresses, so unrelated
+  # tests must not interleave reallocations (see crates/analyze/src/race.rs).
+  DCMESH_RACECHECK=1 cargo test -q -p dcmesh-pool -p dcmesh-device -p dcmesh-lfd -- --test-threads=1
+
+  echo "== fault-injection matrix (comm failures, NaN recovery, restart equivalence) =="
+  # Fault plans and the metrics registry are process-global, so these
+  # suites serialize injection internally (fault::test_lock).
+  cargo test -q -p dcmesh-comm --test faults
+  cargo test -q -p dcmesh-ckpt
+  cargo test -q -p dcmesh-core resilience
+  cargo test -q --test restart_equivalence
+
+  echo "== serve edge cases (cancellation, backpressure, eviction, replay) =="
+  cargo test -q -p dcmesh-serve
+
+  echo "== checkpoint/restore smoke (fig7 driver round-trip) =="
+  CKPT_SMOKE=$(mktemp -u /tmp/dcmesh_smoke_XXXXXX.ckpt)
+  SCRATCH+=("$CKPT_SMOKE")
+  SMOKE_OUT=$(mktemp /tmp/dcmesh_smoke_out_XXXXXX.log)
+  SCRATCH+=("$SMOKE_OUT")
+  cargo run -q --release -p dcmesh-bench --bin fig7_flux_closure -- \
+    --checkpoint "$CKPT_SMOKE" --checkpoint-every 6 > /dev/null
+  # Capture to a file rather than piping into grep -q: an early-exiting
+  # grep would SIGPIPE the driver mid-run.
+  cargo run -q --release -p dcmesh-bench --bin fig7_flux_closure -- \
+    --restore "$CKPT_SMOKE" > "$SMOKE_OUT"
+  grep -q "restored checkpoint" "$SMOKE_OUT"
+
+  echo "== comm request-lifecycle model check (sched explorer) =="
+  cargo test -q --test comm_request_modelcheck
+
+  echo "== overlap-ablation gate (weak scaling with vs without --no-overlap) =="
+  # The scaling clocks are fully modeled (deterministic), so the gate runs
+  # the compare bin at --modeled-ratio 1.0: halo/compute overlap must never
+  # produce a slower modeled step than the blocking ablation, at any P.
+  OVL_DIR=$(mktemp -d /tmp/dcmesh_overlap_XXXXXX)
+  SCRATCH+=("$OVL_DIR")
+  cargo run -q --release -p dcmesh-bench --bin fig2_weak_scaling -- \
+    --ranks 4,8,16,32 --no-overlap --record "$OVL_DIR/baseline.runrecord.json" > /dev/null
+  cargo run -q --release -p dcmesh-bench --bin fig2_weak_scaling -- \
+    --ranks 4,8,16,32 --record "$OVL_DIR/overlap.runrecord.json" > /dev/null
+  cargo run -q --release -p dcmesh-bench --bin compare -- \
+    --modeled-ratio 1.0 "$OVL_DIR/baseline.runrecord.json" "$OVL_DIR/overlap.runrecord.json"
+
+  echo "== serve_load p95 tail-latency gate (back-to-back runs, compare --p95-ratio) =="
+  # Two identical load runs on the same machine: the candidate's queue/run
+  # p95 must stay within 3x of the baseline's (0.02 s noise floor absorbs
+  # scheduler jitter on tiny runs). Catches tail-latency pathologies in the
+  # serve scheduler (lost wakeups, head-of-line blocking) without a
+  # machine-dependent committed baseline.
+  SERVE_DIR=$(mktemp -d /tmp/dcmesh_serve_XXXXXX)
+  SCRATCH+=("$SERVE_DIR")
+  cargo run -q --release -p dcmesh-bench --bin serve_load -- \
+    --jobs 12 --concurrency 2 --record "$SERVE_DIR/baseline.runrecord.json" > /dev/null
+  cargo run -q --release -p dcmesh-bench --bin serve_load -- \
+    --jobs 12 --concurrency 2 --record "$SERVE_DIR/candidate.runrecord.json" > /dev/null
+  cargo run -q --release -p dcmesh-bench --bin compare -- \
+    --p95-ratio 3.0 --latency-ratio 3.0 --noise-floor-s 0.02 \
+    "$SERVE_DIR/baseline.runrecord.json" "$SERVE_DIR/candidate.runrecord.json"
+
+  echo "== telemetry smoke (fig5 RunRecord + self-compare gate) =="
+  REC_DIR=$(mktemp -d /tmp/dcmesh_telemetry_XXXXXX)
+  SCRATCH+=("$REC_DIR")
+  cargo run -q --release -p dcmesh-bench --bin fig5_kernels -- \
+    --quick --deterministic --telemetry --record "$REC_DIR/fig5.runrecord.json" > /dev/null
+  test -s "$REC_DIR/fig5.runrecord.json"
+  test -s "$REC_DIR/fig5.runrecord.steps.jsonl"
+  # A record diffed against itself must never regress (exit 0).
+  cargo run -q --release -p dcmesh-bench --bin compare -- \
+    "$REC_DIR/fig5.runrecord.json" "$REC_DIR/fig5.runrecord.json"
+}
+
+TIER="${1:-all}"
+case "$TIER" in
+  quick) tier_quick ;;
+  gates) tier_gates ;;
+  all)
+    tier_quick
+    tier_gates
+    ;;
+  *)
+    echo "usage: $0 [quick|gates|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "All checks passed ($TIER)."
